@@ -1,0 +1,29 @@
+"""Ablation: locality quality of the four orderings over Moldyn's
+neighbour structure — why the paper implements Hilbert rather than stopping
+at Morton, and when the slab orderings pay off."""
+
+from repro.experiments.ablations import curve_quality
+from repro.experiments.report import render_table
+
+
+def test_curve_quality(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        curve_quality,
+        kwargs=dict(n=scale.n["moldyn"] // 2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_curve_quality",
+        render_table(
+            ["ordering", "mean |rank gap| to partners", "pages holding partners"],
+            [
+                [r.ordering, round(r.mean_neighbor_gap, 1), round(r.page_spread, 2)]
+                for r in rows
+            ],
+            title="Ablation: ordering locality over the interaction list",
+        ),
+    )
+    by = {r.ordering: r for r in rows}
+    assert by["hilbert"].page_spread <= by["morton"].page_spread
+    assert by["hilbert"].page_spread < by["column"].page_spread

@@ -1,0 +1,57 @@
+"""Ablation (extension): periodic re-reordering under drift.
+
+The paper reorders once during initialization and notes the routine "can be
+called by a single processor as often as necessary" (section 3.5).  As
+molecules drift, the initial ordering decays; this bench measures a long
+Moldyn run with an aggressive timestep, comparing one-shot reordering
+against re-reordering every k iterations (cost charged in a dedicated
+``reorder`` epoch).
+"""
+
+from repro.apps import AppConfig, Moldyn
+from repro.experiments.report import render_table
+from repro.machines import simulate_treadmarks
+
+
+def run_with(rereorder_every: int, n: int, nprocs: int):
+    app = Moldyn(
+        AppConfig(
+            n=n,
+            nprocs=nprocs,
+            iterations=12,
+            seed=1,
+            extra={"dt": 3e-3, "rereorder_every": rereorder_every},
+        )
+    )
+    app.reorder("column")
+    return simulate_treadmarks(app.run())
+
+
+def test_drift_rereorder(benchmark, scale, emit):
+    n = scale.n["moldyn"] // 2
+    results = benchmark.pedantic(
+        lambda: {k: run_with(k, n, scale.nprocs) for k in (0, 6, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            "one-shot" if k == 0 else f"every {k}",
+            round(r.time, 3),
+            r.messages,
+            round(r.data_mbytes, 1),
+            round(r.phase_times.get("reorder", 0.0), 4),
+        ]
+        for k, r in sorted(results.items())
+    ]
+    emit(
+        "ablation_drift_rereorder",
+        render_table(
+            ["re-reorder", "TM time s", "messages", "MB", "reorder-epoch s"],
+            rows,
+            title="Ablation: periodic re-reordering of drifting Moldyn (column)",
+        ),
+    )
+    # Under heavy drift, refreshing the ordering pays for itself.
+    assert results[3].messages < results[0].messages
+    assert results[3].time < results[0].time

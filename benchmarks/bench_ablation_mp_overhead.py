@@ -1,0 +1,62 @@
+"""Ablation (extension): DSM overhead over ideal message passing.
+
+Section 6 of the paper frames reordering as "an implicit partitioning of
+the data", with explicit message passing as the other route to the same
+end.  This bench quantifies the gap: the data/message multiplier of the
+TreadMarks protocol over an ideal explicit-communication schedule of the
+same computation partition — and how far reordering closes it.
+"""
+
+from repro.apps import APP_REGISTRY, AppConfig
+from repro.experiments.message_passing import dsm_overhead, ideal_message_passing
+from repro.experiments.report import render_table
+from repro.experiments.runner import make_app, versions_for
+from repro.machines import simulate_treadmarks
+
+
+def test_mp_overhead(benchmark, scale, emit):
+    def compute():
+        rows = []
+        for name in ("barnes-hut", "moldyn", "unstructured"):
+            for version in ("original", versions_for(name)[-1] if APP_REGISTRY[name].category == 2 else "hilbert"):
+                app = make_app(
+                    name,
+                    AppConfig(
+                        n=scale.n[name] // 2,
+                        nprocs=scale.nprocs,
+                        iterations=min(scale.iterations[name], 3),
+                        seed=scale.seed,
+                    ),
+                    version,
+                )
+                trace = app.run()
+                ideal = ideal_message_passing(trace)
+                tm = simulate_treadmarks(trace)
+                ov = dsm_overhead(tm, ideal)
+                rows.append(
+                    [
+                        name,
+                        version,
+                        round(ideal.data_mbytes, 2),
+                        round(tm.data_mbytes, 2),
+                        round(ov["data_factor"], 1),
+                        round(ov["message_factor"], 1),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "ablation_mp_overhead",
+        render_table(
+            ["application", "version", "ideal MB", "TM MB", "data x", "msgs x"],
+            rows,
+            title="Ablation: TreadMarks overhead over ideal message passing",
+        ),
+    )
+    by = {(r[0], r[1]): r for r in rows}
+    for name in ("barnes-hut", "moldyn", "unstructured"):
+        versions = [v for (n_, v) in by if n_ == name]
+        reordered = [v for v in versions if v != "original"][0]
+        # Reordering shrinks the DSM-vs-message-passing data gap.
+        assert by[(name, reordered)][4] < by[(name, "original")][4], name

@@ -1,0 +1,49 @@
+"""Ablation: false sharing vs object size at a fixed 128-byte line.
+
+Reproduces the paper's Water-Spatial rationale (section 5.1): once the
+object is much larger than the consistency unit there is little false
+sharing for reordering to remove.
+"""
+
+from repro.experiments.ablations import object_size_sweep
+from repro.experiments.report import render_table
+
+
+def test_object_size_sweep(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        object_size_sweep,
+        kwargs=dict(
+            n=scale.n["barnes-hut"] // 2,
+            nprocs=scale.nprocs,
+            object_sizes=(32, 72, 104, 128, 256, 680),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_object_size",
+        render_table(
+            ["object bytes", "orig shared", "orig lines", "orig frac",
+             "hilbert shared", "hilbert frac"],
+            [
+                [
+                    r["object_size"],
+                    r["original_shared_lines"], r["original_lines"],
+                    round(r["original_shared_lines"] / r["original_lines"], 3),
+                    r["hilbert_shared_lines"],
+                    round(r["hilbert_shared_lines"] / r["hilbert_lines"], 3),
+                ]
+                for r in rows
+            ],
+            title="Ablation: falsely-shared 128-byte lines vs object size",
+        ),
+    )
+    frac = {
+        r["object_size"]: r["original_shared_lines"] / r["original_lines"]
+        for r in rows
+    }
+    # Monotone-ish collapse: 680-byte objects share far fewer lines than
+    # 32-byte objects, regardless of ordering.
+    assert frac[680] < 0.5 * frac[32]
+    small = rows[0]
+    assert small["hilbert_shared_lines"] < small["original_shared_lines"]

@@ -1,0 +1,41 @@
+"""Ablation: the Hilbert/column crossover vs consistency-unit size.
+
+The paper argues (sections 3.4 and 5.3.2) that column ordering wins for
+block-partitioned apps on page-based DSMs while Hilbert wins at cache-line
+granularity.  This sweep locates the crossover for Moldyn.
+"""
+
+from repro.experiments.ablations import page_size_sweep
+from repro.experiments.report import render_table
+
+
+def test_page_size_crossover(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        page_size_sweep,
+        kwargs=dict(
+            n=scale.n["moldyn"] // 2,
+            nprocs=scale.nprocs,
+            page_sizes=(128, 512, 2048, 8192),
+            iterations=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_page_size",
+        render_table(
+            ["unit bytes", "column msgs", "column MB", "hilbert msgs", "hilbert MB", "winner"],
+            [
+                [
+                    r["page_size"], r["column_messages"], round(r["column_mbytes"], 2),
+                    r["hilbert_messages"], round(r["hilbert_mbytes"], 2),
+                    "column" if r["column_messages"] < r["hilbert_messages"] else "hilbert",
+                ]
+                for r in rows
+            ],
+            title="Ablation: Moldyn TreadMarks traffic vs consistency-unit size",
+        ),
+    )
+    by = {r["page_size"]: r for r in rows}
+    assert by[128]["hilbert_messages"] < by[128]["column_messages"]
+    assert by[8192]["column_messages"] < by[8192]["hilbert_messages"]

@@ -1,0 +1,36 @@
+"""Ablation: the single-processor mechanism in isolation.
+
+Table 2's single-processor TLB column (e.g. 9.15x fewer TLB misses for
+Barnes-Hut) comes from traversal order matching memory order; this bench
+replays the one-processor trace through a standalone TLB.
+"""
+
+from repro.experiments.ablations import sequential_locality
+from repro.experiments.report import render_table
+
+
+def test_sequential_locality(benchmark, scale, emit):
+    out = benchmark.pedantic(
+        sequential_locality,
+        kwargs=dict(
+            n=scale.n["barnes-hut"] // 2,
+            tlb_entries=max(int(64 / scale.hw_scale), 8),
+            page_size=16384,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [version, d["tlb_misses"], d["accesses"],
+         round(d["tlb_misses"] / max(d["accesses"], 1), 4)]
+        for version, d in out.items()
+    ]
+    emit(
+        "ablation_sequential_locality",
+        render_table(
+            ["version", "TLB misses", "page refs", "miss rate"],
+            rows,
+            title="Ablation: single-processor Barnes-Hut TLB behaviour",
+        ),
+    )
+    assert out["hilbert"]["tlb_misses"] < 0.5 * out["original"]["tlb_misses"]

@@ -1,0 +1,47 @@
+"""Figures 2 and 5: processors sharing each particle-array page for
+Barnes-Hut at 2-16 processors, before and after Hilbert reordering.
+
+Paper headline: "On 16 processors, the average number of processors
+sharing a page is reduced from 9.5 to 3."
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments.figures import fig2_fig5
+from repro.experiments.report import render_series
+
+
+def test_fig2_fig5(benchmark, emit):
+    n = 32768 if os.environ.get("REPRO_PAPER_SCALE") else 8192
+    out = benchmark.pedantic(
+        fig2_fig5,
+        kwargs=dict(n=n, procs=(2, 4, 8, 16), object_size=208, page_size=8192),
+        rounds=1,
+        iterations=1,
+    )
+    parts = []
+    for version, figure in (("original", "Figure 2"), ("hilbert", "Figure 5")):
+        series = {
+            f"P={p}": counts.astype(float) for p, counts in out[version].items()
+        }
+        parts.append(
+            render_series(
+                series,
+                title=f"{figure}: processors sharing each page ({version}, n={n})",
+                xlabel="page",
+            )
+        )
+        parts.append("")
+    means = {
+        v: {p: float(c.mean()) for p, c in out[v].items()} for v in out
+    }
+    parts.append(f"mean sharers/page at P=16: original={means['original'][16]:.2f} "
+                 f"hilbert={means['hilbert'][16]:.2f} (paper: 9.5 -> 3)")
+    emit("fig2_fig5", "\n".join(parts))
+
+    assert means["original"][16] > 8.0
+    assert means["hilbert"][16] < means["original"][16] / 3.0
+    # More processors -> more sharing in the original version.
+    assert means["original"][16] > means["original"][2]

@@ -1,0 +1,21 @@
+"""Figure 3: the four data reordering methods on a 2-D grid."""
+
+import numpy as np
+
+from repro.experiments.figures import fig3
+from repro.experiments.report import render_path
+
+
+def test_fig3(benchmark, emit):
+    out = benchmark.pedantic(fig3, args=(8,), rounds=1, iterations=1)
+    parts = []
+    for name in ("morton", "hilbert", "column", "row"):
+        parts.append(render_path(out[name], 8, title=f"Figure 3 ({name}):"))
+        parts.append("")
+    emit("fig3", "\n".join(parts))
+
+    # Hilbert: unit steps; Morton: quadrant-contiguous; column/row: scans.
+    steps = np.abs(np.diff(out["hilbert"], axis=0)).sum(axis=1)
+    assert np.all(steps == 1)
+    col = out["column"]
+    assert np.all(col[:8, 0] == col[0, 0])

@@ -1,0 +1,31 @@
+"""Figure 6: boundary objects under Hilbert vs row/column ordering in
+block-partitioned Moldyn — slabs put a processor's remote interaction-list
+partners on fewer pages and fewer owner processors than cubes."""
+
+from repro.experiments.figures import fig6
+from repro.experiments.report import render_table
+
+
+def test_fig6(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        fig6,
+        kwargs=dict(n=scale.n["moldyn"], nprocs=scale.nprocs, seed=scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig6",
+        render_table(
+            ["ordering", "remote partners", "their pages", "their owners"],
+            [
+                [r.ordering, round(r.remote_partners, 1),
+                 round(r.remote_partner_pages, 1), round(r.partner_procs, 2)]
+                for r in rows
+            ],
+            title="Figure 6: per-processor boundary structure in Moldyn",
+        ),
+    )
+    by = {r.ordering: r for r in rows}
+    assert by["column"].partner_procs <= by["hilbert"].partner_procs
+    assert by["column"].remote_partner_pages < by["original"].remote_partner_pages
+    assert by["hilbert"].remote_partners < by["original"].remote_partners

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the reordering library itself.
+
+The paper reports the reordering routine's cost directly (Tables 2-3:
+0.03-0.97 s for 32-65 K objects in C).  These benches time the Python
+implementation's three steps — key generation, ranking, data movement — at
+comparable sizes, using pytest-benchmark's statistics for real.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Reordering,
+    column_keys,
+    hilbert_keys,
+    morton_keys,
+    rank_keys,
+    row_keys,
+)
+
+N = 65536
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).random((N, 3))
+
+
+@pytest.mark.parametrize(
+    "gen", [hilbert_keys, morton_keys, column_keys, row_keys],
+    ids=["hilbert", "morton", "column", "row"],
+)
+def test_key_generation(benchmark, points, gen):
+    keys = benchmark(gen, points, 16)
+    assert keys.shape == (N,)
+
+
+def test_ranking(benchmark, points):
+    keys = hilbert_keys(points, 16)
+    perm, rank = benchmark(rank_keys, keys)
+    assert perm.shape == (N,)
+
+
+def test_apply_permutation_104_byte_objects(benchmark, points):
+    """Moving the object array: 104-byte records like Barnes-Hut bodies."""
+    objects = np.zeros((N, 13), dtype=np.float64)  # 104 bytes per row
+    r = Reordering.from_perm(np.random.default_rng(1).permutation(N))
+    out = benchmark(r.apply, objects)
+    assert out.shape == objects.shape
+
+
+def test_remap_interaction_list(benchmark, points):
+    r = Reordering.from_perm(np.random.default_rng(2).permutation(N))
+    idx = np.random.default_rng(3).integers(0, N, 10 * N)
+    out = benchmark(r.remap_indices, idx)
+    assert out.shape == idx.shape
+
+
+def test_full_reorder_end_to_end(benchmark, points):
+    from repro.core import hilbert_reorder
+
+    r = benchmark(hilbert_reorder, points)
+    assert r.n == N

@@ -1,0 +1,43 @@
+"""Extension: speedup-vs-processor-count curves.
+
+The paper reports 16-processor results; these curves show how the
+reordered version's advantage grows with the processor count (false
+sharing scales with sharers per page — Figure 2's mechanism applied to
+end-to-end time).
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.scaling import scaling_curve
+
+
+def test_scaling_barnes_treadmarks(benchmark, scale, emit):
+    points = benchmark.pedantic(
+        scaling_curve,
+        kwargs=dict(
+            app="barnes-hut",
+            platform="treadmarks",
+            versions=("original", "hilbert"),
+            procs=(1, 4, 16),
+            scale=scale,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by = {(pt.nprocs, pt.version): pt for pt in points}
+    rows = [
+        [p, round(by[(p, "original")].speedup, 2), round(by[(p, "hilbert")].speedup, 2)]
+        for p in (1, 4, 16)
+    ]
+    emit(
+        "scaling_curve",
+        render_table(
+            ["procs", "original speedup", "hilbert speedup"],
+            rows,
+            title="Barnes-Hut on TreadMarks: speedup vs processor count",
+        ),
+    )
+    # Reordering's advantage grows with the processor count.
+    gain4 = by[(4, "hilbert")].speedup / by[(4, "original")].speedup
+    gain16 = by[(16, "hilbert")].speedup / by[(16, "original")].speedup
+    assert gain16 > gain4 * 0.95
+    assert by[(16, "hilbert")].speedup > by[(16, "original")].speedup

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the simulators themselves (pytest-benchmark stats).
+
+Not a paper artifact — these track the replay engines' throughput so
+regressions in the hot loops (OrderedDict LRU, interval group-bys) are
+visible across commits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import AppConfig, Moldyn
+from repro.machines import (
+    LRUCache,
+    SetAssocCache,
+    simulate_hardware,
+    simulate_hlrc,
+    simulate_treadmarks,
+)
+from repro.machines.params import origin2000_scaled
+
+
+@pytest.fixture(scope="module")
+def trace():
+    app = Moldyn(AppConfig(n=1024, nprocs=8, iterations=3, seed=7))
+    app.reorder("column")
+    return app.run()
+
+
+def test_lru_stream_throughput(benchmark):
+    keys = np.random.default_rng(0).integers(0, 4096, 200_000)
+    def run():
+        c = LRUCache(1024)
+        c.access_stream(keys, collapse=False)
+        return c.misses
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_setassoc_stream_throughput(benchmark):
+    keys = np.random.default_rng(1).integers(0, 4096, 200_000)
+    def run():
+        c = SetAssocCache(256, 4)
+        c.access_stream(keys, collapse=False)
+        return c.misses
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_hardware_replay_throughput(benchmark, trace):
+    params = origin2000_scaled(64, 8)
+    res = benchmark.pedantic(
+        simulate_hardware, args=(trace, params), rounds=3, iterations=1
+    )
+    assert res.total_l2_misses > 0
+
+
+def test_treadmarks_replay_throughput(benchmark, trace):
+    res = benchmark.pedantic(simulate_treadmarks, args=(trace,), rounds=3, iterations=1)
+    assert res.messages > 0
+
+
+def test_hlrc_replay_throughput(benchmark, trace):
+    res = benchmark.pedantic(simulate_hlrc, args=(trace,), rounds=3, iterations=1)
+    assert res.messages > 0

@@ -1,0 +1,21 @@
+"""Table 1: applications, input data sets, synchronization, object sizes."""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, scale, emit):
+    rows = benchmark.pedantic(table1, args=(scale,), rounds=1, iterations=1)
+    emit(
+        "table1",
+        render_table(
+            ["Application", "Size", "Iter", "Sync", "Object bytes", "Category"],
+            [
+                [r["application"], r["size"], r["iterations"], r["sync"],
+                 r["object_size"], r["category"]]
+                for r in rows
+            ],
+            title="Table 1: application characteristics",
+        ),
+    )
+    assert len(rows) == 5

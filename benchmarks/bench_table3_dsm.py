@@ -1,0 +1,57 @@
+"""Table 3: sequential time, reordering cost, parallel time, data volume
+and message count on TreadMarks and HLRC, 16 processors."""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import table3
+
+
+def test_table3(benchmark, scale, emit):
+    rows = benchmark.pedantic(table3, args=(scale,), rounds=1, iterations=1)
+    emit(
+        "table3",
+        render_table(
+            [
+                "Application", "Version", "Seq s", "Reorder s",
+                "TM s", "TM MB", "TM msgs",
+                "HLRC s", "HLRC MB", "HLRC msgs",
+            ],
+            [
+                [
+                    r.app, r.version, round(r.seq_time, 2), round(r.reorder_time, 3),
+                    round(r.tm_time, 2), round(r.tm_data_mbytes, 1), r.tm_messages,
+                    round(r.hlrc_time, 2), round(r.hlrc_data_mbytes, 1), r.hlrc_messages,
+                ]
+                for r in rows
+            ],
+            title="Table 3: software-DSM traffic and times (simulated)",
+        ),
+    )
+    by = {(r.app, r.version): r for r in rows}
+
+    def gain(app, version, field):
+        return getattr(by[(app, "original")], field) / max(
+            getattr(by[(app, version)], field), 1e-12
+        )
+
+    # Reordered versions send less data and fewer messages on TreadMarks
+    # (paper: 2.0-3.7x less data, 1.4-12.3x fewer messages).
+    for app, version in (
+        ("Barnes-Hut", "hilbert"),
+        ("FMM", "hilbert"),
+        ("Water-Spatial", "hilbert"),
+        ("Moldyn", "column"),
+        ("Unstructured", "column"),
+    ):
+        assert gain(app, version, "tm_data_mbytes") > 1.3, app
+        assert gain(app, version, "tm_messages") > 1.3, app
+        assert gain(app, version, "hlrc_data_mbytes") > 1.1, app
+    # TreadMarks message reduction for Barnes-Hut exceeds HLRC's
+    # (paper: 12.3x vs 2.8x).
+    assert gain("Barnes-Hut", "hilbert", "tm_messages") > gain(
+        "Barnes-Hut", "hilbert", "hlrc_messages"
+    )
+    # Homeless protocol sends more messages than home-based for the
+    # false-sharing-heavy originals.
+    assert by[("Barnes-Hut", "original")].tm_messages > by[
+        ("Barnes-Hut", "original")
+    ].hlrc_messages

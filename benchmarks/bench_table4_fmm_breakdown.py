@@ -1,0 +1,30 @@
+"""Table 4: per-phase time breakdown of FMM on TreadMarks, original vs
+Hilbert-reordered."""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import TABLE4_PHASES, table4
+
+
+def test_table4(benchmark, scale, emit):
+    out = benchmark.pedantic(table4, args=(scale,), rounds=1, iterations=1)
+    rows = []
+    for phase in (*TABLE4_PHASES, "total"):
+        o, h = out["original"][phase], out["hilbert"][phase]
+        ratio = o / h if h > 0 else float("inf")
+        rows.append([phase, round(o, 3), round(h, 3), round(ratio, 2)])
+    emit(
+        "table4",
+        render_table(
+            ["Phase", "Original s", "Reordered s", "ratio"],
+            rows,
+            title="Table 4: FMM time breakdown on TreadMarks (simulated)",
+        ),
+    )
+    o, h = out["original"], out["hilbert"]
+    # The particle-touching phases shrink the most (paper: build tree 8.9x,
+    # traversal 8.3x, intra 22x, other 21x); build_list barely moves.
+    assert h["build_tree"] < o["build_tree"]
+    assert h["intra_particle"] < 0.5 * o["intra_particle"]
+    assert h["other"] < 0.5 * o["other"]
+    assert h["inter_particle"] < o["inter_particle"]
+    assert h["total"] < o["total"]

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  The
+rendered artifact is printed (visible with ``-s``) and also written to
+``benchmarks/results/<name>.txt`` so a plain ``pytest benchmarks/
+--benchmark-only`` leaves inspectable output behind.
+
+Problem scale: ``Scale()`` defaults (n≈4096, see DESIGN.md §5).  Set
+``REPRO_PAPER_SCALE=1`` in the environment to run the paper's full sizes
+(slow under CPython).  The in-process runner cache is shared across bench
+files, so e.g. Figure 7 and Table 2 reuse the same simulations.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import Scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return Scale.paper()
+    return Scale()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): print an artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Study *your own* application's layout with the trace + machine substrate.
+
+The repro package is not only the five paper benchmarks: TraceBuilder lets
+any computation record its shared-memory accesses, and the machine models
+turn that trace into page-sharing numbers, DSM traffic and Origin-style
+miss counts.  This example writes a small irregular kernel from scratch — a
+randomized-graph relaxation — and measures how data reordering would change
+it, without owning an SGI Origin or a FreeBSD cluster.
+
+Run:  python examples/custom_app_on_dsm.py
+"""
+
+import numpy as np
+
+from repro.core import hilbert_reorder
+from repro.experiments.report import render_table
+from repro.machines import simulate_hlrc, simulate_treadmarks, simulate_hardware
+from repro.machines.params import origin2000_scaled
+from repro.trace import Layout, TraceBuilder, mean_sharers, page_sharers
+
+rng = np.random.default_rng(3)
+n, nprocs, iterations = 8192, 16, 3
+
+# A graph whose edges connect spatially-close vertices (like a mesh), but
+# whose vertex array order is random (like a fresh benchmark).
+pos = rng.random((n, 2))
+grid = (pos * 16).astype(int)
+cell = grid[:, 0] * 16 + grid[:, 1]
+order = np.argsort(cell)
+starts = np.searchsorted(cell[order], np.arange(16 * 16 + 1))
+src, dst = [], []
+for c in range(16 * 16):
+    members = order[starts[c] : starts[c + 1]]
+    if members.shape[0] > 1:
+        src.append(members[:-1])
+        dst.append(members[1:])
+edges = np.stack([np.concatenate(src), np.concatenate(dst)], axis=1)
+
+
+def run_trace(vertex_edges: np.ndarray) -> "TraceBuilder":
+    """Block-partitioned edge relaxation, one barrier per iteration."""
+    tb = TraceBuilder(nprocs, label="relax")
+    region = tb.add_region("vertices", n, 64)
+    bounds = (np.arange(nprocs + 1) * vertex_edges.shape[0]) // nprocs
+    for _ in range(iterations):
+        for p in range(nprocs):
+            mine = vertex_edges[bounds[p] : bounds[p + 1]]
+            stream = mine.ravel()
+            tb.read(p, region, stream)
+            tb.write(p, region, stream)
+            tb.work(p, mine.shape[0])
+        tb.barrier("relax")
+    return tb.finish()
+
+
+rows = []
+for version in ("original", "hilbert"):
+    if version == "original":
+        e = edges
+    else:
+        r = hilbert_reorder(pos)
+        e = r.remap_indices(edges)
+        e = e[np.argsort(e[:, 0], kind="stable")]
+    trace = run_trace(e)
+    layout = Layout.for_trace(trace, align=4096)
+    tm = simulate_treadmarks(trace)
+    hl = simulate_hlrc(trace)
+    hw = simulate_hardware(trace, origin2000_scaled(16, nprocs))
+    rows.append(
+        [
+            version,
+            round(mean_sharers(page_sharers(trace, layout, "vertices", 4096)), 2),
+            tm.messages,
+            round(tm.data_mbytes, 1),
+            hl.messages,
+            hw.total_l2_misses,
+        ]
+    )
+
+print(
+    render_table(
+        ["version", "sharers/page", "TM msgs", "TM MB", "HLRC msgs", "L2 misses"],
+        rows,
+        title="Custom edge-relaxation kernel under data reordering",
+    )
+)
+orig, hil = rows
+print(
+    f"\nHilbert reordering would cut this kernel's TreadMarks messages by "
+    f"{orig[2]/hil[2]:.1f}x before porting a single line to a real cluster."
+)

@@ -1,0 +1,45 @@
+"""repro — reproduction of Hu, Cox & Zwaenepoel, *Improving Fine-Grained
+Irregular Shared-Memory Benchmarks by Data Reordering* (SC 2000).
+
+Package layout
+--------------
+
+``repro.core``
+    The data reordering library (Hilbert/Morton space-filling curves,
+    row/column orderings, permutation engine) — the paper's contribution.
+``repro.trace``
+    Object-granularity shared-memory access traces emitted by the
+    applications, plus the page-sharing statistics behind Figures 1/2/4/5.
+``repro.machines``
+    Simulated platforms: an Origin-2000-style hardware shared-memory model
+    (caches, TLB, directory coherence) and two page-based software DSM
+    protocol models (TreadMarks-style homeless LRC and home-based HLRC),
+    with the paper's measured timing constants.
+``repro.apps``
+    The five irregular benchmarks: Barnes-Hut, FMM, Water-Spatial (SPLASH-2)
+    and Moldyn, Unstructured (Chaos), re-implemented with the same data
+    layouts and partitioning schemes.
+``repro.experiments``
+    Runners that regenerate every table and figure of the evaluation.
+"""
+
+from .core import (
+    Reordering,
+    column_reorder,
+    hilbert_reorder,
+    morton_reorder,
+    reorder,
+    row_reorder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Reordering",
+    "reorder",
+    "hilbert_reorder",
+    "morton_reorder",
+    "column_reorder",
+    "row_reorder",
+    "__version__",
+]

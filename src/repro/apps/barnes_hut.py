@@ -1,0 +1,218 @@
+"""Barnes-Hut N-body benchmark (SPLASH-2, sequential tree build variant).
+
+Structure follows the paper's section 2.1 description of the modified
+benchmark.  Each iteration:
+
+1. **build_tree** — a single processor reads all of the particles (in array
+   order) and rebuilds the shared tree, filling the cell array in creation
+   order.
+2. **partition** — the processors divide the particles through an in-order
+   traversal of the tree, each assigning itself a contiguous run of subtrees
+   weighted by the per-particle interaction counts recorded in the previous
+   iteration.
+3. **forces** — each processor walks the tree for each of its particles
+   (opening criterion theta), reading cells and nearby bodies and updating
+   its own particles' accelerations.
+4. **update** — each processor integrates (leapfrog) the particles it owns.
+
+The particle array is initialized from a two-Plummer distribution in random
+order; the data object is 104 bytes (Table 1).  The physics is real: the
+computed accelerations agree with direct summation to the accuracy expected
+of the opening criterion (see ``tests/apps/test_barnes_hut.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.reorder import Reordering
+from ..trace.builder import TraceBuilder
+from ..trace.events import Trace
+from .base import AppConfig, Application
+from .distributions import two_plummer
+from .octree import build_octree, walk
+
+__all__ = ["BarnesHut"]
+
+#: Bytes per cell record in the shared cell array (SPLASH-2's cell struct
+#: holds the subtree pointers, center-of-mass and moments).
+CELL_BYTES = 216
+
+
+class BarnesHut(Application):
+    """See module docstring.
+
+    ``config.extra`` knobs: ``theta`` (opening criterion, default 0.7),
+    ``dt`` (timestep, default 0.025), ``leaf_capacity`` (default 8),
+    ``eps`` (softening, default 0.05).
+    """
+
+    name = "Barnes-Hut"
+    category = 1
+    sync = "b"
+    object_size = 104
+    orderings = ("hilbert", "morton")
+
+    def __init__(self, config: AppConfig):
+        super().__init__(config)
+        x = config.extra
+        self.theta = float(x.get("theta", 0.7))
+        self.dt = float(x.get("dt", 0.025))
+        self.leaf_capacity = int(x.get("leaf_capacity", 8))
+        self.eps = float(x.get("eps", 0.05))
+        self.pos = two_plummer(config.n, config.seed)
+        self.vel = np.zeros_like(self.pos)
+        self.acc = np.zeros_like(self.pos)
+        self.mass = np.full(config.n, 1.0 / config.n)
+        self._prev_cost: np.ndarray | None = None
+
+    def positions(self) -> np.ndarray:
+        return self.pos
+
+    def _apply_reordering(self, r: Reordering) -> None:
+        self.pos = r.apply(self.pos)
+        self.vel = r.apply(self.vel)
+        self.acc = r.apply(self.acc)
+        self.mass = r.apply(self.mass)
+        if self._prev_cost is not None:
+            self._prev_cost = r.apply(self._prev_cost)
+
+    # -- physics ---------------------------------------------------------
+
+    def _forces(self, tree, wr) -> np.ndarray:
+        """Accelerations from the walk's interaction lists (G = 1)."""
+        n = self.n
+        acc = np.zeros((n, 3))
+        eps2 = self.eps * self.eps
+        if wr.cell_body.shape[0]:
+            delta = tree.com[wr.cell_id] - self.pos[wr.cell_body]
+            d2 = (delta * delta).sum(axis=1) + eps2
+            f = (tree.mass[wr.cell_id] * d2 ** -1.5)[:, None] * delta
+            np.add.at(acc, wr.cell_body, f)
+        if wr.direct_body.shape[0]:
+            delta = self.pos[wr.direct_other] - self.pos[wr.direct_body]
+            d2 = (delta * delta).sum(axis=1) + eps2
+            f = (self.mass[wr.direct_other] * d2 ** -1.5)[:, None] * delta
+            np.add.at(acc, wr.direct_body, f)
+        return acc
+
+    def _partition(self, tree, cost: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Cost-weighted contiguous split of the in-order body sequence.
+
+        Returns the per-processor body lists and the cells the traversal
+        actually *visits*: like SPLASH-2's costzones, whole subtrees that
+        fall inside one processor's zone are assigned without descending,
+        so only cells straddling a split boundary are touched.
+        """
+        order = tree.inorder_bodies()
+        w = cost[order].astype(np.float64)
+        cum = np.cumsum(w)
+        total = cum[-1] if cum.size else 0.0
+        if total <= 0:
+            bounds = (np.arange(self.nprocs + 1) * order.shape[0]) // self.nprocs
+        else:
+            targets = np.arange(1, self.nprocs) * (total / self.nprocs)
+            inner = np.searchsorted(cum, targets)
+            bounds = np.concatenate([[0], inner, [order.shape[0]]])
+        parts = [order[bounds[p] : bounds[p + 1]] for p in range(self.nprocs)]
+
+        # Visited cells: descend only where a split boundary falls inside
+        # the subtree's body range.  Body ranges per cell follow from DFS
+        # creation order: a leaf's range is its slice of leaf_bodies; an
+        # internal node spans its children.
+        lo = np.full(tree.ncells, np.iinfo(np.int64).max, dtype=np.int64)
+        hi = np.zeros(tree.ncells, dtype=np.int64)
+        for c in range(tree.ncells - 1, -1, -1):
+            if tree.is_leaf[c]:
+                lo[c] = tree.leaf_start[c]
+                hi[c] = tree.leaf_start[c] + tree.leaf_count[c]
+            else:
+                kids = tree.children[c][tree.children[c] >= 0]
+                if kids.size:
+                    lo[c] = lo[kids].min()
+                    hi[c] = hi[kids].max()
+                else:  # pragma: no cover - empty internal nodes don't occur
+                    lo[c] = hi[c] = 0
+        inner_bounds = bounds[1:-1]
+        visited = []
+        stack = [0]
+        while stack:
+            c = stack.pop()
+            visited.append(c)
+            straddles = np.any((inner_bounds > lo[c]) & (inner_bounds < hi[c]))
+            if straddles and not tree.is_leaf[c]:
+                stack.extend(int(k) for k in tree.children[c] if k >= 0)
+        return parts, np.array(sorted(visited), dtype=np.int64)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Trace:
+        cfg = self.config
+        n, P = self.n, self.nprocs
+        tb = TraceBuilder(P, label="build_tree")
+        bodies = tb.add_region("bodies", n, self.object_size)
+        # Cell count varies per iteration; size the region for the worst
+        # case (every iteration's tree fits well under 2n cells).
+        max_cells = max(2 * n, 64)
+        cells = tb.add_region("cells", max_cells, CELL_BYTES)
+        cost = (
+            self._prev_cost
+            if self._prev_cost is not None
+            else np.ones(n, dtype=np.float64)
+        )
+        for _ in range(cfg.iterations):
+            tree = build_octree(
+                self.pos, self.mass, leaf_capacity=self.leaf_capacity
+            )
+            nc = min(tree.ncells, max_cells)
+            # 1. Sequential tree build: proc 0 reads every particle in
+            # array order and writes the cell array in creation order.
+            tb.read(0, bodies, np.arange(n))
+            tb.write(0, cells, np.arange(nc))
+            tb.work(0, n + tree.ncells)
+            tb.barrier("partition")
+
+            # 2. In-order traversal partition; every processor walks the
+            # boundary cells of the costzone split (read-only).
+            parts, visited = self._partition(tree, cost)
+            visited = np.minimum(visited, max_cells - 1)
+            for p in range(P):
+                tb.read(p, cells, visited)
+                tb.work(p, visited.shape[0])
+            tb.barrier("forces")
+
+            # 3. Force evaluation.
+            wr = walk(tree, self.pos, self.theta)
+            acc = self._forces(tree, wr)
+            cost = wr.interactions_per_body(n).astype(np.float64)
+            c_order, d_order = wr.per_body_order()
+            cb = wr.cell_body[c_order]
+            ci = wr.cell_id[c_order]
+            db = wr.direct_body[d_order]
+            do = wr.direct_other[d_order]
+            c_bounds = np.searchsorted(cb, np.arange(n + 1))
+            d_bounds = np.searchsorted(db, np.arange(n + 1))
+            for p in range(P):
+                for b in parts[p].tolist():
+                    cs, ce = c_bounds[b], c_bounds[b + 1]
+                    ds, de = d_bounds[b], d_bounds[b + 1]
+                    if ce > cs:
+                        tb.read(p, cells, np.minimum(ci[cs:ce], max_cells - 1))
+                    if de > ds:
+                        tb.read(p, bodies, do[ds:de])
+                    tb.read(p, bodies, np.array([b]))
+                    tb.write(p, bodies, np.array([b]))
+                tb.work(p, float(cost[parts[p]].sum()))
+            tb.barrier("update")
+
+            # 4. Leapfrog update of owned particles, in partition order.
+            self.acc = acc
+            self.vel += self.dt * acc
+            self.pos += self.dt * self.vel
+            for p in range(P):
+                tb.read(p, bodies, parts[p])
+                tb.write(p, bodies, parts[p])
+                tb.work(p, parts[p].shape[0])
+            tb.barrier("build_tree")
+        self._prev_cost = cost
+        return tb.finish()

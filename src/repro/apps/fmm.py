@@ -1,0 +1,466 @@
+"""Fast Multipole Method benchmark (SPLASH-2, 2-D).
+
+Like Barnes-Hut, FMM "simulates the evolution of a system of particles under
+the influence of gravitational forces", but "it simulates interactions in
+two-dimensions" and the tree is traversed once upward and once downward
+instead of once per particle (paper section 5.3.1).
+
+This implementation is the classic uniform multi-level 2-D FMM of Greengard
+& Rokhlin (levels 0..L over the bounding square, multipole/local expansions
+of order ``p`` — real math, validated against direct summation).  The cell
+hierarchy is stored level-by-level in Morton order, so that partitioning
+the tree by a space-filling curve gives each processor *contiguous* runs of
+the shared cell array — reproducing the paper's observation that the cells
+have good locality ("created independently by the processors and stored in
+some per-processor (though shared) arrays") while the particle array is the
+false-sharing hot spot.
+
+Phase structure per iteration, matching the paper's Table 4 breakdown:
+
+* **build_tree** — a processor reads every particle (array order) and bins
+  them into the finest-level cells, writing the shared cell array;
+* **partition** — contiguous cost-weighted split of the Morton-ordered
+  finest cells;
+* **build_list** — each processor enumerates the V (interaction) lists of
+  its cells (index arithmetic over its own cells — the paper measures no
+  change in this phase from reordering);
+* **tree_traversal** — P2M at owned leaves (reads particles!), M2M upward,
+  M2L across interaction lists, L2L downward, L2P into particle fields;
+* **inter_particle** — near-field P2P against the 8 neighbouring leaves;
+* **intra_particle** — P2P within each owned leaf;
+* **other** — position/velocity update of owned particles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.reorder import Reordering
+from ..core.sfc.morton import morton_key_from_axes
+from ..trace.builder import TraceBuilder
+from ..trace.events import Trace
+from .base import AppConfig, Application
+from .distributions import two_plummer
+from . import fmm_math as fm
+
+__all__ = ["FMM"]
+
+#: Bytes per cell record (two order-p complex expansions plus geometry).
+CELL_BYTES = 320
+
+#: Work-unit scaling.  The machine models charge ``work_cycles`` (~150 on
+#: the Origin model) per unit, calibrated for the 3-D cutoff force kernels
+#: (sqrt/exp/div).  FMM's 2-D kernels are far cheaper per elementary op: a
+#: near-field P2P pair is one complex divide (~30 cycles), an expansion
+#: coefficient op a complex multiply-add.  Without this scaling the
+#: simulated FMM is artificially compute-bound, hiding the paper's
+#: memory-driven Origin gains.
+P2P_WORK = 0.2
+EXPANSION_WORK = 0.35
+
+
+class FMM(Application):
+    """See module docstring.
+
+    ``config.extra`` knobs: ``p`` (expansion order, default 8), ``levels``
+    (tree depth L; default sized for ~3 particles per finest cell), ``dt``.
+    """
+
+    name = "FMM"
+    category = 1
+    sync = "b,l"
+    object_size = 104
+    orderings = ("hilbert", "morton")
+
+    def __init__(self, config: AppConfig):
+        super().__init__(config)
+        x = config.extra
+        self.p = int(x.get("p", 8))
+        # ~16 particles per finest cell, like the adaptive benchmark's leaf
+        # capacity; keeps the cell array small relative to the particles.
+        default_levels = max(2, int(np.ceil(np.log(max(config.n, 4) / 16.0) / np.log(4.0))))
+        self.levels = int(x.get("levels", default_levels))
+        self.dt = float(x.get("dt", 1e-3))
+        self.pos = two_plummer(config.n, config.seed, ndim=2)
+        self.vel = np.zeros_like(self.pos)
+        self.charge = np.full(config.n, 1.0 / config.n)
+        self.field = np.zeros(config.n, dtype=np.complex128)
+        self._binom = fm.binomial_table(2 * self.p + 2)
+        # Cell array layout: levels 0..L, Morton order within each level.
+        self.level_offset = np.zeros(self.levels + 2, dtype=np.int64)
+        for l in range(self.levels + 1):
+            self.level_offset[l + 1] = self.level_offset[l] + 4**l
+        self.ncells = int(self.level_offset[-1])
+        # Morton rank of row-major cell index, per level.
+        self._morton_rank: list[np.ndarray] = []
+        for l in range(self.levels + 1):
+            side = 1 << l
+            iy, ix = np.divmod(np.arange(side * side, dtype=np.int64), side)
+            keys = morton_key_from_axes(
+                np.stack([ix, iy], axis=1).astype(np.uint64), max(l, 1)
+            )
+            rank = np.empty(side * side, dtype=np.int64)
+            rank[np.argsort(keys, kind="stable")] = np.arange(side * side)
+            self._morton_rank.append(rank)
+
+    def positions(self) -> np.ndarray:
+        return self.pos
+
+    def _apply_reordering(self, r: Reordering) -> None:
+        self.pos = r.apply(self.pos)
+        self.vel = r.apply(self.vel)
+        self.charge = r.apply(self.charge)
+        self.field = r.apply(self.field)
+
+    # -- geometry ----------------------------------------------------------
+
+    def _bbox(self) -> tuple[np.ndarray, float]:
+        lo = self.pos.min(axis=0)
+        hi = self.pos.max(axis=0)
+        w = float((hi - lo).max()) * (1 + 1e-9)
+        return lo, (w if w > 0 else 1.0)
+
+    def _cell_id(self, l: int, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Shared-array index of cell (ix, iy) at level l (Morton order)."""
+        side = 1 << l
+        return self.level_offset[l] + self._morton_rank[l][iy * side + ix]
+
+    def _centers(self, l: int, lo: np.ndarray, w: float) -> np.ndarray:
+        """Complex centers of all cells at level l, in row-major order."""
+        side = 1 << l
+        step = w / side
+        iy, ix = np.divmod(np.arange(side * side, dtype=np.int64), side)
+        return (
+            lo[0] + (ix + 0.5) * step + 1j * (lo[1] + (iy + 0.5) * step)
+        )
+
+    def _v_offsets(self, parity_x: int, parity_y: int) -> list[tuple[int, int]]:
+        """Relative V-list offsets for a cell with the given parity."""
+        out = []
+        for dx in range(-2 - parity_x, 4 - parity_x):
+            for dy in range(-2 - parity_y, 4 - parity_y):
+                if max(abs(dx), abs(dy)) >= 2:
+                    out.append((dx, dy))
+        return out
+
+    # -- partition ----------------------------------------------------------
+
+    def _partition(self, counts: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Split the Morton-ordered finest cells into cost-contiguous runs.
+
+        Returns (owner array indexed by row-major finest cell, per-proc
+        lists of row-major finest cell indices in Morton order).
+        """
+        L = self.levels
+        side = 1 << L
+        rank = self._morton_rank[L]
+        order = np.argsort(rank, kind="stable")  # row-major ids in Morton order
+        w = counts[order].astype(np.float64) + 0.05  # small floor: empty cells
+        cum = np.cumsum(w)
+        targets = np.arange(1, self.nprocs) * (cum[-1] / self.nprocs)
+        inner = np.searchsorted(cum, targets)
+        bounds = np.concatenate([[0], inner, [side * side]])
+        owner = np.empty(side * side, dtype=np.int64)
+        parts = []
+        for pidx in range(self.nprocs):
+            cells = order[bounds[pidx] : bounds[pidx + 1]]
+            owner[cells] = pidx
+            parts.append(cells)
+        return owner, parts
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> Trace:  # noqa: C901 - one phase per block, kept linear
+        cfg = self.config
+        n, P, L, p = self.n, self.nprocs, self.levels, self.p
+        tb = TraceBuilder(P, label="build_tree")
+        particles = tb.add_region("particles", n, self.object_size)
+        cells_r = tb.add_region("cells", self.ncells, CELL_BYTES)
+        binom = self._binom
+
+        for _ in range(cfg.iterations):
+            lo, w = self._bbox()
+            side = 1 << L
+            step = w / side
+            zpos = self.pos[:, 0] + 1j * self.pos[:, 1]
+
+            # ---- build_tree: parallel — each processor bins the particles
+            # of its spatial region ("cells ... created independently by
+            # the processors"), reading those particles wherever they sit
+            # in the shared array and writing its own cells.
+            cx = np.clip(((self.pos[:, 0] - lo[0]) / step).astype(np.int64), 0, side - 1)
+            cy = np.clip(((self.pos[:, 1] - lo[1]) / step).astype(np.int64), 0, side - 1)
+            leaf_rm = cy * side + cx  # row-major finest cell of each particle
+            counts = np.bincount(leaf_rm, minlength=side * side)
+            sort_order = np.argsort(self._morton_rank[L][leaf_rm], kind="stable")
+            starts_m = np.searchsorted(
+                self._morton_rank[L][leaf_rm][sort_order], np.arange(side * side + 1)
+            )
+            members = lambda rm: sort_order[  # noqa: E731
+                starts_m[self._morton_rank[L][rm]] : starts_m[self._morton_rank[L][rm] + 1]
+            ]
+            owner_rm, parts = self._partition(counts)
+            for pidx in range(P):
+                mine = np.concatenate(
+                    [members(rm) for rm in parts[pidx].tolist()]
+                    or [np.empty(0, np.int64)]
+                )
+                tb.read(pidx, particles, mine)
+                ids = self._cell_id(L, parts[pidx] % side, parts[pidx] // side)
+                tb.write(pidx, cells_r, ids)
+                tb.work(pidx, mine.shape[0] + ids.shape[0])
+            tb.barrier("partition")
+
+            # ---- partition.
+            for pidx in range(P):
+                ids = self._cell_id(
+                    L, parts[pidx] % side, parts[pidx] // side
+                )
+                tb.read(pidx, cells_r, ids)
+                tb.work(pidx, ids.shape[0])
+            tb.barrier("build_list")
+
+            # ---- build_list: enumerate V lists (local index math).
+            for pidx in range(P):
+                ids = self._cell_id(L, parts[pidx] % side, parts[pidx] // side)
+                tb.read(pidx, cells_r, ids)
+                tb.write(pidx, cells_r, ids)
+                tb.work(pidx, ids.shape[0] * 27)
+            tb.barrier("tree_traversal")
+
+            # ---- tree_traversal: the actual FMM math.
+            mult = np.zeros((self.ncells, p + 1), dtype=np.complex128)
+            local = np.zeros((self.ncells, p + 1), dtype=np.complex128)
+
+            # P2M at owned leaves (reads particles).
+            for pidx in range(P):
+                for rm in parts[pidx].tolist():
+                    mem = members(rm)
+                    if mem.shape[0] == 0:
+                        continue
+                    cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
+                    z0 = complex(
+                        lo[0] + (rm % side + 0.5) * step,
+                        lo[1] + (rm // side + 0.5) * step,
+                    )
+                    mult[cid] = fm.p2m(zpos[mem], self.charge[mem], z0, p)
+                    tb.read(pidx, particles, mem)
+                    tb.write(pidx, cells_r, np.array([cid]))
+                tb.work(pidx, EXPANSION_WORK * float(counts[parts[pidx]].sum()) * (p + 1))
+
+            # Upward M2M, level L-1 .. 0, vectorized per child quadrant.
+            owner_lvl = {L: owner_rm}
+            for l in range(L - 1, -1, -1):
+                sidel = 1 << l
+                sidec = sidel * 2
+                stepl = w / sidel
+                iy, ix = np.divmod(np.arange(sidel * sidel, dtype=np.int64), sidel)
+                parent_ids = self._cell_id(l, ix, iy)
+                # Owner of a parent = owner of its first child.
+                child_owner = owner_lvl[l + 1]
+                owner_lvl[l] = child_owner[(iy * 2) * sidec + ix * 2]
+                for qx in (0, 1):
+                    for qy in (0, 1):
+                        cxs, cys = ix * 2 + qx, iy * 2 + qy
+                        child_ids = self._cell_id(l + 1, cxs, cys)
+                        shift = complex(
+                            (qx - 0.5) * stepl / 2.0, (qy - 0.5) * stepl / 2.0
+                        )
+                        t = fm.m2m_matrix(shift, p, binom)
+                        mult[parent_ids] += mult[child_ids] @ t.T
+                # Trace: each parent's owner reads children, writes parent.
+                for pidx in range(P):
+                    mine = np.nonzero(owner_lvl[l] == pidx)[0]
+                    if mine.shape[0] == 0:
+                        continue
+                    mix, miy = mine % sidel, mine // sidel
+                    kid_ids = np.concatenate(
+                        [
+                            self._cell_id(l + 1, mix * 2 + qx, miy * 2 + qy)
+                            for qx in (0, 1)
+                            for qy in (0, 1)
+                        ]
+                    )
+                    tb.read(pidx, cells_r, np.sort(kid_ids))
+                    tb.write(pidx, cells_r, parent_ids[mine])
+                    tb.work(pidx, EXPANSION_WORK * mine.shape[0] * 4 * (p + 1))
+
+            # M2L per level (2..L), vectorized per (parity, offset).
+            for l in range(2, L + 1):
+                sidel = 1 << l
+                stepl = w / sidel
+                iy, ix = np.divmod(np.arange(sidel * sidel, dtype=np.int64), sidel)
+                tgt_ids_all = self._cell_id(l, ix, iy)
+                vcount = np.zeros(sidel * sidel, dtype=np.int64)
+                for px in (0, 1):
+                    for py in (0, 1):
+                        sel = (ix % 2 == px) & (iy % 2 == py)
+                        tix, tiy = ix[sel], iy[sel]
+                        tids = tgt_ids_all[sel]
+                        for dx, dy in self._v_offsets(px, py):
+                            sx, sy = tix + dx, tiy + dy
+                            ok = (sx >= 0) & (sx < sidel) & (sy >= 0) & (sy < sidel)
+                            if not ok.any():
+                                continue
+                            sids = self._cell_id(l, sx[ok], sy[ok])
+                            z = complex(dx * stepl, dy * stepl)  # src - tgt
+                            t = fm.m2l_matrix(z, p, binom)
+                            local[tids[ok]] += mult[sids] @ t.T
+                            vcount[(tiy[ok] * sidel + tix[ok])] += 1
+                            # Trace: owner of each target reads the source.
+                        # Trace at burst granularity: per owner, read the
+                        # union of V-list sources of its cells (emitted
+                        # below, per cell, to keep traversal order).
+                # Emit per-cell V-list reads in Morton order per owner.
+                own = owner_lvl[l]
+                for pidx in range(P):
+                    mine_rm = np.nonzero(own == pidx)[0]
+                    if mine_rm.shape[0] == 0:
+                        continue
+                    mine_rm = mine_rm[np.argsort(self._morton_rank[l][mine_rm])]
+                    for rm in mine_rm.tolist():
+                        tix, tiy = rm % sidel, rm // sidel
+                        offs = self._v_offsets(tix % 2, tiy % 2)
+                        sx = np.array([tix + dx for dx, _ in offs])
+                        sy = np.array([tiy + dy for _, dy in offs])
+                        ok = (sx >= 0) & (sx < sidel) & (sy >= 0) & (sy < sidel)
+                        if not ok.any():
+                            continue
+                        sids = self._cell_id(l, sx[ok], sy[ok])
+                        tb.read(pidx, cells_r, sids)
+                        tb.write(
+                            pidx,
+                            cells_r,
+                            self._cell_id(l, np.array([tix]), np.array([tiy])),
+                        )
+                    tb.work(pidx, EXPANSION_WORK * float(vcount[mine_rm].sum()) * (p + 1) ** 2 / 4.0)
+
+            # Downward L2L, levels 0..L-1 -> children.
+            for l in range(0, L):
+                sidel = 1 << l
+                stepl = w / sidel
+                iy, ix = np.divmod(np.arange(sidel * sidel, dtype=np.int64), sidel)
+                parent_ids = self._cell_id(l, ix, iy)
+                for qx in (0, 1):
+                    for qy in (0, 1):
+                        child_ids = self._cell_id(l + 1, ix * 2 + qx, iy * 2 + qy)
+                        shift = complex(
+                            (qx - 0.5) * stepl / 2.0, (qy - 0.5) * stepl / 2.0
+                        )
+                        t = fm.l2l_matrix(shift, p, binom)
+                        local[child_ids] += local[parent_ids] @ t.T
+                own_child = owner_lvl[l + 1]
+                sidec = sidel * 2
+                for pidx in range(P):
+                    minec = np.nonzero(own_child == pidx)[0]
+                    if minec.shape[0] == 0:
+                        continue
+                    cxs, cys = minec % sidec, minec // sidec
+                    par = self._cell_id(l, cxs // 2, cys // 2)
+                    tb.read(pidx, cells_r, np.sort(np.unique(par)))
+                    tb.write(pidx, cells_r, self._cell_id(l + 1, cxs, cys))
+                    tb.work(pidx, EXPANSION_WORK * minec.shape[0] * (p + 1))
+
+            # L2P: evaluate local expansions at owned particles.
+            self.field[:] = 0.0
+            for pidx in range(P):
+                for rm in parts[pidx].tolist():
+                    mem = members(rm)
+                    if mem.shape[0] == 0:
+                        continue
+                    cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
+                    z0 = complex(
+                        lo[0] + (rm % side + 0.5) * step,
+                        lo[1] + (rm // side + 0.5) * step,
+                    )
+                    self.field[mem] += np.conj(
+                        fm.eval_local_deriv(local[cid], zpos[mem], z0)
+                    )
+                    tb.read(pidx, cells_r, np.array([cid]))
+                    tb.read(pidx, particles, mem)
+                    tb.write(pidx, particles, mem)
+                tb.work(pidx, EXPANSION_WORK * float(counts[parts[pidx]].sum()) * (p + 1))
+            tb.barrier("inter_particle")
+
+            # ---- inter_particle: P2P with the 8 neighbouring leaves.
+            for pidx in range(P):
+                npairs = 0.0
+                for rm in parts[pidx].tolist():
+                    mem = members(rm)
+                    if mem.shape[0] == 0:
+                        continue
+                    tix, tiy = rm % side, rm // side
+                    nb_chunks = []
+                    for dx in (-1, 0, 1):
+                        for dy in (-1, 0, 1):
+                            if dx == 0 and dy == 0:
+                                continue
+                            sx, sy = tix + dx, tiy + dy
+                            if 0 <= sx < side and 0 <= sy < side:
+                                nb = members(sy * side + sx)
+                                if nb.shape[0]:
+                                    nb_chunks.append(nb)
+                    if not nb_chunks:
+                        continue
+                    nbs = np.concatenate(nb_chunks)
+                    d = zpos[mem][:, None] - zpos[nbs][None, :]
+                    self.field[mem] += np.conj(
+                        (self.charge[nbs][None, :] / d).sum(axis=1)
+                    )
+                    npairs += float(mem.shape[0] * nbs.shape[0])
+                    tb.read(pidx, particles, nbs)
+                    tb.write(pidx, particles, mem)
+                    # Lock per remotely-owned neighbour leaf.
+                    remote_leaves = sum(
+                        1
+                        for dx in (-1, 0, 1)
+                        for dy in (-1, 0, 1)
+                        if (dx or dy)
+                        and 0 <= tix + dx < side
+                        and 0 <= tiy + dy < side
+                        and owner_rm[(tiy + dy) * side + (tix + dx)] != pidx
+                    )
+                    if remote_leaves:
+                        tb.lock(pidx, remote_leaves)
+                tb.work(pidx, P2P_WORK * npairs)
+            tb.barrier("intra_particle")
+
+            # ---- intra_particle: P2P within each owned leaf.
+            for pidx in range(P):
+                npairs = 0.0
+                for rm in parts[pidx].tolist():
+                    mem = members(rm)
+                    if mem.shape[0] < 2:
+                        continue
+                    d = zpos[mem][:, None] - zpos[mem][None, :]
+                    np.fill_diagonal(d, np.inf)
+                    self.field[mem] += np.conj(
+                        (self.charge[mem][None, :] / d).sum(axis=1)
+                    )
+                    npairs += float(mem.shape[0] * (mem.shape[0] - 1))
+                    tb.read(pidx, particles, mem)
+                    tb.write(pidx, particles, mem)
+                tb.work(pidx, P2P_WORK * npairs)
+            tb.barrier("other")
+
+            # ---- other: integrate owned particles.
+            accel = np.stack([self.field.real, self.field.imag], axis=1)
+            self.vel += self.dt * accel
+            self.pos += self.dt * self.vel
+            for pidx in range(P):
+                mine = np.concatenate(
+                    [members(rm) for rm in parts[pidx].tolist()]
+                    or [np.empty(0, np.int64)]
+                )
+                tb.read(pidx, particles, mine)
+                tb.write(pidx, particles, mine)
+                tb.work(pidx, mine.shape[0])
+            tb.barrier("build_tree")
+        return tb.finish()
+
+    # -- reference ----------------------------------------------------------
+
+    def direct_field_reference(self) -> np.ndarray:
+        """O(N^2) field for accuracy tests (small n only)."""
+        z = self.pos[:, 0] + 1j * self.pos[:, 1]
+        return fm.direct_field(z, self.charge, z)

@@ -1,0 +1,178 @@
+"""2-D fast multipole method expansions (Greengard & Rokhlin).
+
+The complex-variable formulation of the 2-D (logarithmic potential) FMM:
+``phi(z) = sum_i q_i log(z - z_i)``.  A cluster of charges around ``z0`` is
+represented by a multipole expansion
+
+    phi(z) = a_0 log(z - z0) + sum_{k>=1} a_k / (z - z0)^k
+
+and, inside a well-separated box around ``zl``, by a local (Taylor)
+expansion ``phi(z) = sum_{l>=0} b_l (z - zl)^l``.  This module provides the
+five translation operators (P2M, M2M, M2L, L2L, L2P/P2P evaluation) in
+vectorized form: coefficient arrays have shape ``(ncells, p+1)`` and the
+translations are ``(p+1, p+1)`` matrices precomputable per shift vector —
+which is what makes the uniform-grid FMM in :mod:`repro.apps.fmm` fast
+enough in pure numpy.
+
+Conventions: ``force = conj(phi'(z))`` gives the 2-D field vector
+``(Fx, Fy)`` for unit "gravitational" charges (attractive with q > 0 and
+the sign applied by the caller); accuracy versus direct summation is
+property-tested in ``tests/apps/test_fmm.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "binomial_table",
+    "p2m",
+    "m2m_matrix",
+    "m2l_matrix",
+    "l2l_matrix",
+    "eval_local",
+    "eval_local_deriv",
+    "eval_multipole",
+    "direct_potential",
+    "direct_field",
+]
+
+
+def binomial_table(nmax: int) -> np.ndarray:
+    """Pascal's triangle as a dense (nmax+1, nmax+1) float table."""
+    c = np.zeros((nmax + 1, nmax + 1))
+    c[:, 0] = 1.0
+    for i in range(1, nmax + 1):
+        c[i, 1 : i + 1] = c[i - 1, : i] + c[i - 1, 1 : i + 1]
+    return c
+
+
+def p2m(z: np.ndarray, q: np.ndarray, z0: complex, p: int) -> np.ndarray:
+    """Multipole expansion of charges ``q`` at ``z`` about ``z0``.
+
+    ``a_0 = sum q_i``; ``a_k = -sum q_i (z_i - z0)^k / k``.
+    """
+    a = np.zeros(p + 1, dtype=np.complex128)
+    d = z - z0
+    a[0] = q.sum()
+    pw = np.ones_like(d)
+    for k in range(1, p + 1):
+        pw = pw * d
+        a[k] = -(q * pw).sum() / k
+    return a
+
+
+def m2m_matrix(shift: complex, p: int, binom: np.ndarray | None = None) -> np.ndarray:
+    """Matrix T with ``b = T @ a`` translating a multipole from ``z0`` to
+    ``z1 = z0 - shift`` (i.e. ``shift = z0 - z1``, child minus parent).
+
+    ``b_0 = a_0``; for l >= 1:
+    ``b_l = -a_0 shift^l / l + sum_{k=1..l} a_k shift^(l-k) C(l-1, k-1)``.
+    """
+    if binom is None:
+        binom = binomial_table(p)
+    t = np.zeros((p + 1, p + 1), dtype=np.complex128)
+    t[0, 0] = 1.0
+    pw = np.ones(p + 1, dtype=np.complex128)  # shift powers
+    for k in range(1, p + 1):
+        pw[k] = pw[k - 1] * shift
+    for l in range(1, p + 1):
+        t[l, 0] = -pw[l] / l
+        for k in range(1, l + 1):
+            t[l, k] = pw[l - k] * binom[l - 1, k - 1]
+    return t
+
+
+def m2l_matrix(z: complex, p: int, binom: np.ndarray | None = None) -> np.ndarray:
+    """Matrix T with ``b = T @ a`` converting a multipole about ``z0`` into
+    a local expansion about ``zl``, where ``z = z0 - zl`` (well separated).
+
+    ``b_0 = a_0 log(-z) + sum_k a_k (-1)^k / z^k``;
+    ``b_l = -a_0 / (l z^l) + (1/z^l) sum_k a_k C(l+k-1, k-1) (-1)^k / z^k``.
+    """
+    if abs(z) == 0:
+        raise ValueError("M2L requires a non-zero separation")
+    if binom is None:
+        binom = binomial_table(2 * p)
+    t = np.zeros((p + 1, p + 1), dtype=np.complex128)
+    inv = 1.0 / z
+    invpw = np.ones(p + 1, dtype=np.complex128)
+    for k in range(1, p + 1):
+        invpw[k] = invpw[k - 1] * inv
+    t[0, 0] = np.log(-z)
+    for k in range(1, p + 1):
+        t[0, k] = ((-1.0) ** k) * invpw[k]
+    for l in range(1, p + 1):
+        t[l, 0] = -invpw[l] / l
+        for k in range(1, p + 1):
+            t[l, k] = binom[l + k - 1, k - 1] * ((-1.0) ** k) * invpw[k] * invpw[l]
+    return t
+
+
+def l2l_matrix(shift: complex, p: int, binom: np.ndarray | None = None) -> np.ndarray:
+    """Matrix T with ``b = T @ a`` shifting a local expansion from ``z0`` to
+    ``z1``, where ``shift = z1 - z0``:
+    ``b_l = sum_{k=l..p} a_k C(k, l) shift^(k-l)``.
+    """
+    if binom is None:
+        binom = binomial_table(p)
+    t = np.zeros((p + 1, p + 1), dtype=np.complex128)
+    pw = np.ones(p + 1, dtype=np.complex128)
+    for k in range(1, p + 1):
+        pw[k] = pw[k - 1] * shift
+    for l in range(p + 1):
+        for k in range(l, p + 1):
+            t[l, k] = binom[k, l] * pw[k - l]
+    return t
+
+
+def eval_local(b: np.ndarray, z: np.ndarray, z0: complex) -> np.ndarray:
+    """Evaluate a local expansion at points ``z`` (Horner)."""
+    d = z - z0
+    out = np.full(z.shape, b[-1], dtype=np.complex128)
+    for k in range(b.shape[0] - 2, -1, -1):
+        out = out * d + b[k]
+    return out
+
+
+def eval_local_deriv(b: np.ndarray, z: np.ndarray, z0: complex) -> np.ndarray:
+    """Evaluate the derivative of a local expansion at points ``z``."""
+    p = b.shape[0] - 1
+    if p == 0:
+        return np.zeros(z.shape, dtype=np.complex128)
+    d = z - z0
+    out = np.full(z.shape, p * b[p], dtype=np.complex128)
+    for k in range(p - 1, 0, -1):
+        out = out * d + k * b[k]
+    return out
+
+
+def eval_multipole(a: np.ndarray, z: np.ndarray, z0: complex) -> np.ndarray:
+    """Evaluate a multipole expansion at (well-separated) points ``z``."""
+    d = z - z0
+    out = a[0] * np.log(d)
+    inv = 1.0 / d
+    pw = np.ones_like(d)
+    for k in range(1, a.shape[0]):
+        pw = pw * inv
+        out = out + a[k] * pw
+    return out
+
+
+def direct_potential(z: np.ndarray, q: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """O(N*M) direct potential, for accuracy tests (self terms excluded by
+    the caller passing disjoint sets, or tolerated via masking)."""
+    d = targets[:, None] - z[None, :]
+    mask = d != 0
+    out = np.zeros(targets.shape, dtype=np.complex128)
+    vals = np.where(mask, np.log(np.where(mask, d, 1.0)), 0.0)
+    out = (q[None, :] * vals).sum(axis=1)
+    return out
+
+
+def direct_field(z: np.ndarray, q: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """O(N*M) direct field ``conj(phi')`` at targets, self-terms excluded."""
+    d = targets[:, None] - z[None, :]
+    mask = d != 0
+    inv = np.where(mask, 1.0 / np.where(mask, d, 1.0), 0.0)
+    return np.conj((q[None, :] * inv).sum(axis=1))

@@ -1,0 +1,291 @@
+"""Moldyn molecular dynamics benchmark (Chaos suite).
+
+Non-bonded force calculation in the style of CHARMM: a cutoff radius
+approximation maintained as an *interaction list* of all molecule pairs
+within the cutoff, iterated every timestep and rebuilt periodically as
+molecules move (paper section 5.3.2).
+
+Category 2 structure: molecules live in a 1-D array block-partitioned over
+the processors; the interaction list is the indirection array through which
+all reads of neighbouring molecules go.  Writes show good block locality
+from the start; reads (and the symmetric partner updates) are scattered
+wherever the neighbours sit in memory — which is what column/Hilbert
+reordering fixes.
+
+Each iteration:
+
+* **build_list** (every ``rebuild_every`` iterations) — each processor bins
+  its molecules and scans neighbouring cells, reading partner candidates;
+* **forces** — for each owned molecule, read its partners through the
+  interaction list, accumulate Lennard-Jones forces into *both* molecules
+  of every pair (the symmetric update that causes read-write false
+  sharing);
+* **update** — leapfrog integration of the owned block, with reflecting
+  walls.
+
+The 72-byte molecule record (Table 1) holds position, velocity and force
+(3 x 3 doubles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.reorder import Reordering
+from ..trace.builder import TraceBuilder
+from ..trace.events import Trace
+from .base import AppConfig, Application, block_partition
+from .distributions import lattice_jittered
+
+__all__ = ["Moldyn", "build_interaction_list"]
+
+
+def build_interaction_list(
+    pos: np.ndarray, cutoff: float, box: float
+) -> np.ndarray:
+    """All pairs (i, j), i != j, with |pos_i - pos_j| < cutoff.
+
+    Cell-binning algorithm: molecules are hashed into a grid of
+    ``cutoff``-sized cells; only the 13 half-stencil neighbour cells (plus
+    intra-cell pairs) are scanned, so each pair is generated exactly once.
+    Pairs are returned sorted by first endpoint — the order the Chaos
+    benchmark stores its interaction list in, giving each processor's block
+    of the list good write locality on the first endpoint.
+    """
+    n, ndim = pos.shape
+    if ndim != 3:
+        raise ValueError("build_interaction_list expects 3-D positions")
+    side = max(1, int(box / cutoff))
+    cell_w = box / side
+    cell = np.clip((pos / cell_w).astype(np.int64), 0, side - 1)
+    cid = (cell[:, 0] * side + cell[:, 1]) * side + cell[:, 2]
+    order = np.argsort(cid, kind="stable")
+    sorted_cid = cid[order]
+    starts = np.searchsorted(sorted_cid, np.arange(side**3 + 1))
+
+    # Half stencil: (0,0,0) handled as intra-cell i<j; 13 strictly
+    # "positive" neighbour offsets.
+    offsets = []
+    for dx in (0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if (dx, dy, dz) == (0, 0, 0):
+                    continue
+                if dx == 0 and (dy < 0 or (dy == 0 and dz < 0)):
+                    continue
+                offsets.append((dx, dy, dz))
+
+    pairs_i: list[np.ndarray] = []
+    pairs_j: list[np.ndarray] = []
+    cut2 = cutoff * cutoff
+    nonempty = np.unique(sorted_cid)
+    for c in nonempty.tolist():
+        a = order[starts[c] : starts[c + 1]]
+        if a.shape[0] == 0:
+            continue
+        cx, cy, cz = c // (side * side), (c // side) % side, c % side
+        # Intra-cell: i < j.
+        if a.shape[0] > 1:
+            ii, jj = np.triu_indices(a.shape[0], k=1)
+            pairs_i.append(a[ii])
+            pairs_j.append(a[jj])
+        for dx, dy, dz in offsets:
+            nx, ny, nz = cx + dx, cy + dy, cz + dz
+            if not (0 <= nx < side and 0 <= ny < side and 0 <= nz < side):
+                continue
+            nc = (nx * side + ny) * side + nz
+            b = order[starts[nc] : starts[nc + 1]]
+            if b.shape[0] == 0:
+                continue
+            gi = np.repeat(a, b.shape[0])
+            gj = np.tile(b, a.shape[0])
+            pairs_i.append(gi)
+            pairs_j.append(gj)
+    if not pairs_i:
+        return np.empty((0, 2), dtype=np.int64)
+    pi = np.concatenate(pairs_i)
+    pj = np.concatenate(pairs_j)
+    d = pos[pi] - pos[pj]
+    keep = (d * d).sum(axis=1) < cut2
+    pi, pj = pi[keep], pj[keep]
+    # Store each pair once, owned by (iterated from) its first endpoint;
+    # sort by that endpoint like the benchmark's per-molecule lists.
+    o = np.lexsort((pj, pi))
+    return np.stack([pi[o], pj[o]], axis=1)
+
+
+class Moldyn(Application):
+    """See module docstring.
+
+    ``config.extra`` knobs: ``cutoff_neighbors`` (target average partner
+    count, default 35 — sets the cutoff radius from the density), ``dt``,
+    ``rebuild_every`` (default 5), ``box`` (default 1.0), and
+    ``rereorder_every`` (default 0 = off) — re-apply the initial ordering
+    every k iterations as the molecules drift, an extension of the paper's
+    one-shot reordering ("can be called by a single processor as often as
+    necessary", section 3.5).  Re-reordering work is charged to processor 0
+    in a dedicated ``reorder`` epoch.
+    """
+
+    name = "Moldyn"
+    category = 2
+    sync = "b"
+    object_size = 72
+    orderings = ("column", "hilbert")
+
+    def __init__(self, config: AppConfig):
+        super().__init__(config)
+        x = config.extra
+        self.box = float(x.get("box", 1.0))
+        target = float(x.get("cutoff_neighbors", 35.0))
+        # Density-derived cutoff: (4/3) pi r^3 * n / box^3 = target.
+        self.cutoff = float(
+            (3.0 * target / (4.0 * np.pi * config.n)) ** (1.0 / 3.0) * self.box
+        )
+        self.dt = float(x.get("dt", 1e-4))
+        self.rebuild_every = int(x.get("rebuild_every", 5))
+        self.rereorder_every = int(x.get("rereorder_every", 0))
+        self._steps_total = 0
+        self.pos = lattice_jittered(config.n, config.seed, box=self.box)
+        self.vel = np.zeros_like(self.pos)
+        self.force = np.zeros_like(self.pos)
+        self.pairs = build_interaction_list(self.pos, self.cutoff, self.box)
+        self._steps_since_rebuild = 0
+        self.parts = block_partition(config.n, config.nprocs)
+
+    def positions(self) -> np.ndarray:
+        return self.pos
+
+    def _apply_reordering(self, r: Reordering) -> None:
+        self.pos = r.apply(self.pos)
+        self.vel = r.apply(self.vel)
+        self.force = r.apply(self.force)
+        # Adjust the indirection array and restore first-endpoint order —
+        # the Chaos-style fix-up after data reordering.
+        pairs = r.remap_indices(self.pairs)
+        o = np.lexsort((pairs[:, 1], pairs[:, 0]))
+        self.pairs = pairs[o]
+
+    # -- physics ---------------------------------------------------------
+
+    def _lj_forces(self) -> None:
+        """Lennard-Jones forces over the interaction list (both partners)."""
+        self.force[:] = 0.0
+        pi, pj = self.pairs[:, 0], self.pairs[:, 1]
+        if pi.shape[0] == 0:
+            return
+        d = self.pos[pi] - self.pos[pj]
+        r2 = (d * d).sum(axis=1)
+        sigma = 0.7 * self.cutoff / 2.0 ** (1.0 / 6.0)
+        # Floor the separation at 0.5 sigma: overlapping molecules from the
+        # random initial condition would otherwise produce unbounded kicks.
+        r2 = np.maximum(r2, 0.25 * sigma * sigma)
+        s2 = sigma * sigma / r2
+        s6 = s2 * s2 * s2
+        mag = 24.0 * (2.0 * s6 * s6 - s6) / r2
+        f = mag[:, None] * d
+        np.add.at(self.force, pi, f)
+        np.add.at(self.force, pj, -f)
+
+    def _integrate(self) -> None:
+        self.vel += self.dt * self.force
+        self.pos += self.dt * self.vel
+        # Reflecting walls keep the box and the cell grid valid.
+        low = self.pos < 0.0
+        high = self.pos > self.box
+        self.pos[low] = -self.pos[low]
+        self.pos[high] = 2.0 * self.box - self.pos[high]
+        self.vel[low | high] *= -1.0
+        np.clip(self.pos, 0.0, np.nextafter(self.box, 0.0), out=self.pos)
+
+    # -- execution ---------------------------------------------------------
+
+    def _owned_pair_bounds(self) -> np.ndarray:
+        """Index of the first pair of each molecule in the sorted pair list."""
+        return np.searchsorted(self.pairs[:, 0], np.arange(self.n + 1))
+
+    def _emit_build_list(self, tb: TraceBuilder, mol: int) -> None:
+        """Rebuild the interaction list and trace the per-block scan."""
+        self.pairs = build_interaction_list(self.pos, self.cutoff, self.box)
+        self._steps_since_rebuild = 0
+        bounds = self._owned_pair_bounds()
+        for p in range(self.nprocs):
+            mine = self.parts[p]
+            lo, hi = bounds[mine[0]], bounds[mine[-1] + 1]
+            tb.read(p, mol, mine)
+            tb.read(p, mol, self.pairs[lo:hi, 1])
+            tb.work(p, float(hi - lo) + mine.shape[0])
+
+    def _emit_forces(self, tb: TraceBuilder, mol: int) -> None:
+        """Force evaluation: per owned molecule, read partners via the
+        interaction list; write both partners of every pair."""
+        self._lj_forces()
+        bounds = self._owned_pair_bounds()
+        for p in range(self.nprocs):
+            for i in self.parts[p].tolist():
+                lo, hi = bounds[i], bounds[i + 1]
+                if hi == lo:
+                    continue
+                partners = self.pairs[lo:hi, 1]
+                tb.read(p, mol, np.array([i]))
+                tb.read(p, mol, partners)
+                tb.write(p, mol, np.array([i]))
+                tb.write(p, mol, partners)
+            tb.work(
+                p,
+                float(bounds[self.parts[p][-1] + 1] - bounds[self.parts[p][0]]),
+            )
+
+    def _emit_update(self, tb: TraceBuilder, mol: int) -> None:
+        """Leapfrog integration of the owned block."""
+        self._integrate()
+        for p in range(self.nprocs):
+            tb.read(p, mol, self.parts[p])
+            tb.write(p, mol, self.parts[p])
+            tb.work(p, self.parts[p].shape[0])
+
+    def _emit_rereorder(self, tb: TraceBuilder, mol: int) -> None:
+        """Sequential re-reordering of the drifted molecules (extension of
+        the paper's one-shot reordering): processor 0 re-runs the library
+        routine, every index structure is rebuilt afterwards."""
+        from ..core.reorder import reorder as _reorder
+
+        r = _reorder(self.reordered_by, coords=self.pos)
+        self._apply_reordering(r)
+        tb.read(0, mol, np.arange(self.n))
+        tb.write(0, mol, np.arange(self.n))
+        tb.work(0, float(self.n))
+
+    def run(self) -> Trace:
+        cfg = self.config
+        tb = TraceBuilder(self.nprocs, label="build_list")
+        mol = tb.add_region("molecules", self.n, self.object_size)
+        first = True
+        for _ in range(cfg.iterations):
+            rereorder = (
+                self.rereorder_every
+                and self.reordered_by is not None
+                and self._steps_total > 0
+                and self._steps_total % self.rereorder_every == 0
+            )
+            if rereorder:
+                if not first:
+                    tb.barrier("reorder")
+                self._emit_rereorder(tb, mol)
+                tb.barrier("build_list")
+                self._emit_build_list(tb, mol)
+                tb.barrier("forces")
+            elif first or self._steps_since_rebuild >= self.rebuild_every:
+                if not first:
+                    tb.barrier("build_list")
+                self._emit_build_list(tb, mol)
+                tb.barrier("forces")
+            else:
+                tb.barrier("forces")
+            first = False
+            self._steps_since_rebuild += 1
+            self._steps_total += 1
+            self._emit_forces(tb, mol)
+            tb.barrier("update")
+            self._emit_update(tb, mol)
+        return tb.finish()

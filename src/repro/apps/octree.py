@@ -1,0 +1,342 @@
+"""Array-based octree (any dimension) for hierarchical N-body codes.
+
+The Barnes-Hut benchmark's shared tree: recursively decomposed subdomains
+(cells) with the particles at the leaves.  Nodes are stored in flat numpy
+arrays in *creation order* (the order a sequential builder appends them to
+the shared cell array), which is the memory layout whose interaction with
+particle ordering the paper studies.
+
+The force-evaluation walk is vectorized over particles: a frontier of
+(cell, particle-set) pairs descends the tree, splitting each set into
+particles that accept the cell under the opening criterion and particles
+that open it.  The walk returns flat interaction pair lists annotated with
+visit step, from which per-particle traversal sequences (what the real
+per-particle recursive walk would touch, in order) are reconstructed for the
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Octree", "WalkResult", "build_octree", "walk"]
+
+
+@dataclass
+class Octree:
+    """Flat-array octree (2**ndim children per node)."""
+
+    ndim: int
+    leaf_capacity: int
+    # Node arrays, indexed by creation order.
+    center: np.ndarray  # (nc, ndim)
+    half: np.ndarray  # (nc,)
+    mass: np.ndarray  # (nc,)
+    com: np.ndarray  # (nc, ndim) center of mass
+    children: np.ndarray  # (nc, 2**ndim) node id or -1
+    is_leaf: np.ndarray  # (nc,) bool
+    leaf_start: np.ndarray  # (nc,) offset into leaf_bodies (leaves only)
+    leaf_count: np.ndarray  # (nc,)
+    leaf_bodies: np.ndarray  # body indices, grouped by leaf
+    body_leaf: np.ndarray  # (n,) leaf id of each body
+    depth: int
+
+    @property
+    def ncells(self) -> int:
+        return int(self.center.shape[0])
+
+    @property
+    def nbodies(self) -> int:
+        return int(self.body_leaf.shape[0])
+
+    def leaf_members(self, cell: int) -> np.ndarray:
+        s = int(self.leaf_start[cell])
+        return self.leaf_bodies[s : s + int(self.leaf_count[cell])]
+
+    def inorder_bodies(self) -> np.ndarray:
+        """Body indices in in-order (DFS) traversal of the tree.
+
+        This is the order the benchmark's "in-order traversal of the tree"
+        partitioning step visits particles — spatially coherent regardless
+        of their memory order.  ``leaf_bodies`` is already grouped by leaf
+        in DFS creation order, so it *is* the in-order sequence.
+        """
+        return self.leaf_bodies
+
+    def leaf_ids(self) -> np.ndarray:
+        """Ids of leaf cells in DFS order."""
+        return np.nonzero(self.is_leaf)[0]
+
+
+@dataclass
+class WalkResult:
+    """Flat interaction lists from a Barnes-Hut walk.
+
+    ``cell_pairs`` — (body, cell) far-field interactions; ``body_pairs`` —
+    (body, other-body) near-field direct interactions.  ``*_step`` give the
+    walk step at which each pair was produced, so a stable sort by
+    (body, step) reconstructs each particle's traversal order.
+    """
+
+    cell_body: np.ndarray
+    cell_id: np.ndarray
+    cell_step: np.ndarray
+    direct_body: np.ndarray
+    direct_other: np.ndarray
+    direct_step: np.ndarray
+
+    def per_body_order(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sort both pair lists by (body, step); returns the sorted views'
+        permutation indices ``(cell_order, direct_order)``."""
+        c = np.lexsort((self.cell_step, self.cell_body))
+        d = np.lexsort((self.direct_step, self.direct_body))
+        return c, d
+
+    def interactions_per_body(self, n: int) -> np.ndarray:
+        """Total interaction count per body — the load measure used by the
+        benchmark's cost-zone style partitioning."""
+        counts = np.bincount(self.cell_body, minlength=n)
+        counts += np.bincount(self.direct_body, minlength=n)
+        return counts
+
+
+class _Builder:
+    def __init__(self, pos: np.ndarray, leaf_capacity: int, max_depth: int):
+        self.pos = pos
+        self.cap = leaf_capacity
+        self.max_depth = max_depth
+        self.ndim = pos.shape[1]
+        self.nchild = 1 << self.ndim
+        self.center: list[np.ndarray] = []
+        self.half: list[float] = []
+        self.mass: list[float] = []
+        self.com: list[np.ndarray] = []
+        self.children: list[np.ndarray] = []
+        self.is_leaf: list[bool] = []
+        self.leaf_start: list[int] = []
+        self.leaf_count: list[int] = []
+        self.leaf_bodies: list[np.ndarray] = []
+        self.cursor = 0
+        self.depth = 0
+
+    def build(self, idx: np.ndarray, center: np.ndarray, half: float, depth: int) -> int:
+        me = len(self.center)
+        self.center.append(center)
+        self.half.append(half)
+        self.mass.append(0.0)  # filled below
+        self.com.append(np.zeros(self.ndim))
+        self.children.append(np.full(self.nchild, -1, dtype=np.int64))
+        self.is_leaf.append(False)
+        self.leaf_start.append(-1)
+        self.leaf_count.append(0)
+        self.depth = max(self.depth, depth)
+
+        pos = self.pos
+        if idx.shape[0] <= self.cap or depth >= self.max_depth:
+            self.is_leaf[me] = True
+            self.leaf_start[me] = self.cursor
+            self.leaf_count[me] = int(idx.shape[0])
+            self.leaf_bodies.append(idx)
+            self.cursor += int(idx.shape[0])
+            m = float(idx.shape[0])  # unit masses; caller rescales
+            self.mass[me] = m
+            self.com[me] = pos[idx].mean(axis=0) if idx.shape[0] else center
+            return me
+
+        # Octant of each body: bit d set if coordinate d above center.
+        above = pos[idx] > center[None, :]
+        octant = np.zeros(idx.shape[0], dtype=np.int64)
+        for d in range(self.ndim):
+            octant |= above[:, d].astype(np.int64) << d
+        order = np.argsort(octant, kind="stable")
+        sorted_idx = idx[order]
+        sorted_oct = octant[order]
+        bounds = np.searchsorted(sorted_oct, np.arange(self.nchild + 1))
+        qh = half / 2.0
+        total_m = 0.0
+        weighted = np.zeros(self.ndim)
+        for q in range(self.nchild):
+            lo, hi = int(bounds[q]), int(bounds[q + 1])
+            if lo == hi:
+                continue
+            offs = np.array(
+                [qh if (q >> d) & 1 else -qh for d in range(self.ndim)]
+            )
+            child = self.build(sorted_idx[lo:hi], center + offs, qh, depth + 1)
+            self.children[me][q] = child
+            total_m += self.mass[child]
+            weighted += self.mass[child] * self.com[child]
+        self.mass[me] = total_m
+        self.com[me] = weighted / total_m if total_m > 0 else center
+        return me
+
+    def finish(self, masses: np.ndarray | None) -> Octree:
+        n = self.pos.shape[0]
+        leaf_bodies = (
+            np.concatenate(self.leaf_bodies)
+            if self.leaf_bodies
+            else np.empty(0, dtype=np.int64)
+        )
+        is_leaf = np.array(self.is_leaf, dtype=bool)
+        leaf_start = np.array(self.leaf_start, dtype=np.int64)
+        leaf_count = np.array(self.leaf_count, dtype=np.int64)
+        body_leaf = np.full(n, -1, dtype=np.int64)
+        for c in np.nonzero(is_leaf)[0]:
+            s = leaf_start[c]
+            body_leaf[leaf_bodies[s : s + leaf_count[c]]] = c
+        tree = Octree(
+            ndim=self.ndim,
+            leaf_capacity=self.cap,
+            center=np.array(self.center),
+            half=np.array(self.half, dtype=np.float64),
+            mass=np.array(self.mass, dtype=np.float64),
+            com=np.array(self.com),
+            children=np.array(self.children, dtype=np.int64),
+            is_leaf=is_leaf,
+            leaf_start=leaf_start,
+            leaf_count=leaf_count,
+            leaf_bodies=leaf_bodies,
+            body_leaf=body_leaf,
+            depth=self.depth,
+        )
+        if masses is not None:
+            _fixup_masses(tree, self.pos, masses)
+        return tree
+
+
+def _fixup_masses(tree: Octree, pos: np.ndarray, masses: np.ndarray) -> None:
+    """Replace unit-mass aggregates with true masses, bottom-up."""
+    # Process nodes in reverse creation order: children are always created
+    # after their parent, so reverse order is NOT bottom-up; instead iterate
+    # until fixed point via explicit post-order.
+    order = _postorder(tree)
+    for c in order:
+        if tree.is_leaf[c]:
+            members = tree.leaf_members(c)
+            m = float(masses[members].sum())
+            tree.mass[c] = m
+            if m > 0:
+                tree.com[c] = (masses[members][:, None] * pos[members]).sum(axis=0) / m
+        else:
+            kids = tree.children[c][tree.children[c] >= 0]
+            m = float(tree.mass[kids].sum())
+            tree.mass[c] = m
+            if m > 0:
+                tree.com[c] = (tree.mass[kids][:, None] * tree.com[kids]).sum(axis=0) / m
+
+
+def _postorder(tree: Octree) -> list[int]:
+    out: list[int] = []
+    stack: list[tuple[int, bool]] = [(0, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded or tree.is_leaf[node]:
+            out.append(node)
+            continue
+        stack.append((node, True))
+        for k in tree.children[node]:
+            if k >= 0:
+                stack.append((int(k), False))
+    return out
+
+
+def build_octree(
+    pos: np.ndarray,
+    masses: np.ndarray | None = None,
+    *,
+    leaf_capacity: int = 8,
+    max_depth: int = 24,
+) -> Octree:
+    """Build the tree over the current particle positions.
+
+    The recursion splits the bounding cube by octants; a node with at most
+    ``leaf_capacity`` bodies becomes a leaf.  Creation order is DFS, i.e.
+    the order a sequential builder fills the shared cell array.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[0] == 0:
+        raise ValueError("pos must be a non-empty (n, ndim) array")
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    center = (lo + hi) / 2.0
+    half = float((hi - lo).max()) / 2.0
+    half = half if half > 0 else 0.5
+    half *= 1.0 + 1e-9  # keep boundary points strictly inside
+    b = _Builder(pos, leaf_capacity, max_depth)
+    b.build(np.arange(pos.shape[0], dtype=np.int64), center, half, 0)
+    return b.finish(masses)
+
+
+def walk(
+    tree: Octree,
+    pos: np.ndarray,
+    theta: float = 0.7,
+    active: np.ndarray | None = None,
+) -> WalkResult:
+    """Barnes-Hut force walk for all (or ``active``) bodies.
+
+    A cell is *accepted* by a body when ``(2*half)/distance < theta`` and
+    the body is outside the cell; otherwise the body descends into the
+    children.  Leaves interact directly body-by-body (self excluded).
+    """
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+    n = pos.shape[0]
+    idx0 = np.arange(n, dtype=np.int64) if active is None else np.asarray(active)
+    cell_body: list[np.ndarray] = []
+    cell_id: list[np.ndarray] = []
+    cell_step: list[np.ndarray] = []
+    direct_body: list[np.ndarray] = []
+    direct_other: list[np.ndarray] = []
+    direct_step: list[np.ndarray] = []
+    step = 0
+    stack: list[tuple[int, np.ndarray]] = [(0, idx0)]
+    while stack:
+        c, idx = stack.pop()
+        step += 1
+        if idx.shape[0] == 0:
+            continue
+        if tree.is_leaf[c]:
+            members = tree.leaf_members(c)
+            if members.shape[0] == 0:
+                continue
+            # Direct interactions: every (body in idx) x (member), self
+            # pairs removed.
+            bb = np.repeat(idx, members.shape[0])
+            oo = np.tile(members, idx.shape[0])
+            keep = bb != oo
+            if keep.any():
+                direct_body.append(bb[keep])
+                direct_other.append(oo[keep])
+                direct_step.append(np.full(int(keep.sum()), step, dtype=np.int64))
+            continue
+        delta = pos[idx] - tree.com[c][None, :]
+        dist = np.sqrt((delta * delta).sum(axis=1))
+        size = 2.0 * tree.half[c]
+        inside = np.abs(pos[idx] - tree.center[c][None, :]).max(axis=1) <= tree.half[c]
+        accept = (size < theta * dist) & ~inside
+        acc = idx[accept]
+        if acc.shape[0]:
+            cell_body.append(acc)
+            cell_id.append(np.full(acc.shape[0], c, dtype=np.int64))
+            cell_step.append(np.full(acc.shape[0], step, dtype=np.int64))
+        rest = idx[~accept]
+        if rest.shape[0]:
+            # Push children in reverse so they pop in creation order,
+            # matching the recursive code's visit order.
+            kids = [int(k) for k in tree.children[c] if k >= 0]
+            for k in reversed(kids):
+                stack.append((k, rest))
+
+    def cat(parts: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    return WalkResult(
+        cell_body=cat(cell_body),
+        cell_id=cat(cell_id),
+        cell_step=cat(cell_step),
+        direct_body=cat(direct_body),
+        direct_other=cat(direct_other),
+        direct_step=cat(direct_step),
+    )

@@ -1,0 +1,152 @@
+"""Unstructured mesh CFD kernel (Chaos suite).
+
+A simplified computational-fluid-dynamics benchmark using the finite element
+method (paper section 5.3.2): a static unstructured mesh of nodes, edges and
+faces; "the computation contains a series of loops that update nodes by
+iterating over nodes, or perform interactions between connected nodes by
+iterating over the edges" (and faces).  Iterations over nodes, edges and
+faces are block-partitioned over the processors — Category 2.
+
+Per iteration, three phases:
+
+* **node_loop** — each processor relaxes its block of nodes (read+write);
+* **edge_loop** — each processor walks its block of the edge array,
+  reading both endpoints and accumulating flux into both (symmetric
+  update; remote-block endpoints are lock-protected, hence the "b,l"
+  synchronization of Table 1);
+* **face_loop** — same over triangular faces.
+
+The 32-byte node record (Table 1) holds the coordinates and the scalar
+state being relaxed.  The mesh is synthetic (Delaunay over random points —
+see :mod:`repro.apps.mesh`); its connectivity arrays are sorted by first
+node, and after data reordering they are renumbered and re-sorted exactly
+as Chaos adjusts its indirection arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.reorder import Reordering
+from ..trace.builder import TraceBuilder
+from ..trace.events import Trace
+from .base import AppConfig, Application, block_partition
+from .distributions import clustered, shuffle
+from .mesh import Mesh, make_mesh
+
+__all__ = ["Unstructured"]
+
+
+class Unstructured(Application):
+    """See module docstring.
+
+    ``config.extra`` knobs: ``relax`` (edge relaxation weight, default
+    0.05), ``use_faces`` (default True), ``mesh`` (inject a prebuilt
+    :class:`Mesh` — used by tests).
+    """
+
+    name = "Unstructured"
+    category = 2
+    sync = "b,l"
+    object_size = 32
+    orderings = ("column", "hilbert")
+
+    def __init__(self, config: AppConfig):
+        super().__init__(config)
+        x = config.extra
+        self.relax = float(x.get("relax", 0.05))
+        self.use_faces = bool(x.get("use_faces", True))
+        mesh = x.get("mesh")
+        if mesh is None:
+            pts = shuffle(
+                clustered(config.n, config.seed, nclusters=12, spread=0.08),
+                config.seed + 1,
+            )
+            mesh = make_mesh(pts)
+        if not isinstance(mesh, Mesh):
+            raise TypeError("extra['mesh'] must be a Mesh")
+        self.mesh = mesh
+        self.value = np.random.default_rng(config.seed + 2).random(config.n)
+        self.node_parts = block_partition(config.n, config.nprocs)
+
+    def positions(self) -> np.ndarray:
+        return self.mesh.points
+
+    def _apply_reordering(self, r: Reordering) -> None:
+        self.mesh = Mesh(
+            points=r.apply(self.mesh.points),
+            edges=self.mesh.edges,
+            faces=self.mesh.faces,
+        ).remap(r.rank)
+        self.value = r.apply(self.value)
+
+    # -- physics ---------------------------------------------------------
+
+    def _edge_relax(self) -> None:
+        e = self.mesh.edges
+        flux = self.relax * (self.value[e[:, 1]] - self.value[e[:, 0]])
+        np.add.at(self.value, e[:, 0], flux)
+        np.add.at(self.value, e[:, 1], -flux)
+
+    def _face_relax(self) -> None:
+        f = self.mesh.faces
+        if f.shape[0] == 0:
+            return
+        mean = self.value[f].mean(axis=1)
+        for k in range(3):
+            np.add.at(
+                self.value, f[:, k], self.relax * 0.5 * (mean - self.value[f[:, k]])
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def _conn_phase(
+        self, tb: TraceBuilder, region: int, conn: np.ndarray, label_next: str
+    ) -> None:
+        """One connectivity loop: block partition of ``conn`` rows."""
+        P = self.nprocs
+        parts = block_partition(conn.shape[0], P)
+        width = conn.shape[1]
+        for p in range(P):
+            rows = conn[parts[p][0] : parts[p][-1] + 1] if parts[p].shape[0] else conn[:0]
+            if rows.shape[0] == 0:
+                continue
+            stream = rows.ravel()  # interleaved endpoint order, as iterated
+            tb.read(p, region, stream)
+            tb.write(p, region, stream)
+            tb.work(p, float(rows.shape[0]) * width)
+            # Lock-protected remote updates.  Like the Chaos runtime, the
+            # benchmark aggregates off-block accumulations and flushes them
+            # under one lock per remote partition, not one per endpoint.
+            blk = self.node_parts[p]
+            lo, hi = (int(blk[0]), int(blk[-1])) if blk.shape[0] else (0, -1)
+            remote = stream[(stream < lo) | (stream > hi)]
+            if remote.shape[0]:
+                owners = np.unique(remote * self.nprocs // self.n)
+                tb.lock(p, int(owners.shape[0]))
+        tb.barrier(label_next)
+
+    def run(self) -> Trace:
+        cfg = self.config
+        n, P = self.n, self.nprocs
+        tb = TraceBuilder(P, label="node_loop")
+        nodes = tb.add_region("nodes", n, self.object_size)
+        for _ in range(cfg.iterations):
+            # Node loop: local relaxation of the owned block.
+            self.value *= 1.0 - 1e-3
+            for p in range(P):
+                blk = self.node_parts[p]
+                tb.read(p, nodes, blk)
+                tb.write(p, nodes, blk)
+                tb.work(p, blk.shape[0])
+            tb.barrier("edge_loop")
+
+            # Edge loop.
+            self._edge_relax()
+            self._conn_phase(tb, nodes, self.mesh.edges, "face_loop" if self.use_faces else "node_loop")
+
+            # Face loop.
+            if self.use_faces:
+                self._face_relax()
+                self._conn_phase(tb, nodes, self.mesh.faces, "node_loop")
+        return tb.finish()

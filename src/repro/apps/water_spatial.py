@@ -1,0 +1,267 @@
+"""Water-Spatial short-range N-body benchmark (SPLASH-2).
+
+Evaluates forces and potentials in a system of water molecules using a
+uniform 3-D grid of cells over the problem domain (paper section 5.3.1):
+each processor owns a contiguous 3-D block of cells and only examines
+neighbouring cells to find molecules within the cutoff radius.  Molecules
+can move between cells between iterations.
+
+Category 1: the computation partition is spatial (the grid), while the
+molecules sit in a shared array whose order comes from initialization.
+Faithful to SPLASH-2, the initial order is the *lattice traversal order* of
+the setup loop — effectively column ordering — not a random shuffle; the
+paper uses exactly this to explain why reordering does not help the
+single-processor run ("the traversal on the 3-D grids degenerates to column
+ordering, which conforms well with the initial molecular ordering from
+initialization") while the 3-D block partition still suffers false sharing
+at cell-block boundaries on 16 processors.
+
+The 680-byte molecule record (Table 1) is much larger than a 128-byte cache
+line — the reason reordering yields little on hardware shared memory — but
+a 4 KB page still holds six molecules, so page-grained DSMs benefit.
+
+Phases per iteration: **forces** (half-stencil cell interactions, symmetric
+updates, lock-protected when the partner cell belongs to another processor),
+**update** (integrate owned molecules), **move** (re-bin molecules into
+cells, writing the shared cell array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.reorder import Reordering
+from ..trace.builder import TraceBuilder
+from ..trace.events import Trace
+from .base import AppConfig, Application
+from .moldyn import build_interaction_list
+
+__all__ = ["WaterSpatial"]
+
+#: Bytes per entry of the shared cell array (list head + count).
+CELL_ENTRY_BYTES = 16
+
+
+def _grid_blocks(side: int, nprocs: int) -> np.ndarray:
+    """Owner of each grid cell: contiguous 3-D blocks.
+
+    Factorizes ``nprocs`` into (px, py, pz) as evenly as possible and
+    splits each axis into contiguous runs, like SPLASH-2's cubical
+    partitions.  Returns an (side**3,) owner array indexed by
+    ``(x * side + y) * side + z``.
+    """
+    px, py, pz = 1, 1, 1
+    rem = nprocs
+    # Greedy factorization: assign the largest prime factors to the axes
+    # with the smallest current split.
+    factors = []
+    d = 2
+    while rem > 1:
+        while rem % d == 0:
+            factors.append(d)
+            rem //= d
+        d += 1
+    for f in sorted(factors, reverse=True):
+        if px <= py and px <= pz:
+            px *= f
+        elif py <= pz:
+            py *= f
+        else:
+            pz *= f
+    splits_x = np.minimum((np.arange(side) * px) // side, px - 1)
+    splits_y = np.minimum((np.arange(side) * py) // side, py - 1)
+    splits_z = np.minimum((np.arange(side) * pz) // side, pz - 1)
+    owner = (
+        (splits_x[:, None, None] * py + splits_y[None, :, None]) * pz
+        + splits_z[None, None, :]
+    )
+    return owner.reshape(-1)
+
+
+class WaterSpatial(Application):
+    """See module docstring.
+
+    ``config.extra`` knobs: ``box`` (default 1.0), ``cell_occupancy``
+    (average molecules per cell, default 6.0 — sets the grid side), ``dt``.
+    """
+
+    name = "Water-Spatial"
+    category = 1
+    sync = "b,l"
+    object_size = 680
+    orderings = ("hilbert",)
+
+    def __init__(self, config: AppConfig):
+        super().__init__(config)
+        x = config.extra
+        self.box = float(x.get("box", 1.0))
+        occ = float(x.get("cell_occupancy", 6.0))
+        self.side = max(2, int(round((config.n / occ) ** (1.0 / 3.0))))
+        self.cutoff = self.box / self.side
+        self.dt = float(x.get("dt", 1e-4))
+        # Molecules on a jittered lattice.  The default array order is
+        # random — the paper's section 5.3.1 diagnosis ("the random
+        # ordering of molecules in the shared address space") and the case
+        # its Table 3 gains correspond to.  ``initial_order="lattice"``
+        # keeps the setup loop's column-conforming traversal order instead
+        # (the case behind the paper's single-processor remark); the
+        # ablation benches exercise both.
+        rng = np.random.default_rng(config.seed)
+        per_axis = int(np.ceil(config.n ** (1.0 / 3.0)))
+        axes = [np.arange(per_axis, dtype=np.float64)] * 3
+        grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, 3)
+        cw = self.box / per_axis
+        pos = (grid[: config.n] + 0.5) * cw
+        pos += rng.uniform(-0.2, 0.2, pos.shape) * cw
+        pos = np.clip(pos, 0.0, np.nextafter(self.box, 0.0))
+        order = str(x.get("initial_order", "random"))
+        if order == "random":
+            pos = pos[rng.permutation(config.n)]
+        elif order != "lattice":
+            raise ValueError("initial_order must be 'random' or 'lattice'")
+        self.pos = pos
+        self.vel = np.zeros_like(self.pos)
+        self.force = np.zeros_like(self.pos)
+        self.cell_owner = _grid_blocks(self.side, config.nprocs)
+
+    def positions(self) -> np.ndarray:
+        return self.pos
+
+    def _apply_reordering(self, r: Reordering) -> None:
+        self.pos = r.apply(self.pos)
+        self.vel = r.apply(self.vel)
+        self.force = r.apply(self.force)
+
+    # -- grid bookkeeping --------------------------------------------------
+
+    def _cell_of(self, pos: np.ndarray) -> np.ndarray:
+        c = np.clip((pos / self.cutoff).astype(np.int64), 0, self.side - 1)
+        return (c[:, 0] * self.side + c[:, 1]) * self.side + c[:, 2]
+
+    def _bin(self) -> tuple[np.ndarray, np.ndarray]:
+        """Molecules sorted by cell; returns (sorted molecule ids, starts)."""
+        cid = self._cell_of(self.pos)
+        order = np.argsort(cid, kind="stable")
+        starts = np.searchsorted(cid[order], np.arange(self.side**3 + 1))
+        return order, starts
+
+    def _neighbor_cells(self, c: int) -> list[int]:
+        """Half stencil (13 neighbours) of cell ``c``, in-bounds only."""
+        s = self.side
+        cx, cy, cz = c // (s * s), (c // s) % s, c % s
+        out = []
+        for dx in (0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    if (dx, dy, dz) == (0, 0, 0):
+                        continue
+                    if dx == 0 and (dy < 0 or (dy == 0 and dz < 0)):
+                        continue
+                    nx, ny, nz = cx + dx, cy + dy, cz + dz
+                    if 0 <= nx < s and 0 <= ny < s and 0 <= nz < s:
+                        out.append((nx * s + ny) * s + nz)
+        return out
+
+    # -- physics ---------------------------------------------------------
+
+    def _lj_forces(self) -> None:
+        self.force[:] = 0.0
+        pairs = build_interaction_list(self.pos, self.cutoff, self.box)
+        if pairs.shape[0] == 0:
+            return
+        pi, pj = pairs[:, 0], pairs[:, 1]
+        d = self.pos[pi] - self.pos[pj]
+        r2 = (d * d).sum(axis=1)
+        sigma = 0.7 * self.cutoff / 2.0 ** (1.0 / 6.0)
+        # Floor the separation at 0.5 sigma (see Moldyn._lj_forces).
+        r2 = np.maximum(r2, 0.25 * sigma * sigma)
+        s2 = sigma * sigma / r2
+        s6 = s2 * s2 * s2
+        mag = 24.0 * (2.0 * s6 * s6 - s6) / r2
+        f = mag[:, None] * d
+        np.add.at(self.force, pi, f)
+        np.add.at(self.force, pj, -f)
+
+    def _integrate(self) -> None:
+        self.vel += self.dt * self.force
+        self.pos += self.dt * self.vel
+        low = self.pos < 0.0
+        high = self.pos > self.box
+        self.pos[low] = -self.pos[low]
+        self.pos[high] = 2.0 * self.box - self.pos[high]
+        self.vel[low | high] *= -1.0
+        np.clip(self.pos, 0.0, np.nextafter(self.box, 0.0), out=self.pos)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Trace:
+        cfg = self.config
+        n, P = self.n, self.nprocs
+        ncells = self.side**3
+        tb = TraceBuilder(P, label="forces")
+        mol = tb.add_region("molecules", n, self.object_size)
+        cells = tb.add_region("cells", ncells, CELL_ENTRY_BYTES)
+        for _ in range(cfg.iterations):
+            order, starts = self._bin()
+            members = lambda c: order[starts[c] : starts[c + 1]]  # noqa: E731
+
+            # Forces: each processor sweeps its cells in grid order.
+            self._lj_forces()
+            for p in range(P):
+                own_cells = np.nonzero(self.cell_owner == p)[0]
+                npairs = 0.0
+                for c in own_cells.tolist():
+                    mem = members(c)
+                    if mem.shape[0] == 0:
+                        continue
+                    tb.read(p, cells, np.array([c]))
+                    tb.read(p, mol, mem)
+                    # Intra-cell pairs update owned molecules only.
+                    tb.write(p, mol, mem)
+                    npairs += mem.shape[0] * (mem.shape[0] - 1) / 2.0
+                    for d in self._neighbor_cells(c):
+                        nmem = members(d)
+                        if nmem.shape[0] == 0:
+                            continue
+                        tb.read(p, cells, np.array([d]))
+                        tb.read(p, mol, nmem)
+                        tb.write(p, mol, mem)
+                        tb.write(p, mol, nmem)
+                        npairs += float(mem.shape[0] * nmem.shape[0])
+                        if self.cell_owner[d] != p:
+                            tb.lock(p, 1)
+                tb.work(p, npairs)
+            tb.barrier("update")
+
+            # Update: integrate owned molecules, in cell-sweep order.
+            self._integrate()
+            for p in range(P):
+                own_cells = np.nonzero(self.cell_owner == p)[0]
+                mine = np.concatenate(
+                    [members(c) for c in own_cells.tolist()]
+                    or [np.empty(0, np.int64)]
+                )
+                tb.read(p, mol, mine)
+                tb.write(p, mol, mine)
+                tb.work(p, mine.shape[0])
+            tb.barrier("move")
+
+            # Move: re-bin into cells; crossing into a remote cell takes
+            # that cell's lock and writes its list head.
+            new_cell = self._cell_of(self.pos)
+            for p in range(P):
+                own_cells = np.nonzero(self.cell_owner == p)[0]
+                mine = np.concatenate(
+                    [members(c) for c in own_cells.tolist()]
+                    or [np.empty(0, np.int64)]
+                )
+                tb.read(p, mol, mine)
+                if mine.shape[0]:
+                    dest = new_cell[mine]
+                    tb.write(p, cells, dest)
+                    crossed = dest[self.cell_owner[dest] != p]
+                    if crossed.shape[0]:
+                        tb.lock(p, int(crossed.shape[0]))
+                tb.work(p, mine.shape[0])
+            tb.barrier("forces")
+        return tb.finish()

@@ -1,0 +1,340 @@
+"""Command-line interface: regenerate the paper's artifacts directly.
+
+Usage::
+
+    python -m repro list
+    python -m repro reproduce fig7 table2 --n 2048
+    python -m repro reproduce all --paper-scale
+    python -m repro run barnes-hut --version hilbert --platform treadmarks
+
+The pytest benchmark harness (`pytest benchmarks/ --benchmark-only`) does
+the same with timing statistics and assertions; the CLI is the quick path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import APP_REGISTRY
+from .experiments import (
+    Scale,
+    curve_quality,
+    fig1_fig4,
+    fig2_fig5,
+    fig3,
+    fig6,
+    fig7,
+    fig8_fig9,
+    object_size_sweep,
+    page_size_sweep,
+    run_one,
+    sequential_locality,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .experiments.report import (
+    hbar,
+    render_path,
+    render_series,
+    render_table,
+    render_update_map,
+)
+from .experiments.tables import TABLE4_PHASES
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _scale(args) -> Scale:
+    if args.paper_scale:
+        return Scale.paper()
+    s = Scale()
+    if args.n:
+        s = Scale(
+            n={k: args.n for k in APP_REGISTRY},
+            iterations=s.iterations,
+            nprocs=args.nprocs,
+            hw_scale=max(65536 / args.n, 1.0),
+        )
+    elif args.nprocs != 16:
+        s = Scale(n=s.n, iterations=s.iterations, nprocs=args.nprocs, hw_scale=s.hw_scale)
+    return s
+
+
+def _emit_fig1_fig4(scale: Scale) -> str:
+    out = fig1_fig4()
+    parts = []
+    for version, figure in (("original", "Figure 1"), ("hilbert", "Figure 4")):
+        page, owner = out[version]
+        parts.append(render_update_map(page, owner, 4, title=f"{figure} ({version})"))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def _emit_fig2_fig5(scale: Scale) -> str:
+    out = fig2_fig5(n=min(scale.n["barnes-hut"] * 2, 32768))
+    parts = []
+    for version, figure in (("original", "Figure 2"), ("hilbert", "Figure 5")):
+        series = {f"P={p}": c.astype(float) for p, c in out[version].items()}
+        parts.append(render_series(series, title=f"{figure} ({version})", xlabel="page"))
+    return "\n".join(parts)
+
+
+def _emit_fig3(scale: Scale) -> str:
+    return "\n\n".join(
+        render_path(path, 8, title=f"Figure 3 ({name}):")
+        for name, path in fig3(8).items()
+    )
+
+
+def _emit_fig6(scale: Scale) -> str:
+    rows = fig6(n=scale.n["moldyn"], nprocs=scale.nprocs, seed=scale.seed)
+    return render_table(
+        ["ordering", "remote partners", "their pages", "their owners"],
+        [[r.ordering, round(r.remote_partners, 1), round(r.remote_partner_pages, 1),
+          round(r.partner_procs, 2)] for r in rows],
+        title="Figure 6: Moldyn boundary structure",
+    )
+
+
+def _emit_fig7(scale: Scale) -> str:
+    out = fig7(scale)
+    vmax = max(s for v in out.values() for s in v.values())
+    rows = [
+        [app, version, round(s, 2), hbar(s, vmax)]
+        for app, versions in out.items()
+        for version, s in versions.items()
+    ]
+    return render_table(["application", "version", "speedup", ""], rows,
+                        title="Figure 7: Origin 2000 speedups")
+
+
+def _emit_fig8_fig9(scale: Scale) -> str:
+    out = fig8_fig9(scale)
+    parts = []
+    for platform, figure in (("treadmarks", "Figure 8"), ("hlrc", "Figure 9")):
+        vmax = max(s for v in out[platform].values() for s in v.values())
+        rows = [
+            [app, version, round(s, 2), hbar(s, vmax)]
+            for app, versions in out[platform].items()
+            for version, s in versions.items()
+        ]
+        parts.append(render_table(["application", "version", "speedup", ""], rows,
+                                  title=f"{figure}: {platform} speedups"))
+    return "\n\n".join(parts)
+
+
+def _emit_table1(scale: Scale) -> str:
+    rows = table1(scale)
+    return render_table(
+        ["Application", "Size", "Iter", "Sync", "Object bytes", "Category"],
+        [[r["application"], r["size"], r["iterations"], r["sync"],
+          r["object_size"], r["category"]] for r in rows],
+        title="Table 1",
+    )
+
+
+def _emit_table2(scale: Scale) -> str:
+    rows = table2(scale)
+    return render_table(
+        ["Application", "Version", "Reorder s", "1p time", "1p L2", "1p TLB",
+         "16p time", "16p L2", "16p TLB"],
+        [[r.app, r.version, round(r.reorder_time, 4), round(r.time_1p, 3),
+          r.l2_misses_1p, r.tlb_misses_1p, round(r.time_16p, 4),
+          r.l2_misses_16p, r.tlb_misses_16p] for r in rows],
+        title="Table 2 (simulated Origin 2000)",
+    )
+
+
+def _emit_table3(scale: Scale) -> str:
+    rows = table3(scale)
+    return render_table(
+        ["Application", "Version", "Seq s", "Reorder s", "TM s", "TM MB",
+         "TM msgs", "HLRC s", "HLRC MB", "HLRC msgs"],
+        [[r.app, r.version, round(r.seq_time, 2), round(r.reorder_time, 4),
+          round(r.tm_time, 2), round(r.tm_data_mbytes, 1), r.tm_messages,
+          round(r.hlrc_time, 2), round(r.hlrc_data_mbytes, 1), r.hlrc_messages]
+         for r in rows],
+        title="Table 3 (simulated software DSMs)",
+    )
+
+
+def _emit_table4(scale: Scale) -> str:
+    out = table4(scale)
+    rows = []
+    for phase in (*TABLE4_PHASES, "total"):
+        o, h = out["original"][phase], out["hilbert"][phase]
+        rows.append([phase, round(o, 3), round(h, 3),
+                     round(o / h, 2) if h > 0 else float("inf")])
+    return render_table(["Phase", "Original s", "Reordered s", "ratio"], rows,
+                        title="Table 4: FMM breakdown on TreadMarks")
+
+
+def _emit_ablations(scale: Scale) -> str:
+    parts = []
+    sweep = page_size_sweep(n=scale.n["moldyn"] // 2, nprocs=scale.nprocs)
+    parts.append(render_table(
+        ["unit", "column msgs", "hilbert msgs", "winner"],
+        [[r["page_size"], r["column_messages"], r["hilbert_messages"],
+          "column" if r["column_messages"] < r["hilbert_messages"] else "hilbert"]
+         for r in sweep],
+        title="Ablation: crossover vs consistency-unit size",
+    ))
+    osweep = object_size_sweep(n=scale.n["barnes-hut"] // 4, nprocs=scale.nprocs)
+    parts.append(render_table(
+        ["object bytes", "orig shared frac", "hilbert shared frac"],
+        [[r["object_size"],
+          round(r["original_shared_lines"] / r["original_lines"], 3),
+          round(r["hilbert_shared_lines"] / r["hilbert_lines"], 3)]
+         for r in osweep],
+        title="Ablation: false sharing vs object size",
+    ))
+    cq = curve_quality(n=scale.n["moldyn"] // 2)
+    parts.append(render_table(
+        ["ordering", "rank gap", "partner pages"],
+        [[r.ordering, round(r.mean_neighbor_gap, 1), round(r.page_spread, 2)] for r in cq],
+        title="Ablation: curve quality",
+    ))
+    sl = sequential_locality(n=scale.n["barnes-hut"] // 2)
+    parts.append(render_table(
+        ["version", "TLB misses", "page refs"],
+        [[v, d["tlb_misses"], d["accesses"]] for v, d in sl.items()],
+        title="Ablation: sequential TLB locality",
+    ))
+    return "\n\n".join(parts)
+
+
+ARTIFACTS = {
+    "fig1": _emit_fig1_fig4,
+    "fig2": _emit_fig2_fig5,
+    "fig3": _emit_fig3,
+    "fig4": _emit_fig1_fig4,
+    "fig5": _emit_fig2_fig5,
+    "fig6": _emit_fig6,
+    "fig7": _emit_fig7,
+    "fig8": _emit_fig8_fig9,
+    "fig9": _emit_fig8_fig9,
+    "table1": _emit_table1,
+    "table2": _emit_table2,
+    "table3": _emit_table3,
+    "table4": _emit_table4,
+    "ablations": _emit_ablations,
+}
+
+
+def _cmd_list(args) -> int:
+    print("artifacts:", " ".join(sorted(set(ARTIFACTS))), "all")
+    print("applications:", " ".join(APP_REGISTRY))
+    print("platforms: origin treadmarks hlrc")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    scale = _scale(args)
+    names = args.artifact
+    if "all" in names:
+        names = sorted({"fig1", "fig2", "fig3", "fig6", "fig7", "fig8",
+                        "table1", "table2", "table3", "table4", "ablations"})
+    seen = set()
+    for name in names:
+        if name not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; try `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+        fn = ARTIFACTS[name]
+        if fn in seen:
+            continue
+        seen.add(fn)
+        print(fn(scale))
+        print()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scale = _scale(args)
+    if args.app not in APP_REGISTRY:
+        print(f"unknown application {args.app!r}", file=sys.stderr)
+        return 2
+    rec = run_one(args.app, args.version, args.platform, scale)
+    fields = {
+        "app": rec.app,
+        "version": rec.version,
+        "platform": rec.platform,
+        "nprocs": rec.nprocs,
+        "time_s": round(rec.time, 4),
+        "reorder_s": round(rec.reorder_time, 4),
+        "seq_s": round(rec.seq_time, 3),
+        "speedup": round(rec.speedup, 2),
+    }
+    if rec.platform == "origin":
+        fields.update(l2_misses=rec.l2_misses, tlb_misses=rec.tlb_misses)
+    else:
+        fields.update(messages=rec.messages, data_mbytes=round(rec.data_mbytes, 2))
+    for k, v in fields.items():
+        print(f"{k:>12}: {v}")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .experiments.analysis import diagnose
+    from .experiments.runner import make_app
+
+    scale = _scale(args)
+    if args.app not in APP_REGISTRY:
+        print(f"unknown application {args.app!r}", file=sys.stderr)
+        return 2
+    app = make_app(args.app, scale.config(args.app), args.version)
+    trace = app.run()
+    d = diagnose(trace, scale.hardware(), scale.cluster())
+    print(
+        render_table(
+            ["metric", "value"],
+            d.rows(),
+            title=f"Diagnosis: {args.app} ({args.version}), {d.nprocs} processors",
+        )
+    )
+    for note in d.notes:
+        print(f"note: {note}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Hu, Cox & Zwaenepoel (SC 2000): data "
+        "reordering for fine-grained irregular shared-memory benchmarks.",
+    )
+    ap.add_argument("--n", type=int, default=0, help="objects per app (default: Scale())")
+    ap.add_argument("--nprocs", type=int, default=16)
+    ap.add_argument("--paper-scale", action="store_true", help="the paper's Table 1 sizes")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="list artifacts, applications, platforms")
+
+    rep = sub.add_parser("reproduce", help="regenerate tables/figures")
+    rep.add_argument("artifact", nargs="+", help="fig1..fig9, table1..table4, ablations, all")
+
+    run = sub.add_parser("run", help="run one app/version/platform cell")
+    run.add_argument("app", choices=sorted(APP_REGISTRY))
+    run.add_argument("--version", default="original",
+                     choices=["original", "hilbert", "morton", "column", "row"])
+    run.add_argument("--platform", default="origin",
+                     choices=["origin", "treadmarks", "hlrc"])
+
+    diag = sub.add_parser(
+        "diagnose", help="full layout diagnosis of one app run"
+    )
+    diag.add_argument("app", choices=sorted(APP_REGISTRY))
+    diag.add_argument("--version", default="original",
+                      choices=["original", "hilbert", "morton", "column", "row"])
+
+    args = ap.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "reproduce": _cmd_reproduce,
+        "run": _cmd_run,
+        "diagnose": _cmd_diagnose,
+    }
+    return handlers[args.cmd](args)

@@ -1,0 +1,71 @@
+"""Core data reordering library (the paper's primary contribution).
+
+Public surface:
+
+* key generation — :func:`~repro.core.sfc.hilbert_keys`,
+  :func:`~repro.core.sfc.morton_keys`, :func:`~repro.core.keys.column_keys`,
+  :func:`~repro.core.keys.row_keys`;
+* reordering — :func:`hilbert_reorder`, :func:`morton_reorder`,
+  :func:`column_reorder`, :func:`row_reorder`, each returning a
+  :class:`Reordering` that can permute object arrays and remap index-based
+  auxiliary structures;
+* byte-level C-interface veneer — :mod:`repro.core.library`.
+"""
+
+from .keys import ORDERINGS, column_keys, key_generator, row_keys
+from .metrics import (
+    OrderingQuality,
+    adjacent_distance,
+    neighbor_rank_gap,
+    ordering_report,
+    partner_page_spread,
+)
+from .quantize import BoundingBox, dequantize_centers, quantize
+from .rank import invert_permutation, rank_keys
+from .reorder import (
+    Reordering,
+    column_reorder,
+    hilbert_reorder,
+    morton_reorder,
+    reorder,
+    reorder_by_keys,
+    row_reorder,
+)
+from .sfc import (
+    axes_from_hilbert_key,
+    axes_from_morton_key,
+    hilbert_key_from_axes,
+    hilbert_keys,
+    morton_key_from_axes,
+    morton_keys,
+)
+
+__all__ = [
+    "BoundingBox",
+    "quantize",
+    "dequantize_centers",
+    "hilbert_keys",
+    "hilbert_key_from_axes",
+    "axes_from_hilbert_key",
+    "morton_keys",
+    "morton_key_from_axes",
+    "axes_from_morton_key",
+    "column_keys",
+    "row_keys",
+    "ORDERINGS",
+    "key_generator",
+    "rank_keys",
+    "invert_permutation",
+    "Reordering",
+    "reorder",
+    "reorder_by_keys",
+    "hilbert_reorder",
+    "morton_reorder",
+    "column_reorder",
+    "row_reorder",
+    "adjacent_distance",
+    "neighbor_rank_gap",
+    "partner_page_spread",
+    "ordering_report",
+    "OrderingQuality",
+]

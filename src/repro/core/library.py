@@ -1,0 +1,106 @@
+"""Byte-level reordering primitives with the paper's exact C signature.
+
+Section 3.5 defines::
+
+    void column_reorder(void *object, int object_size, int num_of_objects,
+                        int num_of_dim, double (*coord)(...));
+    void hilbert_reorder(void *object, int object_size, int num_of_objects,
+                         int num_of_dim, double (*coord)(...));
+
+This module reproduces that interface against any writable buffer (bytearray,
+``numpy`` array, ``mmap``...): objects are opaque ``object_size``-byte
+records, coordinates come from a user callback, and the buffer is permuted
+*in place*.  The idiomatic API in :mod:`repro.core.reorder` is what the rest
+of the library uses; this veneer exists so the examples can show a
+line-for-line translation of the paper's Barnes-Hut snippet, and so the cost
+of the reordering routine (Tables 2 and 3) is measured over the same three
+steps as the original: generate keys, rank keys, move bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .keys import key_generator
+from .rank import rank_keys
+
+__all__ = [
+    "reorder_buffer",
+    "hilbert_reorder_buffer",
+    "column_reorder_buffer",
+    "row_reorder_buffer",
+    "morton_reorder_buffer",
+]
+
+CoordFn = Callable[[np.ndarray, int, int], float]
+"""``coord(objects_view, i, dim) -> float`` — the paper's accessor shape."""
+
+
+def _as_records(buf, object_size: int, num_of_objects: int) -> np.ndarray:
+    """View ``buf`` as an ``(n,)`` array of ``object_size``-byte records."""
+    if object_size <= 0:
+        raise ValueError("object_size must be positive")
+    if num_of_objects < 0:
+        raise ValueError("num_of_objects must be non-negative")
+    raw = np.frombuffer(buf, dtype=np.uint8)
+    need = object_size * num_of_objects
+    if raw.nbytes < need:
+        raise ValueError(
+            f"buffer holds {raw.nbytes} bytes, need {need} "
+            f"({num_of_objects} x {object_size})"
+        )
+    if not raw.flags.writeable:
+        raise ValueError("buffer must be writable (reordering is in place)")
+    return raw[:need].reshape(num_of_objects, object_size)
+
+
+def reorder_buffer(
+    method: str,
+    buf,
+    object_size: int,
+    num_of_objects: int,
+    num_of_dim: int,
+    coord: CoordFn,
+    *,
+    bits: int | None = None,
+) -> np.ndarray:
+    """Permute ``num_of_objects`` opaque records of ``object_size`` bytes.
+
+    The three steps of the paper's library: (1) build one sorting key per
+    object from the coordinates returned by ``coord``; (2) rank the keys;
+    (3) move the records.  Returns the gather permutation applied, so the
+    caller can fix up index-based structures.
+    """
+    records = _as_records(buf, object_size, num_of_objects)
+    coords = np.empty((num_of_objects, num_of_dim), dtype=np.float64)
+    for i in range(num_of_objects):
+        for d in range(num_of_dim):
+            coords[i, d] = coord(records, i, d)
+    if bits is None:
+        bits = min(16, 64 // max(num_of_dim, 1))
+    keys = key_generator(method)(coords, bits=bits)
+    perm, _rank = rank_keys(keys)
+    records[...] = records[perm]
+    return perm
+
+
+def hilbert_reorder_buffer(buf, object_size, num_of_objects, num_of_dim, coord, **kw):
+    """In-place Hilbert reordering of an opaque record buffer (paper §3.5)."""
+    return reorder_buffer("hilbert", buf, object_size, num_of_objects, num_of_dim, coord, **kw)
+
+
+def column_reorder_buffer(buf, object_size, num_of_objects, num_of_dim, coord, **kw):
+    """In-place column reordering of an opaque record buffer (paper §3.5)."""
+    return reorder_buffer("column", buf, object_size, num_of_objects, num_of_dim, coord, **kw)
+
+
+def row_reorder_buffer(buf, object_size, num_of_objects, num_of_dim, coord, **kw):
+    """In-place row reordering of an opaque record buffer."""
+    return reorder_buffer("row", buf, object_size, num_of_objects, num_of_dim, coord, **kw)
+
+
+def morton_reorder_buffer(buf, object_size, num_of_objects, num_of_dim, coord, **kw):
+    """In-place Morton reordering of an opaque record buffer."""
+    return reorder_buffer("morton", buf, object_size, num_of_objects, num_of_dim, coord, **kw)

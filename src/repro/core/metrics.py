@@ -1,0 +1,156 @@
+"""Locality metrics for data orderings.
+
+How good is a given object ordering for a given interaction structure?
+These metrics quantify it without running a machine simulation — they are
+what the ablation benches, examples and tests use to compare orderings, and
+what a user can call on their own layout before/after reordering.
+
+* :func:`adjacent_distance` — mean spatial distance between array
+  neighbours (low = the array order follows space);
+* :func:`neighbor_rank_gap` — mean |array-index distance| between
+  interacting objects (low = interactions stay near the diagonal);
+* :func:`partner_page_spread` — mean number of distinct consistency units
+  holding an object's interaction partners (the quantity that drives DSM
+  traffic — the paper's Figure 6 measure);
+* :func:`ordering_report` — all of the above for each of the library's
+  orderings, ready to render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .keys import ORDERINGS, key_generator
+from .rank import invert_permutation
+
+__all__ = [
+    "adjacent_distance",
+    "neighbor_rank_gap",
+    "partner_page_spread",
+    "OrderingQuality",
+    "ordering_report",
+]
+
+
+def _check_pairs(pairs: np.ndarray, n: int) -> np.ndarray:
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (m, 2)")
+    if pairs.size and (pairs.min() < 0 or pairs.max() >= n):
+        raise ValueError("pair indices out of range")
+    return pairs
+
+
+def adjacent_distance(points: np.ndarray, order: np.ndarray | None = None) -> float:
+    """Mean Euclidean distance between consecutive array entries."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must have shape (n, ndim)")
+    if points.shape[0] < 2:
+        return 0.0
+    seq = points if order is None else points[np.asarray(order)]
+    return float(np.linalg.norm(np.diff(seq, axis=0), axis=1).mean())
+
+
+def neighbor_rank_gap(pairs: np.ndarray, rank: np.ndarray) -> float:
+    """Mean |rank difference| across interacting pairs.
+
+    ``rank[i]`` is object ``i``'s position in the ordering (the identity
+    for the original array order).
+    """
+    rank = np.asarray(rank, dtype=np.int64)
+    pairs = _check_pairs(pairs, rank.shape[0])
+    if pairs.shape[0] == 0:
+        return 0.0
+    return float(np.abs(rank[pairs[:, 0]] - rank[pairs[:, 1]]).mean())
+
+
+def partner_page_spread(
+    pairs: np.ndarray,
+    rank: np.ndarray,
+    *,
+    object_size: int,
+    page_size: int = 4096,
+) -> float:
+    """Mean distinct pages holding each object's partners, in rank layout.
+
+    Objects are assumed packed by rank at ``object_size`` bytes; each
+    object's partners (pairs are directed: partners of ``i`` are the
+    second entries of rows with first entry ``i``) land on
+    ``floor(rank * object_size / page_size)``; the spread is averaged over
+    objects that have partners.
+    """
+    if object_size <= 0 or page_size <= 0:
+        raise ValueError("object_size and page_size must be positive")
+    rank = np.asarray(rank, dtype=np.int64)
+    pairs = _check_pairs(pairs, rank.shape[0])
+    if pairs.shape[0] == 0:
+        return 0.0
+    src = pairs[:, 0]
+    ppage = (rank[pairs[:, 1]] * object_size) // page_size
+    order = np.argsort(src, kind="stable")
+    src_s, ppage_s = src[order], ppage[order]
+    bounds = np.searchsorted(src_s, np.arange(rank.shape[0] + 1))
+    spreads = []
+    for i in range(rank.shape[0]):
+        seg = ppage_s[bounds[i] : bounds[i + 1]]
+        if seg.shape[0]:
+            spreads.append(np.unique(seg).shape[0])
+    return float(np.mean(spreads)) if spreads else 0.0
+
+
+@dataclass(frozen=True)
+class OrderingQuality:
+    """Locality metrics of one ordering over one interaction structure."""
+
+    ordering: str
+    adjacent_distance: float
+    neighbor_rank_gap: float
+    partner_page_spread: float
+
+
+def ordering_report(
+    points: np.ndarray,
+    pairs: np.ndarray,
+    *,
+    object_size: int,
+    page_size: int = 4096,
+    bits: int | None = None,
+    include_original: bool = True,
+) -> list[OrderingQuality]:
+    """Metrics for the original order and every library ordering."""
+    points = np.asarray(points, dtype=np.float64)
+    n, ndim = points.shape
+    pairs = _check_pairs(pairs, n)
+    if bits is None:
+        bits = min(16, 64 // max(ndim, 1))
+    out = []
+    if include_original:
+        ident = np.arange(n, dtype=np.int64)
+        out.append(
+            OrderingQuality(
+                ordering="original",
+                adjacent_distance=adjacent_distance(points),
+                neighbor_rank_gap=neighbor_rank_gap(pairs, ident),
+                partner_page_spread=partner_page_spread(
+                    pairs, ident, object_size=object_size, page_size=page_size
+                ),
+            )
+        )
+    for name in ORDERINGS:
+        keys = key_generator(name)(points, bits=bits)
+        perm = np.argsort(keys, kind="stable")
+        rank = invert_permutation(perm)
+        out.append(
+            OrderingQuality(
+                ordering=name,
+                adjacent_distance=adjacent_distance(points, perm),
+                neighbor_rank_gap=neighbor_rank_gap(pairs, rank),
+                partner_page_spread=partner_page_spread(
+                    pairs, rank, object_size=object_size, page_size=page_size
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,123 @@
+"""Coordinate quantization onto an integer grid.
+
+All sorting-key generators in :mod:`repro.core` (space-filling curves and
+row/column orderings) operate on non-negative integer grid coordinates.  Real
+applications hand us floating-point positions; this module maps those onto a
+``2**bits`` per-axis integer lattice spanning the data's bounding box.
+
+The paper's reordering library does exactly this internally: "first, it
+constructs a sorting key for every object ... second, the actual objects are
+reordered according to the rank" (section 3).  Quantization is the shared
+first half of key construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BoundingBox", "quantize", "dequantize_centers"]
+
+
+class BoundingBox:
+    """Axis-aligned bounding box of a point set.
+
+    Parameters
+    ----------
+    lo, hi:
+        Arrays of shape ``(ndim,)`` with the minimum and maximum corner.
+        Degenerate axes (``lo == hi``) are handled by giving them unit
+        extent so quantization never divides by zero.
+    """
+
+    __slots__ = ("lo", "hi", "extent")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray):
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.ndim != 1 or lo.shape != hi.shape:
+            raise ValueError("lo and hi must be 1-D arrays of equal length")
+        if np.any(hi < lo):
+            raise ValueError("bounding box must satisfy hi >= lo on every axis")
+        self.lo = lo
+        self.hi = hi
+        extent = hi - lo
+        # Give zero-extent axes unit size so that quantize() maps every
+        # point on such an axis to cell 0 rather than dividing by zero.
+        extent = np.where(extent > 0.0, extent, 1.0)
+        self.extent = extent
+
+    @property
+    def ndim(self) -> int:
+        return int(self.lo.shape[0])
+
+    @classmethod
+    def of(cls, points: np.ndarray) -> "BoundingBox":
+        """Bounding box of an ``(n, ndim)`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must have shape (n, ndim)")
+        if points.shape[0] == 0:
+            raise ValueError("cannot take the bounding box of zero points")
+        if not np.all(np.isfinite(points)):
+            raise ValueError("points must be finite")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundingBox(lo={self.lo!r}, hi={self.hi!r})"
+
+
+def quantize(
+    points: np.ndarray,
+    bits: int,
+    bbox: BoundingBox | None = None,
+) -> np.ndarray:
+    """Map floating-point coordinates onto the integer lattice.
+
+    Parameters
+    ----------
+    points:
+        ``(n, ndim)`` float array.
+    bits:
+        Per-axis resolution; each coordinate maps to ``[0, 2**bits)``.
+    bbox:
+        Optional precomputed bounding box (e.g. of a superset of the
+        points).  Defaults to the box of ``points`` itself.  Points outside
+        the box are clipped onto its boundary cells.
+
+    Returns
+    -------
+    ``(n, ndim)`` ``uint64`` array of lattice coordinates.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must have shape (n, ndim)")
+    if not 1 <= bits <= 62:
+        raise ValueError("bits must be in [1, 62]")
+    if points.shape[0] == 0:
+        return np.empty((0, points.shape[1]), dtype=np.uint64)
+    if not np.all(np.isfinite(points)):
+        raise ValueError("points must be finite")
+    if bbox is None:
+        bbox = BoundingBox.of(points)
+    elif bbox.ndim != points.shape[1]:
+        raise ValueError(
+            f"bbox has {bbox.ndim} dims but points have {points.shape[1]}"
+        )
+    ncells = 1 << bits
+    scaled = (points - bbox.lo) / bbox.extent * ncells
+    cells = np.floor(scaled).astype(np.int64)
+    np.clip(cells, 0, ncells - 1, out=cells)
+    return cells.astype(np.uint64)
+
+
+def dequantize_centers(
+    cells: np.ndarray, bits: int, bbox: BoundingBox
+) -> np.ndarray:
+    """Inverse of :func:`quantize`: map lattice cells to their centres.
+
+    Useful for tests (round-trip error is bounded by half a cell) and for
+    rendering the curve orderings of the paper's Figure 3.
+    """
+    cells = np.asarray(cells, dtype=np.float64)
+    ncells = float(1 << bits)
+    return bbox.lo + (cells + 0.5) / ncells * bbox.extent

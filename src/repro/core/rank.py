@@ -1,0 +1,45 @@
+"""Ranking of sorting keys.
+
+The second step of every reordering method in the paper: "sorts the keys to
+generate the rank; second, the actual objects are reordered according to the
+rank".  We expose both directions of the resulting permutation because the
+two consumers need different ones:
+
+* moving objects needs ``perm`` (*gather* order: new slot -> old index);
+* fixing up interaction lists / tree leaf pointers needs ``rank``
+  (*scatter* order: old index -> new slot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_keys", "invert_permutation"]
+
+
+def rank_keys(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort keys and return ``(perm, rank)``.
+
+    ``perm[j]`` is the old index of the object that belongs in new slot
+    ``j`` (so ``objects[perm]`` is the reordered array), and ``rank[i]`` is
+    the new slot of old object ``i`` (so ``rank[perm] == arange(n)``).
+    The sort is stable: ties keep their original relative order, which makes
+    reordering idempotent.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("keys must be 1-D")
+    perm = np.argsort(keys, kind="stable")
+    rank = invert_permutation(perm)
+    return perm, rank
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse of a permutation array: ``inv[perm] == arange(n)``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        raise ValueError("perm must be 1-D")
+    n = perm.shape[0]
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n, dtype=np.int64)
+    return inv

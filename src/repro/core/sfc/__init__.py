@@ -1,0 +1,21 @@
+"""Space-filling curve key generators (Hilbert and Morton)."""
+
+from .hilbert import (
+    axes_from_hilbert_key,
+    hilbert_argsort,
+    hilbert_key_from_axes,
+    hilbert_keys,
+    hilbert_words_from_axes,
+)
+from .morton import axes_from_morton_key, morton_key_from_axes, morton_keys
+
+__all__ = [
+    "hilbert_keys",
+    "hilbert_key_from_axes",
+    "axes_from_hilbert_key",
+    "hilbert_words_from_axes",
+    "hilbert_argsort",
+    "morton_keys",
+    "morton_key_from_axes",
+    "axes_from_morton_key",
+]

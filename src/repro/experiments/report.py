@@ -1,0 +1,123 @@
+"""ASCII rendering of the reproduced tables and figures.
+
+The benchmark harness prints these so a run of ``pytest benchmarks/``
+regenerates, row for row and series for series, what the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "render_update_map", "render_path", "hbar"]
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(
+            " | ".join(
+                c.rjust(w) if _numericish(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(out)
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        if c == 0:
+            return "0"
+        if abs(c) >= 1000:
+            return f"{c:,.0f}"
+        if abs(c) >= 10:
+            return f"{c:.1f}"
+        return f"{c:.3g}"
+    if isinstance(c, (int, np.integer)):
+        return f"{int(c):,}"
+    return str(c)
+
+
+def _numericish(c: str) -> bool:
+    return bool(c) and (c[0].isdigit() or (c[0] in "-+." and len(c) > 1))
+
+
+def hbar(value: float, vmax: float, width: int = 40) -> str:
+    """A text bar for speedup charts."""
+    if vmax <= 0:
+        return ""
+    k = int(round(width * max(value, 0.0) / vmax))
+    return "#" * k
+
+
+def render_series(
+    series: dict[str, np.ndarray], title: str = "", xlabel: str = "index"
+) -> str:
+    """Summarize numeric series (mean/min/max + a coarse sparkline)."""
+    out = [title] if title else []
+    for name, values in series.items():
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            out.append(f"  {name}: (empty)")
+            continue
+        spark = _sparkline(values)
+        out.append(
+            f"  {name}: mean={values.mean():.3g} min={values.min():.3g} "
+            f"max={values.max():.3g} over {values.size} {xlabel}s  {spark}"
+        )
+    return "\n".join(out)
+
+
+def _sparkline(values: np.ndarray, width: int = 48) -> str:
+    marks = " .:-=+*#%@"
+    if values.size > width:
+        # Bucket means.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    vmax = values.max()
+    if vmax <= 0:
+        return "|" + " " * values.size + "|"
+    idx = np.clip((values / vmax * (len(marks) - 1)).astype(int), 0, len(marks) - 1)
+    return "|" + "".join(marks[i] for i in idx) + "|"
+
+
+def render_update_map(
+    page: np.ndarray, owner: np.ndarray, nprocs: int, title: str = ""
+) -> str:
+    """Figures 1/4: one row per processor, one column per body, ``*`` where
+    that processor updates the body; page boundaries marked with ``|``."""
+    n = page.shape[0]
+    boundaries = set(np.nonzero(np.diff(page))[0] + 1)
+    out = [title] if title else []
+    for p in range(nprocs):
+        row = []
+        for i in range(n):
+            if i in boundaries:
+                row.append("|")
+            row.append("*" if owner[i] == p else ".")
+        out.append(f"P{p}: " + "".join(row))
+    return "\n".join(out)
+
+
+def render_path(path: np.ndarray, side: int, title: str = "") -> str:
+    """Figure 3: visit order of a grid ordering as a number matrix."""
+    grid = np.zeros((side, side), dtype=np.int64)
+    for step, (x, y) in enumerate(path.tolist()):
+        grid[y, x] = step
+    w = len(str(side * side - 1))
+    out = [title] if title else []
+    for y in range(side - 1, -1, -1):
+        out.append(" ".join(str(grid[y, x]).rjust(w) for x in range(side)))
+    return "\n".join(out)

@@ -1,0 +1,41 @@
+"""Simulated shared-memory platforms.
+
+* :mod:`repro.machines.hardware` — Origin-2000-style cache-coherent machine
+  (per-CPU L2 + TLB, directory write-invalidate coherence).
+* :mod:`repro.machines.dsm` — page-based software DSMs: TreadMarks-style
+  homeless LRC and home-based HLRC.
+* :mod:`repro.machines.params` — machine parameter sets, including the
+  paper's measured network constants.
+"""
+
+from .cache import LRUCache, SetAssocCache, collapse_runs
+from .coherence import MESIResult, simulate_mesi
+from .dsm import DSMResult, simulate_hlrc, simulate_treadmarks
+from .hardware import HardwareResult, simulate_hardware
+from .params import (
+    CLUSTER_16,
+    ORIGIN2000,
+    ClusterParams,
+    HardwareParams,
+    cluster_scaled,
+    origin2000_scaled,
+)
+
+__all__ = [
+    "LRUCache",
+    "SetAssocCache",
+    "collapse_runs",
+    "HardwareParams",
+    "ClusterParams",
+    "ORIGIN2000",
+    "CLUSTER_16",
+    "origin2000_scaled",
+    "cluster_scaled",
+    "simulate_hardware",
+    "HardwareResult",
+    "simulate_mesi",
+    "MESIResult",
+    "simulate_treadmarks",
+    "simulate_hlrc",
+    "DSMResult",
+]

@@ -1,0 +1,197 @@
+"""Exact LRU cache models (fully-associative and set-associative).
+
+These replay reference streams (cache-line or page ids) and count misses.
+They are exact simulators, not analytic estimates: a fully-associative LRU
+of capacity ``C`` misses exactly when more than ``C`` distinct keys
+intervened since the last reference, and the set-associative variant
+partitions keys by index bits first — the behaviour the paper's L2/TLB miss
+counts depend on.
+
+Implementation notes (CPython performance):
+
+* ``OrderedDict.move_to_end`` gives O(1) amortized LRU maintenance;
+* consecutive duplicate references are collapsed with numpy before the
+  Python loop — a re-reference to the line just touched can never miss, and
+  object-granularity traces produce long such runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["collapse_runs", "LRUCache", "SetAssocCache"]
+
+
+def collapse_runs(keys: np.ndarray) -> np.ndarray:
+    """Drop consecutive duplicate entries (miss-count preserving)."""
+    keys = np.asarray(keys)
+    if keys.shape[0] <= 1:
+        return keys
+    keep = np.empty(keys.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    return keys[keep]
+
+
+class LRUCache:
+    """Fully-associative LRU cache of ``capacity`` entries.
+
+    Suitable for TLBs (which are fully associative on the R12000) and as a
+    capacity-only approximation of large caches.
+    """
+
+    __slots__ = ("capacity", "_entries", "misses", "accesses", "evictions")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.misses = 0
+        self.accesses = 0
+        self.evictions = 0
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, key: int) -> bool:
+        """Touch one key; returns True on hit."""
+        entries = self._entries
+        self.accesses += 1
+        if key in entries:
+            entries.move_to_end(key)
+            return True
+        self.misses += 1
+        entries[key] = None
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def access_stream(self, keys: np.ndarray, *, collapse: bool = True) -> int:
+        """Replay a reference stream; returns the number of misses added."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if collapse:
+            keys = collapse_runs(keys)
+        entries = self._entries
+        cap = self.capacity
+        misses = 0
+        evict = 0
+        move = entries.move_to_end
+        pop = entries.popitem
+        for key in keys.tolist():
+            if key in entries:
+                move(key)
+            else:
+                misses += 1
+                entries[key] = None
+                if len(entries) > cap:
+                    pop(last=False)
+                    evict += 1
+        self.accesses += int(keys.shape[0])
+        self.misses += misses
+        self.evictions += evict
+        return misses
+
+    def invalidate(self, keys: np.ndarray) -> int:
+        """Remove keys (directory invalidation); returns how many were present."""
+        entries = self._entries
+        hit = 0
+        for key in np.asarray(keys, dtype=np.int64).tolist():
+            if entries.pop(key, False) is None:
+                hit += 1
+        return hit
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def resident(self) -> np.ndarray:
+        """Currently cached keys, LRU first."""
+        return np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
+
+
+class SetAssocCache:
+    """Set-associative LRU cache.
+
+    ``nsets`` power-of-two sets of ``assoc`` ways; a key maps to set
+    ``key & (nsets - 1)``.  With ``nsets == 1`` this degenerates to
+    :class:`LRUCache` (and tests assert so).
+    """
+
+    __slots__ = ("nsets", "assoc", "_sets", "misses", "accesses", "evictions")
+
+    def __init__(self, nsets: int, assoc: int):
+        if nsets <= 0 or nsets & (nsets - 1):
+            raise ValueError("nsets must be a positive power of two")
+        if assoc <= 0:
+            raise ValueError("assoc must be positive")
+        self.nsets = nsets
+        self.assoc = assoc
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(nsets)]
+        self.misses = 0
+        self.accesses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.nsets * self.assoc
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sets[key & (self.nsets - 1)]
+
+    def access(self, key: int) -> bool:
+        self.accesses += 1
+        s = self._sets[key & (self.nsets - 1)]
+        if key in s:
+            s.move_to_end(key)
+            return True
+        self.misses += 1
+        s[key] = None
+        if len(s) > self.assoc:
+            s.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def access_stream(self, keys: np.ndarray, *, collapse: bool = True) -> int:
+        keys = np.asarray(keys, dtype=np.int64)
+        if collapse:
+            keys = collapse_runs(keys)
+        sets = self._sets
+        mask = self.nsets - 1
+        assoc = self.assoc
+        misses = 0
+        evict = 0
+        for key in keys.tolist():
+            s = sets[key & mask]
+            if key in s:
+                s.move_to_end(key)
+            else:
+                misses += 1
+                s[key] = None
+                if len(s) > assoc:
+                    s.popitem(last=False)
+                    evict += 1
+        self.accesses += int(keys.shape[0])
+        self.misses += misses
+        self.evictions += evict
+        return misses
+
+    def invalidate(self, keys: np.ndarray) -> int:
+        mask = self.nsets - 1
+        hit = 0
+        for key in np.asarray(keys, dtype=np.int64).tolist():
+            if self._sets[key & mask].pop(key, False) is None:
+                hit += 1
+        return hit
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,16 @@
+"""Page-based software DSM protocol models (TreadMarks-style LRC and HLRC)."""
+
+from .common import DSMResult
+from .hlrc import block_homes, simulate_hlrc
+from .intervals import EpochPageInfo, build_intervals, total_pages
+from .treadmarks import simulate_treadmarks
+
+__all__ = [
+    "DSMResult",
+    "simulate_treadmarks",
+    "simulate_hlrc",
+    "block_homes",
+    "build_intervals",
+    "EpochPageInfo",
+    "total_pages",
+]

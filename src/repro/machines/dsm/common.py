@@ -1,0 +1,50 @@
+"""Shared result type and timing for the DSM protocol models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..params import ClusterParams
+
+__all__ = ["DSMResult"]
+
+
+@dataclass
+class DSMResult:
+    """Counters and modelled timing from a DSM protocol simulation.
+
+    ``messages`` and ``data_bytes`` correspond to the paper's Table 3
+    columns ("number of messages, and amount of data on 16 processors");
+    ``time`` is the modelled parallel execution time that Figures 8/9's
+    speedups derive from.
+    """
+
+    protocol: str
+    params: ClusterParams
+    nprocs: int
+    messages: int
+    data_bytes: int
+    page_fetches: np.ndarray  # per proc
+    diff_fetches: np.ndarray  # per proc (TreadMarks) / diffs-to-home (HLRC)
+    diff_bytes: np.ndarray  # per proc payload bytes moved for diffs
+    barriers: int
+    lock_acquires: int
+    time: float
+    phase_times: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def data_mbytes(self) -> float:
+        return self.data_bytes / 1e6
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "time": self.time,
+            "messages": self.messages,
+            "data_mbytes": round(self.data_mbytes, 3),
+            "page_fetches": int(self.page_fetches.sum()),
+            "diff_fetches": int(self.diff_fetches.sum()),
+            "barriers": self.barriers,
+            "locks": self.lock_acquires,
+        }

@@ -1,0 +1,170 @@
+"""Home-based lazy release consistency (HLRC) model.
+
+HLRC (Zhou, Iftode & Li, OSDI 1996) assigns every page a *home* processor.
+At a release, each non-home writer sends its diff to the home, which applies
+it eagerly; the home's copy is therefore always current.  A processor
+faulting on an invalid page fetches the *whole page* from the home in a
+single round trip.
+
+Consequences the model reproduces (paper section 5.2): for the same degree
+of false sharing HLRC sends far fewer messages than TreadMarks (one page
+fetch instead of one diff per concurrent writer) but more bytes per fetch
+(the full page), and non-home writers re-fetch pages they themselves just
+wrote (their writes live at the home after the release).
+
+Homes are assigned by blocks of each region's pages across processors,
+approximating the first-touch-after-block-initialization assignment used by
+real HLRC systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...trace.events import Trace
+from ...trace.layout import Layout
+from ..params import CLUSTER_16, ClusterParams
+from .common import DSMResult
+from .intervals import EpochPageInfo, build_intervals, total_pages
+
+__all__ = ["simulate_hlrc", "block_homes"]
+
+
+def block_homes(layout: Layout, page_size: int, nprocs: int) -> np.ndarray:
+    """Home processor of every page: block distribution per region.
+
+    Page ``i`` of a region spanning ``m`` pages is homed at processor
+    ``i * nprocs // m`` — contiguous blocks, like first-touch after a
+    block-partitioned initialization.
+    """
+    npages = total_pages(layout, page_size)
+    homes = np.zeros(npages, dtype=np.int64)
+    for r in range(len(layout.regions)):
+        pages = layout.region_pages(r, page_size)
+        m = pages.shape[0]
+        homes[pages] = np.arange(m, dtype=np.int64) * nprocs // m
+    return homes
+
+
+def simulate_hlrc(
+    trace: Trace,
+    params: ClusterParams = CLUSTER_16,
+    layout: Layout | None = None,
+    *,
+    homes: np.ndarray | None = None,
+    intervals: list[EpochPageInfo] | None = None,
+) -> DSMResult:
+    """Run a trace through the HLRC protocol model."""
+    if intervals is None:
+        intervals, layout = build_intervals(trace, layout, params.page_size)
+    assert layout is not None
+    nprocs = trace.nprocs
+    npages = total_pages(layout, params.page_size)
+    if homes is None:
+        homes = block_homes(layout, params.page_size, nprocs)
+    homes = np.asarray(homes, dtype=np.int64)
+    if homes.shape[0] != npages:
+        raise ValueError("homes array does not cover the address space")
+
+    # valid[g, p]: p's copy of g is current. Homes are always valid.
+    valid = np.zeros((npages, nprocs), dtype=bool)
+    valid[np.arange(npages), homes] = True
+
+    messages = 0
+    data_bytes = 0
+    page_fetches = np.zeros(nprocs, dtype=np.int64)
+    diffs_to_home = np.zeros(nprocs, dtype=np.int64)
+    diff_bytes_moved = np.zeros(nprocs, dtype=np.int64)
+    lock_total = 0
+    time = 0.0
+    phase_times: dict[str, float] = {}
+
+    work_time = params.work_cycles * params.cycle_time
+    hdr = params.msg_header_bytes
+
+    for info in intervals:
+        proc_time = np.zeros(nprocs, dtype=np.float64)
+        # --- Faults: any access to an invalid page fetches it from home.
+        for p in range(nprocs):
+            acc = info.accesses[p]
+            if acc.shape[0] == 0:
+                continue
+            faulting = acc[~valid[acc, p]]
+            n = int(faulting.shape[0])
+            if n:
+                page_fetches[p] += n
+                messages += 2 * n
+                data_bytes += n * (params.page_size + 2 * hdr)
+                proc_time[p] += n * params.page_fetch_time
+                valid[faulting, p] = True
+
+        # --- Release: non-home writers push diffs to the homes; everyone's
+        # non-home copy of a written page is invalidated (unless the sole
+        # writer is that processor itself — its own writes don't invalidate
+        # its copy, but *remote* writes do).
+        writer_count = np.zeros(npages, dtype=np.int64)
+        for w in range(nprocs):
+            wp = info.writes[w]
+            if wp.shape[0] == 0:
+                continue
+            writer_count[wp] += 1
+            remote = wp[homes[wp] != w]
+            n = int(remote.shape[0])
+            if n:
+                sel = homes[wp] != w
+                payload = int(info.write_bytes[w][sel].sum())
+                diffs_to_home[w] += n
+                diff_bytes_moved[w] += payload
+                messages += n  # one diff message per page (ack piggybacked)
+                data_bytes += payload + n * (params.diff_overhead_bytes + hdr)
+                proc_time[w] += (
+                    n * params.msg_overhead_time + payload / params.bandwidth
+                )
+        written_pages = np.nonzero(writer_count)[0]
+        for w in range(nprocs):
+            wp = info.writes[w]
+            if wp.shape[0]:
+                # Invalidate every non-home copy...
+                valid[wp, :] = False
+        if written_pages.shape[0]:
+            # ...except the home's (always current)...
+            valid[written_pages, homes[written_pages]] = True
+            # ...and the sole writer's own copy when nobody else wrote.
+            for w in range(nprocs):
+                wp = info.writes[w]
+                if wp.shape[0]:
+                    sole = wp[writer_count[wp] == 1]
+                    valid[sole, w] = True
+
+        # --- Locks and barrier.
+        locks_here = int(info.lock_acquires.sum())
+        lock_total += locks_here
+        messages += 2 * locks_here
+        data_bytes += locks_here * 2 * hdr
+        proc_time += info.lock_acquires * params.lock_time
+        proc_time += info.work * work_time
+        if nprocs > 1:
+            messages += 2 * (nprocs - 1)
+            data_bytes += 2 * (nprocs - 1) * hdr
+            barrier_cost = params.barrier_time
+        else:
+            barrier_cost = 0.0
+        epoch_time = float(proc_time.max()) + barrier_cost
+        time += epoch_time
+        if info.label:
+            phase_times[info.label] = phase_times.get(info.label, 0.0) + epoch_time
+
+    return DSMResult(
+        protocol="hlrc",
+        params=params,
+        nprocs=nprocs,
+        messages=messages,
+        data_bytes=data_bytes,
+        page_fetches=page_fetches,
+        diff_fetches=diffs_to_home,
+        diff_bytes=diff_bytes_moved,
+        barriers=len(intervals),
+        lock_acquires=lock_total,
+        time=time,
+        phase_times=phase_times,
+    )

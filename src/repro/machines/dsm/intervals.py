@@ -1,0 +1,120 @@
+"""Interval (epoch) page-access summaries for the DSM protocol models.
+
+Lazy release consistency lets the protocol models work from per-interval
+page-level summaries instead of full access streams: between two barriers
+what matters is *which pages* each processor read or wrote and *how many
+bytes* of each page it dirtied (the diff payload).  This module reduces a
+:class:`repro.trace.Trace` to exactly that.
+
+Page ids here are global page indices within the trace's :class:`Layout`
+(which places regions from address zero), so they index dense per-page state
+arrays in the protocol models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...trace.events import Epoch, Trace
+from ...trace.layout import Layout
+
+__all__ = ["EpochPageInfo", "build_intervals", "total_pages"]
+
+
+@dataclass
+class EpochPageInfo:
+    """Page-level summary of one epoch.
+
+    Attributes (all lists indexed by processor):
+
+    * ``accesses[p]`` — sorted unique pages touched (read or write);
+    * ``writes[p]`` — sorted unique pages written;
+    * ``write_bytes[p]`` — dirtied bytes per written page, aligned with
+      ``writes[p]`` (distinct objects written x object size, capped at the
+      page size — a run-length-encoded diff cannot exceed the page);
+    * ``label`` — the phase label of the epoch;
+    * ``work``, ``lock_acquires`` — carried through for the timing model.
+    """
+
+    accesses: list[np.ndarray]
+    writes: list[np.ndarray]
+    write_bytes: list[np.ndarray]
+    label: str
+    work: np.ndarray
+    lock_acquires: np.ndarray
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.accesses)
+
+
+def total_pages(layout: Layout, page_size: int) -> int:
+    """Number of pages the layout's address space spans."""
+    return -(-max(layout.total_bytes, 1) // page_size)
+
+
+def _epoch_info(epoch: Epoch, layout: Layout, page_size: int) -> EpochPageInfo:
+    accesses: list[np.ndarray] = []
+    writes: list[np.ndarray] = []
+    write_bytes: list[np.ndarray] = []
+    for p in range(epoch.nprocs):
+        acc_chunks: list[np.ndarray] = []
+        # (page, object) pairs per region for dirty-byte accounting.
+        dirty_pairs: dict[int, list[np.ndarray]] = {}
+        for b in epoch.bursts[p]:
+            spec_pages = layout.pages(b.region, b.indices, page_size)
+            acc_chunks.append(spec_pages)
+            if b.is_write:
+                # Pair each expanded page with its object id so distinct
+                # dirtied objects per page can be counted.  Re-expand with
+                # object ids carried along.
+                start = layout.addresses(b.region, b.indices)
+                shift = page_size.bit_length() - 1
+                first = start >> shift
+                last = (start + layout.regions[b.region].object_size - 1) >> shift
+                span = last - first
+                max_span = int(span.max()) + 1 if span.size else 1
+                grid = first[:, None] + np.arange(max_span, dtype=np.int64)[None, :]
+                mask = np.arange(max_span, dtype=np.int64)[None, :] <= span[:, None]
+                objs = np.broadcast_to(b.indices[:, None], grid.shape)
+                pairs = np.stack([grid[mask], objs[mask]], axis=1)
+                dirty_pairs.setdefault(b.region, []).append(pairs)
+        accesses.append(
+            np.unique(np.concatenate(acc_chunks)) if acc_chunks else np.empty(0, np.int64)
+        )
+        if dirty_pairs:
+            page_bytes: dict[int, int] = {}
+            for region, plist in dirty_pairs.items():
+                osize = layout.regions[region].object_size
+                pairs = np.unique(np.concatenate(plist), axis=0)
+                pages, counts = np.unique(pairs[:, 0], return_counts=True)
+                for pg, c in zip(pages.tolist(), counts.tolist()):
+                    page_bytes[pg] = page_bytes.get(pg, 0) + c * osize
+            wpages = np.array(sorted(page_bytes), dtype=np.int64)
+            wbytes = np.array(
+                [min(page_bytes[int(g)], page_size) for g in wpages], dtype=np.int64
+            )
+        else:
+            wpages = np.empty(0, np.int64)
+            wbytes = np.empty(0, np.int64)
+        writes.append(wpages)
+        write_bytes.append(wbytes)
+    return EpochPageInfo(
+        accesses=accesses,
+        writes=writes,
+        write_bytes=write_bytes,
+        label=epoch.label,
+        work=epoch.work.copy(),
+        lock_acquires=epoch.lock_acquires.copy(),
+    )
+
+
+def build_intervals(
+    trace: Trace, layout: Layout | None = None, page_size: int = 4096
+) -> tuple[list[EpochPageInfo], Layout]:
+    """Summarize every epoch of ``trace`` at ``page_size`` granularity."""
+    if layout is None:
+        layout = Layout.for_trace(trace, align=page_size)
+    return [_epoch_info(e, layout, page_size) for e in trace.epochs], layout

@@ -1,0 +1,37 @@
+"""Shared-memory access traces: representation, construction, statistics."""
+
+from .builder import TraceBuilder
+from .events import Burst, Epoch, RegionSpec, Trace
+from .io import load_trace, save_trace
+from .layout import Layout
+from .stats import (
+    AccessCounts,
+    access_counts,
+    footprint,
+    mean_sharers,
+    page_read_sets,
+    page_sharers,
+    page_write_sets,
+    proc_unit_sets,
+    update_map,
+)
+
+__all__ = [
+    "RegionSpec",
+    "Burst",
+    "Epoch",
+    "Trace",
+    "TraceBuilder",
+    "Layout",
+    "save_trace",
+    "load_trace",
+    "page_sharers",
+    "page_write_sets",
+    "page_read_sets",
+    "mean_sharers",
+    "update_map",
+    "footprint",
+    "access_counts",
+    "AccessCounts",
+    "proc_unit_sets",
+]

@@ -1,0 +1,99 @@
+"""Incremental trace construction for applications.
+
+Applications drive a :class:`TraceBuilder` while computing: they declare
+shared regions once, then inside each parallel phase record read/write bursts
+per simulated processor, and call :meth:`TraceBuilder.barrier` where the real
+benchmark has a barrier.  The result is a :class:`repro.trace.events.Trace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import Burst, Epoch, RegionSpec, Trace
+
+__all__ = ["TraceBuilder"]
+
+
+class TraceBuilder:
+    """Builds a :class:`Trace` epoch by epoch.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated processors.
+    label:
+        Label for the first epoch (see :meth:`barrier` for later ones).
+    """
+
+    def __init__(self, nprocs: int, label: str = ""):
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        self._trace = Trace(nprocs=nprocs)
+        self._current = Epoch(nprocs=nprocs, label=label)
+        self._finished = False
+
+    @property
+    def nprocs(self) -> int:
+        return self._trace.nprocs
+
+    def add_region(self, name: str, num_objects: int, object_size: int) -> int:
+        """Declare a shared object array; returns its region id."""
+        if any(r.name == name for r in self._trace.regions):
+            raise ValueError(f"region {name!r} already declared")
+        self._trace.regions.append(RegionSpec(name, num_objects, object_size))
+        return len(self._trace.regions) - 1
+
+    def _check_proc(self, proc: int) -> None:
+        if not 0 <= proc < self.nprocs:
+            raise ValueError(f"proc {proc} out of range [0, {self.nprocs})")
+        if self._finished:
+            raise RuntimeError("trace already finished")
+
+    def read(self, proc: int, region: int, indices: np.ndarray) -> None:
+        """Record a read burst by ``proc`` over ``indices`` of ``region``."""
+        self._check_proc(proc)
+        idx = np.ascontiguousarray(indices, dtype=np.int64).ravel()
+        if idx.size:
+            self._current.bursts[proc].append(Burst(region, idx, is_write=False))
+
+    def write(self, proc: int, region: int, indices: np.ndarray) -> None:
+        """Record a write burst by ``proc`` over ``indices`` of ``region``."""
+        self._check_proc(proc)
+        idx = np.ascontiguousarray(indices, dtype=np.int64).ravel()
+        if idx.size:
+            self._current.bursts[proc].append(Burst(region, idx, is_write=True))
+
+    def update(self, proc: int, region: int, indices: np.ndarray) -> None:
+        """Read-modify-write burst (a read burst followed by a write burst)."""
+        self.read(proc, region, indices)
+        self.write(proc, region, indices)
+
+    def work(self, proc: int, units: float) -> None:
+        """Charge abstract compute units to ``proc`` in the current epoch."""
+        self._check_proc(proc)
+        self._current.work[proc] += units
+
+    def lock(self, proc: int, acquires: int = 1) -> None:
+        """Record lock acquisitions by ``proc`` in the current epoch."""
+        self._check_proc(proc)
+        self._current.lock_acquires[proc] += acquires
+
+    def barrier(self, next_label: str = "") -> None:
+        """Close the current epoch (a barrier) and open the next one."""
+        if self._finished:
+            raise RuntimeError("trace already finished")
+        self._trace.epochs.append(self._current)
+        self._current = Epoch(nprocs=self.nprocs, label=next_label)
+
+    def finish(self) -> Trace:
+        """Close the trailing epoch (if non-empty) and return the trace."""
+        if self._finished:
+            raise RuntimeError("trace already finished")
+        if any(self._current.bursts[p] for p in range(self.nprocs)) or (
+            self._current.work.any() or self._current.lock_acquires.any()
+        ):
+            self._trace.epochs.append(self._current)
+        self._finished = True
+        self._trace.validate()
+        return self._trace

@@ -1,0 +1,183 @@
+"""Shared-memory access trace representation.
+
+The five applications are *real* computations, but what the machine
+simulators need from them is the stream of shared-memory accesses each
+simulated processor performs, segmented by synchronization.  This module
+defines that representation:
+
+* a :class:`RegionSpec` describes one shared object array (name, object
+  count, object size in bytes — the paper's Table 1 column);
+* a :class:`Burst` is a run of object-granularity accesses (read or write)
+  by one processor to one region, in traversal order;
+* an :class:`Epoch` is everything between two barriers: per-processor burst
+  lists plus lock-acquisition and work counters;
+* a :class:`Trace` is the whole run: the region table plus the epoch list.
+
+Traces are *object-granularity*: they record which object was touched, not
+which byte.  The mapping to bytes/lines/pages lives in
+:mod:`repro.trace.layout` so one trace can be replayed against machines with
+different consistency-unit sizes (the paper's central variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RegionSpec", "Burst", "Epoch", "Trace"]
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One shared object array.
+
+    Parameters
+    ----------
+    name:
+        Region name, unique within a trace (``"particles"``, ``"cells"``...).
+    num_objects:
+        Number of objects in the array.
+    object_size:
+        Bytes per object — e.g. 104 for a Barnes-Hut body, 680 for a
+        Water-Spatial molecule (Table 1 of the paper).
+    """
+
+    name: str
+    num_objects: int
+    object_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 0:
+            raise ValueError("num_objects must be non-negative")
+        if self.object_size <= 0:
+            raise ValueError("object_size must be positive")
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_objects * self.object_size
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A run of accesses by one processor to one region.
+
+    ``indices`` preserves traversal order and multiplicity; both matter to
+    the cache/TLB simulators.  ``is_write`` applies to the whole burst
+    (applications emit separate bursts for reads and writes).
+    """
+
+    region: int
+    indices: np.ndarray
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        idx = np.ascontiguousarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "indices", idx)
+        if idx.ndim != 1:
+            raise ValueError("burst indices must be 1-D")
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+
+@dataclass
+class Epoch:
+    """All shared accesses between two consecutive barriers.
+
+    Attributes
+    ----------
+    bursts:
+        ``bursts[p]`` is the ordered burst list of processor ``p``.
+    work:
+        ``work[p]`` — abstract compute units (e.g. pair interactions)
+        performed by processor ``p``; drives the timing model.
+    lock_acquires:
+        ``lock_acquires[p]`` — number of lock acquisitions by ``p``.
+    label:
+        Phase name for per-phase breakdowns (paper's Table 4).
+    """
+
+    nprocs: int
+    label: str = ""
+    bursts: list[list[Burst]] = field(default_factory=list)
+    work: np.ndarray = field(default=None)  # type: ignore[assignment]
+    lock_acquires: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        if not self.bursts:
+            self.bursts = [[] for _ in range(self.nprocs)]
+        if self.work is None:
+            self.work = np.zeros(self.nprocs, dtype=np.float64)
+        if self.lock_acquires is None:
+            self.lock_acquires = np.zeros(self.nprocs, dtype=np.int64)
+
+    def accesses(self, proc: int) -> int:
+        """Total object accesses by processor ``proc`` in this epoch."""
+        return sum(len(b) for b in self.bursts[proc])
+
+    def flat(self, proc: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten a processor's bursts to ``(region, index, is_write)`` arrays."""
+        bl = self.bursts[proc]
+        if not bl:
+            e = np.empty(0, dtype=np.int64)
+            return e.copy(), e.copy(), np.empty(0, dtype=bool)
+        regions = np.concatenate(
+            [np.full(len(b), b.region, dtype=np.int64) for b in bl]
+        )
+        indices = np.concatenate([b.indices for b in bl])
+        writes = np.concatenate([np.full(len(b), b.is_write, dtype=bool) for b in bl])
+        return regions, indices, writes
+
+
+@dataclass
+class Trace:
+    """A full run: region table + ordered epoch list.
+
+    The epoch order is the global synchronization order (epochs are
+    barrier-separated, so every processor's epoch ``e`` accesses
+    happen-before every processor's epoch ``e+1`` accesses — the property
+    the lazy-release-consistency models rely on).
+    """
+
+    nprocs: int
+    regions: list[RegionSpec] = field(default_factory=list)
+    epochs: list[Epoch] = field(default_factory=list)
+
+    def region_id(self, name: str) -> int:
+        for i, r in enumerate(self.regions):
+            if r.name == name:
+                return i
+        raise KeyError(f"no region named {name!r}")
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(e.accesses(p) for e in self.epochs for p in range(self.nprocs))
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(e.work.sum() for e in self.epochs))
+
+    def epochs_labelled(self, label: str) -> list[Epoch]:
+        """Epochs of a given phase (for the paper's Table 4 breakdown)."""
+        return [e for e in self.epochs if e.label == label]
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on corruption."""
+        for e in self.epochs:
+            if e.nprocs != self.nprocs:
+                raise ValueError("epoch/trace processor count mismatch")
+            for plist in e.bursts:
+                for b in plist:
+                    if not 0 <= b.region < len(self.regions):
+                        raise ValueError(f"burst references unknown region {b.region}")
+                    spec = self.regions[b.region]
+                    if len(b) and (
+                        int(b.indices.min()) < 0
+                        or int(b.indices.max()) >= spec.num_objects
+                    ):
+                        raise ValueError(
+                            f"burst indices out of range for region {spec.name!r}"
+                        )

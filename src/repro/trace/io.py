@@ -1,0 +1,109 @@
+"""Trace serialization (numpy ``.npz``).
+
+Trace generation is the expensive half of every experiment (the apps run
+real physics); the machine models are cheap pure functions.  Saving traces
+lets a workflow generate once and sweep machine parameters offline, or ship
+a trace to a colleague without shipping the computation.
+
+Format: one compressed ``.npz`` holding a small JSON header (processor
+count, regions, epoch labels/work/locks) plus three flat arrays per
+(epoch, processor) concatenation — burst region ids, burst lengths and
+burst write flags, and the concatenated indices — so files stay compact
+and loading is allocation-light.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .events import Burst, Epoch, RegionSpec, Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write ``trace`` to ``path`` (``.npz``, compressed)."""
+    header = {
+        "version": _FORMAT_VERSION,
+        "nprocs": trace.nprocs,
+        "regions": [
+            {"name": r.name, "num_objects": r.num_objects, "object_size": r.object_size}
+            for r in trace.regions
+        ],
+        "epochs": [
+            {
+                "label": e.label,
+                "work": e.work.tolist(),
+                "locks": e.lock_acquires.tolist(),
+            }
+            for e in trace.epochs
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for ei, epoch in enumerate(trace.epochs):
+        for p in range(trace.nprocs):
+            bursts = epoch.bursts[p]
+            if not bursts:
+                continue
+            key = f"e{ei}_p{p}"
+            arrays[f"{key}_regions"] = np.array(
+                [b.region for b in bursts], dtype=np.int32
+            )
+            arrays[f"{key}_writes"] = np.array(
+                [b.is_write for b in bursts], dtype=np.bool_
+            )
+            arrays[f"{key}_lengths"] = np.array(
+                [len(b) for b in bursts], dtype=np.int64
+            )
+            arrays[f"{key}_indices"] = (
+                np.concatenate([b.indices for b in bursts])
+                if bursts
+                else np.empty(0, dtype=np.int64)
+            )
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')!r}"
+            )
+        trace = Trace(nprocs=int(header["nprocs"]))
+        for r in header["regions"]:
+            trace.regions.append(
+                RegionSpec(r["name"], int(r["num_objects"]), int(r["object_size"]))
+            )
+        for ei, emeta in enumerate(header["epochs"]):
+            epoch = Epoch(nprocs=trace.nprocs, label=emeta["label"])
+            epoch.work = np.array(emeta["work"], dtype=np.float64)
+            epoch.lock_acquires = np.array(emeta["locks"], dtype=np.int64)
+            for p in range(trace.nprocs):
+                key = f"e{ei}_p{p}"
+                if f"{key}_regions" not in data:
+                    continue
+                regions = data[f"{key}_regions"]
+                writes = data[f"{key}_writes"]
+                lengths = data[f"{key}_lengths"]
+                indices = data[f"{key}_indices"]
+                offsets = np.concatenate([[0], np.cumsum(lengths)])
+                for bi in range(regions.shape[0]):
+                    epoch.bursts[p].append(
+                        Burst(
+                            int(regions[bi]),
+                            indices[offsets[bi] : offsets[bi + 1]],
+                            bool(writes[bi]),
+                        )
+                    )
+            trace.epochs.append(epoch)
+        trace.validate()
+        return trace

@@ -1,0 +1,113 @@
+"""Mapping object accesses to bytes, cache lines, and pages.
+
+Traces are object-granularity (see :mod:`repro.trace.events`); the machine
+models think in *consistency units* — 128-byte cache lines on the Origin
+2000, 4/8/16 KB pages on the software DSMs.  A :class:`Layout` fixes the
+byte address of every object and converts index arrays to unit ids, expanding
+objects that straddle unit boundaries (a 680-byte Water-Spatial molecule
+covers six 128-byte lines; a 96-byte Barnes-Hut body can straddle two).
+
+Regions are placed back to back, each aligned to the *largest* unit of
+interest (page-aligned), mirroring separate shared-memory allocations in the
+original benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import RegionSpec, Trace
+
+__all__ = ["Layout"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Byte placement of a trace's regions in one shared address space."""
+
+    regions: tuple[RegionSpec, ...]
+    bases: tuple[int, ...]
+    align: int
+
+    @classmethod
+    def for_trace(cls, trace: Trace, align: int = 16384) -> "Layout":
+        """Place each region of ``trace`` at the next ``align`` boundary."""
+        return cls.for_regions(trace.regions, align=align)
+
+    @classmethod
+    def for_regions(
+        cls, regions: list[RegionSpec] | tuple[RegionSpec, ...], align: int = 16384
+    ) -> "Layout":
+        if not _is_pow2(align):
+            raise ValueError("align must be a power of two")
+        bases = []
+        cursor = 0
+        for r in regions:
+            bases.append(cursor)
+            cursor += -(-r.nbytes // align) * align  # round up to alignment
+        return cls(regions=tuple(regions), bases=tuple(bases), align=align)
+
+    @property
+    def total_bytes(self) -> int:
+        if not self.regions:
+            return 0
+        last = len(self.regions) - 1
+        return self.bases[last] + -(-self.regions[last].nbytes // self.align) * self.align
+
+    def addresses(self, region: int, indices: np.ndarray) -> np.ndarray:
+        """Start byte address of each object."""
+        spec = self.regions[region]
+        idx = np.asarray(indices, dtype=np.int64)
+        return self.bases[region] + idx * spec.object_size
+
+    def units(
+        self, region: int, indices: np.ndarray, unit: int, expand: bool = True
+    ) -> np.ndarray:
+        """Consistency-unit id of each object access.
+
+        With ``expand=True`` (default), an object spanning ``k`` units
+        contributes ``k`` consecutive entries, preserving order; with
+        ``expand=False`` only the unit of the object's first byte is
+        returned (cheaper; exact when ``object_size`` divides ``unit``
+        alignment).
+        """
+        if not _is_pow2(unit):
+            raise ValueError("unit must be a power of two")
+        spec = self.regions[region]
+        start = self.addresses(region, indices)
+        first = start >> unit.bit_length() - 1
+        if not expand:
+            return first
+        last = (start + spec.object_size - 1) >> unit.bit_length() - 1
+        span = last - first
+        if not span.any():
+            return first
+        max_span = int(span.max()) + 1
+        # Expand: for each access emit units first..last.  Vectorized via a
+        # (n, max_span) grid masked to each object's true span.
+        n = first.shape[0]
+        grid = first[:, None] + np.arange(max_span, dtype=np.int64)[None, :]
+        mask = np.arange(max_span, dtype=np.int64)[None, :] <= span[:, None]
+        return grid[mask]
+
+    def lines(self, region: int, indices: np.ndarray, line_size: int) -> np.ndarray:
+        """Cache-line ids touched by the accesses (order-preserving, expanded)."""
+        return self.units(region, indices, line_size, expand=True)
+
+    def pages(self, region: int, indices: np.ndarray, page_size: int) -> np.ndarray:
+        """Page ids touched by the accesses (order-preserving, expanded)."""
+        return self.units(region, indices, page_size, expand=True)
+
+    def region_pages(self, region: int, page_size: int) -> np.ndarray:
+        """All page ids covered by a region, in address order."""
+        spec = self.regions[region]
+        base = self.bases[region]
+        first = base // page_size
+        last = (base + max(spec.nbytes, 1) - 1) // page_size
+        return np.arange(first, last + 1, dtype=np.int64)

@@ -1,0 +1,165 @@
+"""The Application contract, enforced across all five benchmarks.
+
+Every app must satisfy the same structural guarantees — these are what the
+experiment harness and machine models rely on.  Parametrized over the
+registry so a new application is automatically held to the contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_REGISTRY, AppConfig
+from repro.trace import Layout, access_counts
+
+SMALL = {
+    "barnes-hut": 192,
+    "fmm": 256,
+    "water-spatial": 216,
+    "moldyn": 256,
+    "unstructured": 200,
+}
+
+
+def make(name, nprocs=4, iterations=2, seed=11, version=None, **extra):
+    app = APP_REGISTRY[name](
+        AppConfig(n=SMALL[name], nprocs=nprocs, iterations=iterations, seed=seed, extra=extra)
+    )
+    if version:
+        app.reorder(version)
+    return app
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One original run per app, shared across the module's tests."""
+    out = {}
+    for name in APP_REGISTRY:
+        app = make(name)
+        out[name] = (app, app.run())
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+class TestStructure:
+    def test_trace_validates(self, name, traces):
+        _, trace = traces[name]
+        trace.validate()
+
+    def test_every_processor_does_work(self, name, traces):
+        _, trace = traces[name]
+        total = sum(e.work for e in trace.epochs)
+        assert (total > 0).all()
+
+    def test_every_epoch_labelled(self, name, traces):
+        _, trace = traces[name]
+        assert all(e.label for e in trace.epochs)
+
+    def test_epoch_count_scales_with_iterations(self, name):
+        t1 = make(name, iterations=1).run()
+        t3 = make(name, iterations=3).run()
+        assert len(t3.epochs) > len(t1.epochs)
+
+    def test_reads_and_writes_present(self, name, traces):
+        _, trace = traces[name]
+        counts = access_counts(trace)
+        assert counts.reads.sum() > 0
+        assert counts.writes.sum() > 0
+
+    def test_main_region_object_size_matches_table1(self, name, traces):
+        app, trace = traces[name]
+        sizes = {r.object_size for r in trace.regions}
+        assert app.object_size in sizes
+
+    def test_positions_shape(self, name, traces):
+        app, _ = traces[name]
+        pos = app.positions()
+        assert pos.shape[0] == app.n
+        assert pos.shape[1] in (2, 3)
+
+    def test_lock_usage_matches_table1_sync(self, name, traces):
+        app, trace = traces[name]
+        locks = sum(int(e.lock_acquires.sum()) for e in trace.epochs)
+        if "l" in app.sync:
+            assert locks > 0
+        else:
+            assert locks == 0
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+class TestDeterminism:
+    def test_same_seed_same_trace_shape(self, name):
+        a = make(name).run()
+        b = make(name).run()
+        assert len(a.epochs) == len(b.epochs)
+        ca, cb = access_counts(a), access_counts(b)
+        assert np.array_equal(ca.reads, cb.reads)
+        assert np.array_equal(ca.writes, cb.writes)
+
+    def test_different_seed_different_positions(self, name):
+        a = make(name, seed=1)
+        b = make(name, seed=2)
+        assert not np.allclose(a.positions(), b.positions())
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+class TestReorderingContract:
+    def test_all_declared_orderings_apply(self, name):
+        for version in APP_REGISTRY[name].orderings:
+            app = make(name, version=version)
+            assert app.reordered_by == version
+            app.run().validate()
+
+    def test_reorder_is_a_permutation_of_positions(self, name):
+        before = make(name)
+        pos0 = before.positions().copy()
+        r = before.reorder("hilbert")
+        assert np.allclose(before.positions(), pos0[r.perm])
+
+    def test_reorder_improves_neighbour_locality(self, name):
+        """After Hilbert reordering, array-adjacent objects are spatially
+        closer on average — for every app."""
+        app_o = make(name)
+        app_h = make(name, version="hilbert")
+        d_o = np.linalg.norm(np.diff(app_o.positions(), axis=0), axis=1).mean()
+        d_h = np.linalg.norm(np.diff(app_h.positions(), axis=0), axis=1).mean()
+        assert d_h < d_o
+
+    def test_reorder_work_positive_and_method_sensitive(self, name):
+        app = make(name)
+        assert app.reorder_work("hilbert") > app.reorder_work("column") > 0
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+class TestSingleProcessor:
+    def test_single_proc_run(self, name):
+        """Every app supports nprocs=1 (the Table 2/3 baselines)."""
+        app = APP_REGISTRY[name](
+            AppConfig(n=SMALL[name], nprocs=1, iterations=1, seed=11)
+        )
+        trace = app.run()
+        trace.validate()
+        assert trace.nprocs == 1
+        for e in trace.epochs:
+            assert e.accesses(0) > 0 or e.work[0] > 0
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+def test_dsm_simulation_runs_end_to_end(name, traces):
+    from repro.machines import simulate_hlrc, simulate_treadmarks
+
+    _, trace = traces[name]
+    tm = simulate_treadmarks(trace)
+    hl = simulate_hlrc(trace)
+    assert tm.time > 0 and hl.time > 0
+    assert tm.messages > 0 and hl.messages > 0
+
+
+@pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+def test_hardware_simulation_runs_end_to_end(name, traces):
+    from repro.machines import simulate_hardware
+    from repro.machines.params import origin2000_scaled
+
+    _, trace = traces[name]
+    res = simulate_hardware(trace, origin2000_scaled(256, 4))
+    assert res.time > 0
+    assert res.total_l2_misses > 0

@@ -1,0 +1,83 @@
+"""Tests for the application base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.apps.base import AppConfig, block_partition, reorder_work_units
+
+
+class TestAppConfig:
+    def test_defaults(self):
+        cfg = AppConfig()
+        assert cfg.n > 0 and cfg.nprocs > 0 and cfg.iterations > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppConfig(n=0)
+        with pytest.raises(ValueError):
+            AppConfig(nprocs=0)
+        with pytest.raises(ValueError):
+            AppConfig(iterations=0)
+
+    def test_with_(self):
+        cfg = AppConfig(n=100).with_(nprocs=4)
+        assert cfg.n == 100 and cfg.nprocs == 4
+
+
+class TestBlockPartition:
+    def test_covers_range_disjointly(self):
+        parts = block_partition(100, 7)
+        allidx = np.concatenate(parts)
+        assert np.array_equal(allidx, np.arange(100))
+
+    def test_balanced(self):
+        parts = block_partition(100, 7)
+        sizes = [p.shape[0] for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_procs_than_items(self):
+        parts = block_partition(3, 8)
+        assert sum(p.shape[0] for p in parts) == 3
+
+    def test_single_proc(self):
+        parts = block_partition(10, 1)
+        assert np.array_equal(parts[0], np.arange(10))
+
+
+class TestReorderWork:
+    def test_monotone_in_n_and_size(self):
+        assert reorder_work_units(1000, 104) < reorder_work_units(2000, 104)
+        assert reorder_work_units(1000, 104) < reorder_work_units(1000, 680)
+
+    def test_zero(self):
+        assert reorder_work_units(0, 8) == 0.0
+
+
+class TestRegistry:
+    def test_five_apps(self):
+        assert len(APP_REGISTRY) == 5
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_table1_metadata(self, name):
+        cls = APP_REGISTRY[name]
+        assert cls.category in (1, 2)
+        assert cls.object_size > 0
+        assert cls.sync in ("b", "b,l")
+        assert len(cls.orderings) >= 1
+
+    def test_paper_object_sizes(self):
+        """Table 1's data object sizes."""
+        assert APP_REGISTRY["barnes-hut"].object_size == 104
+        assert APP_REGISTRY["fmm"].object_size == 104
+        assert APP_REGISTRY["water-spatial"].object_size == 680
+        assert APP_REGISTRY["moldyn"].object_size == 72
+        assert APP_REGISTRY["unstructured"].object_size == 32
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_describe(self, name):
+        cfg = AppConfig(n=128, nprocs=2, iterations=1)
+        app = APP_REGISTRY[name](cfg)
+        d = app.describe()
+        assert d["reordered_by"] == "original"
+        assert d["n"] == 128

@@ -1,0 +1,91 @@
+"""Tests for input distributions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.distributions import (
+    clustered,
+    lattice_jittered,
+    plummer,
+    shuffle,
+    two_plummer,
+    uniform_box,
+)
+
+
+class TestPlummer:
+    def test_shape_and_determinism(self):
+        a = plummer(100, seed=1)
+        b = plummer(100, seed=1)
+        assert a.shape == (100, 3)
+        assert np.array_equal(a, b)
+
+    def test_density_concentrated_at_center(self):
+        pos = plummer(5000, seed=2)
+        r = np.linalg.norm(pos, axis=1)
+        # Plummer: half the mass inside ~1.3 scale radii.
+        assert np.median(r) < 2.0
+        assert r.max() <= 10.0 + 1e-9  # rmax truncation
+
+    def test_center_offset(self):
+        pos = plummer(500, seed=3, center=np.array([10.0, 0.0, 0.0]))
+        assert abs(pos[:, 0].mean() - 10.0) < 1.0
+
+    def test_2d(self):
+        pos = plummer(100, seed=4, ndim=2)
+        assert pos.shape == (100, 2)
+
+    def test_zero_n(self):
+        assert plummer(0).shape == (0, 3)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            plummer(-1)
+
+
+class TestTwoPlummer:
+    def test_two_separated_clusters(self):
+        pos = two_plummer(2000, seed=5, separation=8.0)
+        # Roughly half the points on each side of x = 0.
+        left = (pos[:, 0] < 0).sum()
+        assert 600 < left < 1400
+
+    def test_order_is_spatially_random(self):
+        """Consecutive array entries must not be spatially correlated —
+        the premise of the whole paper."""
+        pos = two_plummer(2000, seed=6)
+        d_adjacent = np.linalg.norm(np.diff(pos, axis=0), axis=1).mean()
+        rng = np.random.default_rng(0)
+        d_random = np.linalg.norm(
+            pos[rng.permutation(2000)][:-1] - pos[rng.permutation(2000)][1:], axis=1
+        ).mean()
+        assert d_adjacent > 0.5 * d_random
+
+
+class TestBoxes:
+    def test_uniform_in_bounds(self):
+        pos = uniform_box(500, seed=7, box=2.0)
+        assert pos.min() >= 0 and pos.max() < 2.0
+
+    def test_clustered_in_bounds(self):
+        pos = clustered(500, seed=8)
+        assert pos.min() >= 0 and pos.max() < 1.0
+
+    def test_lattice_jittered_fills_box(self):
+        pos = lattice_jittered(1000, seed=9)
+        assert pos.min() >= 0 and pos.max() < 1.0
+        # Space is roughly uniformly covered: each octant has points.
+        for d in range(3):
+            assert (pos[:, d] < 0.5).sum() > 200
+
+    def test_lattice_order_shuffled(self):
+        pos = lattice_jittered(1000, seed=10)
+        d_adjacent = np.linalg.norm(np.diff(pos, axis=0), axis=1).mean()
+        assert d_adjacent > 0.2  # not lattice-sequential
+
+
+def test_shuffle_preserves_multiset():
+    pts = np.arange(30, dtype=np.float64).reshape(10, 3)
+    out = shuffle(pts, seed=11)
+    assert sorted(out[:, 0].tolist()) == sorted(pts[:, 0].tolist())
+    assert not np.array_equal(out, pts)

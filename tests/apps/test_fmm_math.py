@@ -1,0 +1,111 @@
+"""Tests for the 2-D FMM expansion operators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import fmm_math as fm
+
+
+@pytest.fixture
+def cluster(rng):
+    z = (rng.random(40) - 0.5) + 1j * (rng.random(40) - 0.5)
+    q = rng.random(40) + 0.1
+    return z, q
+
+
+FAR = 6.0 + 0.3j
+
+
+class TestP2M:
+    def test_matches_direct_far_away(self, cluster, rng):
+        z, q = cluster
+        a = fm.p2m(z, q, 0j, 16)
+        targets = FAR + (rng.random(10) - 0.5)
+        pot = fm.eval_multipole(a, targets, 0j)
+        ref = fm.direct_potential(z, q, targets)
+        assert np.abs(pot - ref).max() < 1e-10
+
+    def test_a0_is_total_charge(self, cluster):
+        z, q = cluster
+        a = fm.p2m(z, q, 0j, 8)
+        assert a[0] == pytest.approx(q.sum())
+
+    def test_higher_order_more_accurate(self, cluster, rng):
+        z, q = cluster
+        targets = np.array([1.5 + 0j])  # close: truncation error visible
+        ref = fm.direct_potential(z, q, targets)
+        err = []
+        for p in (2, 6, 12):
+            a = fm.p2m(z, q, 0j, p)
+            err.append(abs(fm.eval_multipole(a, targets, 0j)[0] - ref[0]))
+        assert err[2] < err[1] < err[0]
+
+
+class TestTranslations:
+    def test_m2m_preserves_far_field(self, cluster, rng):
+        z, q = cluster
+        a = fm.p2m(z, q, 0j, 14)
+        z1 = 0.4 - 0.2j
+        b = fm.m2m_matrix(0j - z1, 14) @ a
+        targets = FAR + (rng.random(8) - 0.5)
+        assert np.abs(
+            fm.eval_multipole(b, targets, z1) - fm.direct_potential(z, q, targets)
+        ).max() < 1e-9
+
+    def test_m2l_converges_in_separated_box(self, cluster, rng):
+        z, q = cluster
+        a = fm.p2m(z, q, 0j, 14)
+        zl = 4.0 + 0j
+        b = fm.m2l_matrix(0j - zl, 14) @ a
+        targets = zl + (rng.random(8) - 0.5) * 0.5
+        assert np.abs(
+            fm.eval_local(b, targets, zl) - fm.direct_potential(z, q, targets)
+        ).max() < 1e-7
+
+    def test_l2l_exact(self, cluster, rng):
+        """Local-to-local shift is exact (polynomial re-expansion)."""
+        z, q = cluster
+        a = fm.p2m(z, q, 0j, 12)
+        zl = 4.0 + 0j
+        b = fm.m2l_matrix(0j - zl, 12) @ a
+        zl2 = 4.3 - 0.1j
+        c = fm.l2l_matrix(zl2 - zl, 12) @ b
+        targets = zl2 + (rng.random(8) - 0.5) * 0.2
+        assert np.abs(
+            fm.eval_local(c, targets, zl2) - fm.eval_local(b, targets, zl)
+        ).max() < 1e-10
+
+    def test_m2l_rejects_zero_shift(self):
+        with pytest.raises(ValueError):
+            fm.m2l_matrix(0j, 4)
+
+
+class TestDerivative:
+    def test_field_matches_direct(self, cluster, rng):
+        z, q = cluster
+        a = fm.p2m(z, q, 0j, 16)
+        zl = 5.0 + 0j
+        b = fm.m2l_matrix(0j - zl, 16) @ a
+        targets = zl + (rng.random(6) - 0.5) * 0.4
+        fld = np.conj(fm.eval_local_deriv(b, targets, zl))
+        ref = fm.direct_field(z, q, targets)
+        assert np.abs(fld - ref).max() < 1e-8
+
+    def test_derivative_of_constant_is_zero(self):
+        b = np.array([3.0 + 0j])
+        out = fm.eval_local_deriv(b, np.array([1.0 + 1j]), 0j)
+        assert out[0] == 0
+
+
+class TestBinomial:
+    def test_pascal_rows(self):
+        c = fm.binomial_table(5)
+        assert c[5, :6].tolist() == [1, 5, 10, 10, 5, 1]
+        assert c[0, 0] == 1
+
+    def test_direct_field_excludes_self(self):
+        z = np.array([0j, 1 + 0j])
+        q = np.array([1.0, 1.0])
+        fld = fm.direct_field(z, q, z)
+        assert np.isfinite(fld).all()
+        assert fld[0] == pytest.approx(-1.0)  # conj(1/(0-1))

@@ -1,0 +1,83 @@
+"""Tests for the synthetic unstructured mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.distributions import uniform_box
+from repro.apps.mesh import Mesh, delaunay_mesh, knn_mesh, make_mesh
+
+
+class TestDelaunay:
+    def test_connectivity_canonical(self, rng):
+        pts = uniform_box(200, seed=1)
+        m = delaunay_mesh(pts)
+        assert np.all(m.edges[:, 0] < m.edges[:, 1])
+        assert np.all(np.diff(m.edges[:, 0]) >= 0)
+        assert np.all((m.faces[:, 0] < m.faces[:, 1]) & (m.faces[:, 1] < m.faces[:, 2]))
+
+    def test_edges_unique(self):
+        m = delaunay_mesh(uniform_box(150, seed=2))
+        assert np.unique(m.edges, axis=0).shape[0] == m.edges.shape[0]
+
+    def test_edges_connect_nearby_nodes(self):
+        """The paper's premise: 'edges or faces only connect physically
+        adjacent nodes' — edge lengths far below random-pair distance."""
+        pts = uniform_box(500, seed=3)
+        m = delaunay_mesh(pts)
+        edge_len = np.linalg.norm(pts[m.edges[:, 0]] - pts[m.edges[:, 1]], axis=1)
+        rng = np.random.default_rng(0)
+        rand_len = np.linalg.norm(
+            pts[rng.integers(0, 500, 1000)] - pts[rng.integers(0, 500, 1000)], axis=1
+        ).mean()
+        assert np.median(edge_len) < rand_len / 2
+
+    def test_every_node_connected(self):
+        m = delaunay_mesh(uniform_box(100, seed=4))
+        assert set(np.unique(m.edges).tolist()) == set(range(100))
+
+    def test_faces_are_triangles_of_edges(self):
+        m = delaunay_mesh(uniform_box(80, seed=5))
+        edge_set = {tuple(e) for e in m.edges.tolist()}
+        for a, b, c in m.faces[:50].tolist():
+            assert (a, b) in edge_set and (b, c) in edge_set and (a, c) in edge_set
+
+
+class TestKNN:
+    def test_same_invariants_as_delaunay(self):
+        pts = uniform_box(120, seed=6)
+        m = knn_mesh(pts, k=6)
+        assert np.all(m.edges[:, 0] < m.edges[:, 1])
+        assert np.unique(m.edges, axis=0).shape[0] == m.edges.shape[0]
+        assert set(np.unique(m.edges).tolist()) == set(range(120))
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            knn_mesh(uniform_box(5, seed=7), k=8)
+
+
+class TestRemap:
+    def test_remap_preserves_geometry(self, rng):
+        pts = uniform_box(100, seed=8)
+        m = make_mesh(pts)
+        perm = rng.permutation(100)
+        rank = np.empty(100, dtype=np.int64)
+        rank[perm] = np.arange(100)
+        m2 = Mesh(points=pts[perm], edges=m.edges, faces=m.faces).remap(rank)
+        old = {
+            tuple(sorted((tuple(pts[a]), tuple(pts[b])))) for a, b in m.edges.tolist()
+        }
+        new = {
+            tuple(sorted((tuple(m2.points[a]), tuple(m2.points[b]))))
+            for a, b in m2.edges.tolist()
+        }
+        assert old == new
+
+    def test_remap_restores_canonical_order(self, rng):
+        pts = uniform_box(100, seed=9)
+        m = make_mesh(pts)
+        perm = rng.permutation(100)
+        rank = np.empty(100, dtype=np.int64)
+        rank[perm] = np.arange(100)
+        m2 = m.remap(rank)
+        assert np.all(m2.edges[:, 0] < m2.edges[:, 1])
+        assert np.all(np.diff(m2.edges[:, 0]) >= 0)

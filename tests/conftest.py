@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _clear_experiment_cache():
+    """Keep the runner's memoization from leaking memory across tests."""
+    yield
+    from repro.experiments import clear_cache
+
+    clear_cache()

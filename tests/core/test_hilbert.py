@@ -1,0 +1,175 @@
+"""Tests for the Hilbert space-filling curve."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantize import BoundingBox
+from repro.core.sfc.hilbert import (
+    axes_from_hilbert_key,
+    hilbert_key_from_axes,
+    hilbert_keys,
+)
+
+
+def full_grid(ndim: int, bits: int) -> np.ndarray:
+    side = 1 << bits
+    axes = [np.arange(side)] * ndim
+    return (
+        np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1)
+        .reshape(-1, ndim)
+        .astype(np.uint64)
+    )
+
+
+@pytest.mark.parametrize("ndim,bits", [(1, 5), (2, 1), (2, 4), (3, 3), (4, 2)])
+class TestBijection:
+    def test_keys_are_a_permutation(self, ndim, bits):
+        axes = full_grid(ndim, bits)
+        keys = hilbert_key_from_axes(axes, bits)
+        assert np.array_equal(np.sort(keys), np.arange(axes.shape[0], dtype=np.uint64))
+
+    def test_inverse_roundtrip(self, ndim, bits):
+        axes = full_grid(ndim, bits)
+        keys = hilbert_key_from_axes(axes, bits)
+        back = axes_from_hilbert_key(keys, ndim, bits)
+        assert np.array_equal(back, axes)
+
+
+@pytest.mark.parametrize("ndim,bits", [(2, 4), (2, 5), (3, 3)])
+def test_adjacency_unit_steps(ndim, bits):
+    """Consecutive curve positions are lattice neighbours — the defining
+    Hilbert property the paper relies on for locality."""
+    axes = full_grid(ndim, bits)
+    keys = hilbert_key_from_axes(axes, bits)
+    pts = axes[np.argsort(keys)].astype(np.int64)
+    step = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+    assert np.all(step == 1)
+
+
+def test_curve_starts_at_origin():
+    axes = full_grid(2, 3)
+    keys = hilbert_key_from_axes(axes, 3)
+    start = axes[np.argsort(keys)][0]
+    assert np.array_equal(start, [0, 0])
+
+
+def test_nested_self_similarity():
+    """The first quarter of the order-(b) curve fills exactly one quadrant."""
+    bits = 4
+    axes = full_grid(2, bits)
+    keys = hilbert_key_from_axes(axes, bits)
+    order = np.argsort(keys)
+    first_quarter = axes[order[: 4 ** (bits - 1)]].astype(np.int64)
+    half = 1 << (bits - 1)
+    spanx = first_quarter[:, 0].max() - first_quarter[:, 0].min()
+    spany = first_quarter[:, 1].max() - first_quarter[:, 1].min()
+    assert spanx < half and spany < half
+
+
+class TestValidation:
+    def test_rejects_overflow_combination(self):
+        with pytest.raises(ValueError):
+            hilbert_key_from_axes(np.zeros((1, 3), dtype=np.uint64), 22)
+
+    def test_rejects_out_of_range_axes(self):
+        with pytest.raises(ValueError):
+            hilbert_key_from_axes(np.array([[16, 0]], dtype=np.uint64), 4)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hilbert_key_from_axes(np.zeros(4, dtype=np.uint64), 4)
+
+    def test_rejects_out_of_range_keys(self):
+        with pytest.raises(ValueError):
+            axes_from_hilbert_key(np.array([256], dtype=np.uint64), 2, 4)
+
+    def test_empty_input(self):
+        keys = hilbert_key_from_axes(np.empty((0, 2), dtype=np.uint64), 4)
+        assert keys.shape == (0,)
+        back = axes_from_hilbert_key(keys, 2, 4)
+        assert back.shape == (0, 2)
+
+
+class TestFloatInterface:
+    def test_keys_from_points_match_quantized_axes(self, rng):
+        pts = rng.random((500, 2))
+        keys = hilbert_keys(pts, bits=8)
+        assert keys.shape == (500,)
+        assert keys.max() < 1 << 16
+
+    def test_locality_beats_random(self, rng):
+        """Mean spatial distance between rank-neighbours must be far below
+        a random ordering's — the whole point of the curve."""
+        pts = rng.random((2000, 2))
+        keys = hilbert_keys(pts, bits=10)
+        order = np.argsort(keys)
+        d_h = np.linalg.norm(np.diff(pts[order], axis=0), axis=1).mean()
+        d_r = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert d_h < d_r / 5
+
+    def test_shared_bbox_consistency(self, rng):
+        pts = rng.random((100, 2))
+        bb = BoundingBox(np.zeros(2), np.ones(2) * 2)
+        k1 = hilbert_keys(pts, bits=8, bbox=bb)
+        k2 = hilbert_keys(pts * 1.0, bits=8, bbox=bb)
+        assert np.array_equal(k1, k2)
+
+    def test_rejects_too_many_bits(self, rng):
+        with pytest.raises(ValueError):
+            hilbert_keys(rng.random((4, 3)), bits=30)
+
+
+class TestMultiWordKeys:
+    """hilbert_words_from_axes / hilbert_argsort: ndim*bits > 64 support."""
+
+    def test_single_word_matches_packed(self, rng):
+        from repro.core.sfc.hilbert import hilbert_words_from_axes
+
+        axes = rng.integers(0, 16, (200, 3)).astype(np.uint64)
+        words = hilbert_words_from_axes(axes, 4)
+        packed = hilbert_key_from_axes(axes, 4)
+        assert words.shape == (200, 1)
+        assert np.array_equal(words[:, 0], packed)
+
+    def test_lexicographic_order_matches_curve_order(self, rng):
+        from repro.core.sfc.hilbert import hilbert_words_from_axes
+
+        axes = rng.integers(0, 1 << 11, (500, 3)).astype(np.uint64)
+        words = hilbert_words_from_axes(axes, 11)  # 33 bits: still 1 word
+        packed = hilbert_key_from_axes(axes, 11)
+        assert np.array_equal(
+            np.argsort(packed, kind="stable"), np.lexsort((words[:, 0],))
+        )
+
+    def test_big_resolution_orders_like_small(self, rng):
+        """At 30 bits/axis (90-bit keys) the ordering agrees with the
+        20-bit packed ordering wherever 20 bits already separate points."""
+        from repro.core.sfc.hilbert import hilbert_argsort
+
+        pts = rng.random((1000, 3))
+        o_small = hilbert_argsort(pts, bits=20)
+        o_big = hilbert_argsort(pts, bits=30)
+        d_small = np.linalg.norm(np.diff(pts[o_small], axis=0), axis=1).mean()
+        d_big = np.linalg.norm(np.diff(pts[o_big], axis=0), axis=1).mean()
+        assert abs(d_big - d_small) < 0.15 * d_small
+
+    def test_word_count(self, rng):
+        from repro.core.sfc.hilbert import hilbert_words_from_axes
+
+        axes = rng.integers(0, 4, (10, 3)).astype(np.uint64)
+        assert hilbert_words_from_axes(axes, 2).shape[1] == 1
+        axes30 = rng.integers(0, 1 << 30, (10, 3)).astype(np.uint64)
+        assert hilbert_words_from_axes(axes30, 30).shape[1] == 2
+
+    def test_rejects_bad_axes(self):
+        from repro.core.sfc.hilbert import hilbert_words_from_axes
+
+        with pytest.raises(ValueError):
+            hilbert_words_from_axes(np.array([[4, 0]], dtype=np.uint64), 2)
+
+    def test_1d_passthrough(self, rng):
+        from repro.core.sfc.hilbert import hilbert_words_from_axes
+
+        axes = rng.integers(0, 32, (20, 1)).astype(np.uint64)
+        words = hilbert_words_from_axes(axes, 5)
+        assert np.array_equal(words[:, -1], axes[:, 0])

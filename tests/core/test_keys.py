@@ -1,0 +1,104 @@
+"""Tests for row/column ordering keys and the generator registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import (
+    ORDERINGS,
+    column_key_from_axes,
+    column_keys,
+    key_generator,
+    row_key_from_axes,
+    row_keys,
+)
+
+
+class TestColumnRow3D:
+    def test_column_z_least_significant(self):
+        """Paper section 3.2: column ordering makes z the least significant
+        bits — points differing only in z are adjacent in key space."""
+        a = np.array([[1, 2, 3]], dtype=np.uint64)
+        b = np.array([[1, 2, 4]], dtype=np.uint64)
+        bits = 4
+        ka = column_key_from_axes(a, bits)[0]
+        kb = column_key_from_axes(b, bits)[0]
+        assert kb - ka == 1
+
+    def test_row_x_least_significant(self):
+        a = np.array([[3, 2, 1]], dtype=np.uint64)
+        b = np.array([[4, 2, 1]], dtype=np.uint64)
+        ka = row_key_from_axes(a, 4)[0]
+        kb = row_key_from_axes(b, 4)[0]
+        assert kb - ka == 1
+
+    def test_column_key_formula(self):
+        axes = np.array([[1, 2, 3]], dtype=np.uint64)
+        bits = 4
+        assert column_key_from_axes(axes, bits)[0] == (1 << 8) | (2 << 4) | 3
+
+    def test_row_key_formula(self):
+        axes = np.array([[1, 2, 3]], dtype=np.uint64)
+        bits = 4
+        assert row_key_from_axes(axes, bits)[0] == (3 << 8) | (2 << 4) | 1
+
+    def test_bijective_on_grid(self):
+        side = 8
+        axes3 = (
+            np.stack(np.meshgrid(*[np.arange(side)] * 3, indexing="ij"), axis=-1)
+            .reshape(-1, 3)
+            .astype(np.uint64)
+        )
+        for fn in (column_key_from_axes, row_key_from_axes):
+            keys = fn(axes3, 3)
+            assert np.unique(keys).shape[0] == side**3
+
+
+class TestColumnSlabs:
+    def test_column_order_is_slab_contiguous(self, rng):
+        """Sorting by column key slices space perpendicular to x: the first
+        half of the array must sit in the low-x half-space."""
+        pts = rng.random((4000, 3))
+        keys = column_keys(pts, bits=10)
+        order = np.argsort(keys, kind="stable")
+        first_half = pts[order[:2000]]
+        assert first_half[:, 0].max() < 0.55
+
+    def test_row_order_is_slab_contiguous_in_z(self, rng):
+        pts = rng.random((4000, 3))
+        keys = row_keys(pts, bits=10)
+        order = np.argsort(keys, kind="stable")
+        first_half = pts[order[:2000]]
+        assert first_half[:, 2].max() < 0.55
+
+
+class TestRegistry:
+    def test_all_four_orderings_present(self):
+        assert set(ORDERINGS) == {"hilbert", "morton", "column", "row"}
+
+    def test_lookup(self):
+        assert key_generator("hilbert") is ORDERINGS["hilbert"]
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            key_generator("zigzag")
+
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_generators_are_deterministic(self, name, rng):
+        pts = rng.random((100, 3))
+        k1 = key_generator(name)(pts, bits=8)
+        k2 = key_generator(name)(pts.copy(), bits=8)
+        assert np.array_equal(k1, k2)
+
+
+class TestValidation:
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            column_key_from_axes(np.zeros((1, 3), dtype=np.uint64), 22)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            row_key_from_axes(np.array([[9, 0]], dtype=np.uint64), 3)
+
+    def test_rejects_bits_for_float_interface(self, rng):
+        with pytest.raises(ValueError):
+            column_keys(rng.random((4, 3)), bits=30)

@@ -1,0 +1,99 @@
+"""Tests for the byte-level C-interface veneer."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import (
+    column_reorder_buffer,
+    hilbert_reorder_buffer,
+    morton_reorder_buffer,
+    reorder_buffer,
+    row_reorder_buffer,
+)
+
+
+def make_records(n: int, rng) -> tuple[bytearray, np.ndarray, int]:
+    """Records mimicking the paper's body struct: 3 doubles pos + 1 id."""
+    rec_size = 32
+    buf = bytearray(n * rec_size)
+    view = np.frombuffer(buf, dtype=np.float64).reshape(n, 4)
+    pts = rng.random((n, 3))
+    view[:, :3] = pts
+    view[:, 3] = np.arange(n)
+    return buf, pts, rec_size
+
+
+def coord(records: np.ndarray, i: int, d: int) -> float:
+    return float(np.frombuffer(records[i].tobytes(), dtype=np.float64)[d])
+
+
+class TestReorderBuffer:
+    def test_hilbert_moves_bytes_like_array_path(self, rng):
+        n = 64
+        buf, pts, size = make_records(n, rng)
+        perm = hilbert_reorder_buffer(buf, size, n, 3, coord)
+        from repro.core.reorder import hilbert_reorder
+
+        expected = hilbert_reorder(pts)
+        assert np.array_equal(perm, expected.perm)
+        ids = np.frombuffer(buf, dtype=np.float64).reshape(n, 4)[:, 3]
+        assert np.array_equal(ids.astype(int), expected.perm)
+
+    @pytest.mark.parametrize(
+        "fn", [column_reorder_buffer, row_reorder_buffer, morton_reorder_buffer]
+    )
+    def test_all_methods_permute(self, fn, rng):
+        n = 32
+        buf, _, size = make_records(n, rng)
+        perm = fn(buf, size, n, 3, coord)
+        assert np.array_equal(np.sort(perm), np.arange(n))
+        ids = np.frombuffer(buf, dtype=np.float64).reshape(n, 4)[:, 3]
+        assert np.array_equal(np.sort(ids.astype(int)), np.arange(n))
+
+    def test_partial_buffer_untouched(self, rng):
+        """Only the first num_of_objects records may move."""
+        n = 16
+        buf, _, size = make_records(n, rng)
+        tail_before = bytes(buf[8 * size :])
+        reorder_buffer("column", buf, size, 8, 3, coord)
+        assert bytes(buf[8 * size :]) == tail_before
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError, match="buffer holds"):
+            reorder_buffer("column", bytearray(10), 32, 4, 3, coord)
+
+    def test_rejects_readonly_buffer(self, rng):
+        n = 8
+        buf, _, size = make_records(n, rng)
+        with pytest.raises(ValueError, match="writable"):
+            reorder_buffer("column", bytes(buf), size, n, 3, coord)
+
+    def test_rejects_bad_object_size(self):
+        with pytest.raises(ValueError):
+            reorder_buffer("column", bytearray(8), 0, 1, 3, coord)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            reorder_buffer("column", bytearray(8), 8, -1, 3, coord)
+
+    def test_zero_objects_noop(self):
+        perm = reorder_buffer("hilbert", bytearray(64), 32, 0, 3, coord)
+        assert perm.shape == (0,)
+
+    def test_paper_snippet_translation(self, rng):
+        """The README/paper usage pattern: struct array + coord accessor."""
+        n = 24
+        dt = np.dtype([("type", "i2"), ("mass", "f4"), ("pos", "f8", 3)])
+        bodies = np.zeros(n, dtype=dt)
+        bodies["pos"] = rng.random((n, 3))
+        bodies["mass"] = np.arange(n)
+
+        def body_coord(records, i, dim):
+            rec = np.frombuffer(records[i].tobytes(), dtype=dt)[0]
+            return float(rec["pos"][dim])
+
+        buf = bodies.view(np.uint8).copy()
+        hilbert_reorder_buffer(buf, dt.itemsize, n, 3, body_coord)
+        moved = buf.view(dt)
+        assert set(moved["mass"].astype(int).tolist()) == set(range(n))
+        assert not np.array_equal(moved["mass"], bodies["mass"])

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the core reordering library."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.keys import column_key_from_axes, row_key_from_axes
+from repro.core.rank import invert_permutation, rank_keys
+from repro.core.reorder import Reordering, reorder
+from repro.core.sfc.hilbert import axes_from_hilbert_key, hilbert_key_from_axes
+from repro.core.sfc.morton import axes_from_morton_key, morton_key_from_axes
+
+dims = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def axes_arrays(draw):
+    ndim = draw(dims)
+    bits = draw(st.integers(min_value=1, max_value=min(8, 64 // ndim)))
+    n = draw(st.integers(min_value=0, max_value=64))
+    vals = draw(
+        arrays(
+            dtype=np.uint64,
+            shape=(n, ndim),
+            elements=st.integers(min_value=0, max_value=(1 << bits) - 1),
+        )
+    )
+    return vals, ndim, bits
+
+
+@given(axes_arrays())
+@settings(max_examples=100, deadline=None)
+def test_hilbert_roundtrip(data):
+    axes, ndim, bits = data
+    keys = hilbert_key_from_axes(axes, bits)
+    assert keys.shape == (axes.shape[0],)
+    if ndim * bits < 64:
+        assert keys.max(initial=0) < (1 << (ndim * bits))
+    back = axes_from_hilbert_key(keys, ndim, bits)
+    assert np.array_equal(back, axes)
+
+
+@given(axes_arrays())
+@settings(max_examples=100, deadline=None)
+def test_morton_roundtrip(data):
+    axes, ndim, bits = data
+    keys = morton_key_from_axes(axes, bits)
+    back = axes_from_morton_key(keys, ndim, bits)
+    assert np.array_equal(back, axes)
+
+
+@given(axes_arrays())
+@settings(max_examples=50, deadline=None)
+def test_hilbert_injective_on_distinct_axes(data):
+    axes, ndim, bits = data
+    uniq = np.unique(axes, axis=0)
+    keys = hilbert_key_from_axes(uniq, bits)
+    assert np.unique(keys).shape[0] == uniq.shape[0]
+
+
+@given(axes_arrays())
+@settings(max_examples=50, deadline=None)
+def test_column_row_order_reversal_symmetry(data):
+    """Column and row keys are the same construction with axes reversed."""
+    axes, ndim, bits = data
+    k_col = column_key_from_axes(axes, bits)
+    k_row = row_key_from_axes(axes[:, ::-1].copy(), bits)
+    assert np.array_equal(k_col, k_row)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=200)
+)
+@settings(max_examples=100, deadline=None)
+def test_rank_keys_inverse_property(keys_list):
+    keys = np.array(keys_list, dtype=np.int64)
+    perm, rank = rank_keys(keys)
+    n = keys.shape[0]
+    assert np.array_equal(np.sort(perm), np.arange(n))
+    assert np.array_equal(rank[perm], np.arange(n))
+    assert np.all(np.diff(keys[perm]) >= 0)
+
+
+@given(st.integers(min_value=1, max_value=300), st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_invert_permutation_is_involution(n, pyrandom):
+    perm = np.array(pyrandom.sample(range(n), n), dtype=np.int64)
+    assert np.array_equal(invert_permutation(invert_permutation(perm)), perm)
+
+
+@st.composite
+def point_clouds(draw):
+    n = draw(st.integers(min_value=1, max_value=128))
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    pts = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, ndim),
+            elements=st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    return pts
+
+
+@given(point_clouds(), st.sampled_from(["hilbert", "morton", "column", "row"]))
+@settings(max_examples=100, deadline=None)
+def test_reorder_always_yields_valid_permutation(pts, method):
+    r = reorder(method, coords=pts)
+    n = pts.shape[0]
+    assert np.array_equal(np.sort(r.perm), np.arange(n))
+    assert np.array_equal(r.rank[r.perm], np.arange(n))
+
+
+@given(point_clouds())
+@settings(max_examples=50, deadline=None)
+def test_remap_dereference_invariant(pts):
+    """objects[idx] before == reordered[remap(idx)] after, always."""
+    r = reorder("hilbert", coords=pts)
+    n = pts.shape[0]
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, n, 64)
+    assert np.allclose(r.apply(pts)[r.remap_indices(idx)], pts[idx])
+
+
+@given(st.integers(min_value=1, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_identity_reordering_fixed_point(n):
+    r = Reordering.identity(n)
+    assert np.array_equal(r.compose(r).perm, r.perm)
+    assert np.array_equal(r.inverse().perm, r.perm)

@@ -1,0 +1,94 @@
+"""Tests for coordinate quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantize import BoundingBox, dequantize_centers, quantize
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.0]])
+        bb = BoundingBox.of(pts)
+        assert np.array_equal(bb.lo, [0.0, -1.0])
+        assert np.array_equal(bb.hi, [2.0, 1.0])
+        assert bb.ndim == 2
+
+    def test_degenerate_axis_gets_unit_extent(self):
+        bb = BoundingBox(np.array([1.0, 2.0]), np.array([1.0, 5.0]))
+        assert bb.extent[0] == 1.0
+        assert bb.extent[1] == 3.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([0.0, 0.0]), np.array([1.0]))
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of(np.empty((0, 3)))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of(np.array([[0.0, np.nan]]))
+
+
+class TestQuantize:
+    def test_range(self, rng):
+        pts = rng.random((100, 3))
+        cells = quantize(pts, 8)
+        assert cells.dtype == np.uint64
+        assert cells.max() < 256
+
+    def test_corners_map_to_extreme_cells(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        cells = quantize(pts, 4)
+        assert np.array_equal(cells[0], [0, 0])
+        assert np.array_equal(cells[1], [15, 15])
+
+    def test_monotone_in_each_axis(self, rng):
+        x = np.sort(rng.random(50))
+        pts = np.stack([x, np.zeros(50)], axis=1)
+        cells = quantize(pts, 10)
+        assert np.all(np.diff(cells[:, 0].astype(np.int64)) >= 0)
+
+    def test_clip_outside_bbox(self):
+        bb = BoundingBox(np.array([0.0]), np.array([1.0]))
+        cells = quantize(np.array([[-5.0], [5.0]]), 4, bb)
+        assert cells[0, 0] == 0
+        assert cells[1, 0] == 15
+
+    def test_empty_input(self):
+        out = quantize(np.empty((0, 3)), 8)
+        assert out.shape == (0, 3)
+
+    def test_rejects_bad_bits(self, rng):
+        with pytest.raises(ValueError):
+            quantize(rng.random((4, 2)), 0)
+        with pytest.raises(ValueError):
+            quantize(rng.random((4, 2)), 63)
+
+    def test_rejects_bbox_dim_mismatch(self, rng):
+        bb = BoundingBox(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError):
+            quantize(rng.random((4, 2)), 8, bb)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([[np.inf, 0.0]]), 8)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            quantize(rng.random(8), 8)
+
+    def test_roundtrip_within_half_cell(self, rng):
+        pts = rng.random((200, 3)) * 4 - 2
+        bb = BoundingBox.of(pts)
+        bits = 12
+        cells = quantize(pts, bits, bb)
+        back = dequantize_centers(cells, bits, bb)
+        cell_size = bb.extent / (1 << bits)
+        assert np.all(np.abs(back - pts) <= cell_size * 0.5 + 1e-12)

@@ -1,0 +1,89 @@
+"""Property-based tests for quantization and the key pipeline end to end."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.keys import ORDERINGS, key_generator
+from repro.core.quantize import BoundingBox, quantize
+
+
+@st.composite
+def finite_points(draw):
+    n = draw(st.integers(min_value=1, max_value=100))
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    return draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, ndim),
+            elements=st.floats(
+                min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+
+
+@given(finite_points(), st.integers(min_value=1, max_value=16))
+@settings(max_examples=100, deadline=None)
+def test_quantize_in_range(pts, bits):
+    cells = quantize(pts, bits)
+    assert cells.shape == pts.shape
+    assert cells.max(initial=0) < (1 << bits)
+
+
+@given(finite_points(), st.integers(min_value=1, max_value=12))
+@settings(max_examples=100, deadline=None)
+def test_quantize_monotone_per_axis(pts, bits):
+    """x <= y implies cell(x) <= cell(y), per axis."""
+    cells = quantize(pts, bits)
+    for d in range(pts.shape[1]):
+        order = np.argsort(pts[:, d], kind="stable")
+        assert np.all(np.diff(cells[order, d].astype(np.int64)) >= 0)
+
+
+@given(finite_points(), st.integers(min_value=1, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_quantize_translation_invariant(pts, bits):
+    """Shifting all points (and the box) leaves the cells unchanged, as
+    long as the shift does not swamp the extent in float precision."""
+    from hypothesis import assume
+
+    bb = BoundingBox.of(pts)
+    shift = 123.456
+    assume(float(bb.extent.min()) > 1e-6 * abs(shift))
+    a = quantize(pts, bits, bb)
+    bb2 = BoundingBox(bb.lo + shift, bb.hi + shift)
+    b = quantize(pts + shift, bits, bb2)
+    # Floating-point at the cell boundaries can flip by one cell.
+    assert np.all(np.abs(a.astype(np.int64) - b.astype(np.int64)) <= 1)
+
+
+@given(
+    finite_points(),
+    st.sampled_from(sorted(ORDERINGS)),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_keys_respect_shared_cells(pts, name, bits):
+    """Points that quantize to the same cell get the same key — orderings
+    are functions of the lattice, nothing finer."""
+    gen = key_generator(name)
+    if pts.shape[1] * bits > 64:
+        return
+    keys = gen(pts, bits=bits)
+    cells = quantize(pts, bits)
+    _, inverse = np.unique(cells, axis=0, return_inverse=True)
+    for group in range(inverse.max() + 1):
+        sel = inverse == group
+        assert np.unique(keys[sel]).shape[0] == 1
+
+
+@given(finite_points(), st.sampled_from(sorted(ORDERINGS)))
+@settings(max_examples=50, deadline=None)
+def test_scale_invariance_of_orderings(pts, name):
+    """Uniformly scaling the coordinates never changes the ordering."""
+    gen = key_generator(name)
+    k1 = gen(pts, bits=8)
+    k2 = gen(pts * 7.5, bits=8)
+    assert np.array_equal(np.argsort(k1, kind="stable"), np.argsort(k2, kind="stable"))

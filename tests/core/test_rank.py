@@ -1,0 +1,58 @@
+"""Tests for key ranking and permutation inversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.rank import invert_permutation, rank_keys
+
+
+class TestRankKeys:
+    def test_sorted_keys_give_identity(self):
+        perm, rank = rank_keys(np.arange(10))
+        assert np.array_equal(perm, np.arange(10))
+        assert np.array_equal(rank, np.arange(10))
+
+    def test_reverse_keys(self):
+        perm, rank = rank_keys(np.arange(5)[::-1].copy())
+        assert np.array_equal(perm, [4, 3, 2, 1, 0])
+        assert np.array_equal(rank, [4, 3, 2, 1, 0])
+
+    def test_perm_and_rank_are_inverses(self, rng):
+        keys = rng.integers(0, 1000, 500)
+        perm, rank = rank_keys(keys)
+        assert np.array_equal(rank[perm], np.arange(500))
+        assert np.array_equal(perm[rank], np.arange(500))
+
+    def test_gather_by_perm_sorts(self, rng):
+        keys = rng.integers(0, 100, 200)
+        perm, _ = rank_keys(keys)
+        assert np.all(np.diff(keys[perm]) >= 0)
+
+    def test_stability_on_ties(self):
+        keys = np.array([1, 0, 1, 0, 1])
+        perm, _ = rank_keys(keys)
+        assert perm.tolist() == [1, 3, 0, 2, 4]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rank_keys(np.zeros((2, 2)))
+
+    def test_empty(self):
+        perm, rank = rank_keys(np.array([]))
+        assert perm.shape == (0,)
+        assert rank.shape == (0,)
+
+
+class TestInvertPermutation:
+    def test_roundtrip(self, rng):
+        perm = rng.permutation(100)
+        inv = invert_permutation(perm)
+        assert np.array_equal(inv[perm], np.arange(100))
+
+    def test_involution(self, rng):
+        perm = rng.permutation(64)
+        assert np.array_equal(invert_permutation(invert_permutation(perm)), perm)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            invert_permutation(np.zeros((2, 2), dtype=np.int64))

@@ -1,0 +1,70 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    curve_quality,
+    object_size_sweep,
+    page_size_sweep,
+    sequential_locality,
+)
+
+
+class TestPageSizeSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return page_size_sweep(n=1024, nprocs=8, page_sizes=(128, 4096), iterations=2)
+
+    def test_crossover(self, sweep):
+        """The paper's section 3.4 argument, observed directly: with
+        page-sized units column ordering sends fewer messages; with
+        line-sized units Hilbert does."""
+        by_page = {r["page_size"]: r for r in sweep}
+        assert by_page[4096]["column_messages"] < by_page[4096]["hilbert_messages"]
+        assert by_page[128]["hilbert_messages"] < by_page[128]["column_messages"]
+
+    def test_fewer_faults_with_bigger_pages(self, sweep):
+        """Aggregation: larger units mean fewer (but fatter) exchanges."""
+        by_page = {r["page_size"]: r for r in sweep}
+        assert by_page[4096]["column_messages"] < by_page[128]["column_messages"]
+
+
+class TestObjectSizeSweep:
+    def test_large_objects_kill_false_sharing(self):
+        rows = object_size_sweep(n=512, nprocs=8, object_sizes=(32, 680))
+        small = rows[0]
+        large = rows[1]
+        frac_small = small["original_shared_lines"] / small["original_lines"]
+        frac_large = large["original_shared_lines"] / large["original_lines"]
+        assert frac_large < frac_small
+
+    def test_reordering_removes_shared_lines_for_small_objects(self):
+        rows = object_size_sweep(n=512, nprocs=8, object_sizes=(32,))
+        r = rows[0]
+        assert r["hilbert_shared_lines"] < r["original_shared_lines"]
+
+
+class TestCurveQuality:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.ordering: r for r in curve_quality(n=1024)}
+
+    def test_hilbert_best_page_spread_among_curves(self, rows):
+        """Hilbert packs each molecule's partners onto the fewest pages —
+        the metric that matters for consistency-unit traffic.  (Mean rank
+        gap is nearly identical between the two curves.)"""
+        assert rows["hilbert"].page_spread <= rows["morton"].page_spread
+        assert rows["hilbert"].mean_neighbor_gap <= 1.05 * rows["morton"].mean_neighbor_gap
+
+    def test_all_orderings_reported(self, rows):
+        assert set(rows) == {"hilbert", "morton", "column", "row"}
+
+    def test_page_spread_positive(self, rows):
+        assert all(r.page_spread >= 1 for r in rows.values())
+
+
+class TestSequentialLocality:
+    def test_hilbert_cuts_tlb_misses(self):
+        out = sequential_locality(n=1024, tlb_entries=8, page_size=4096)
+        assert out["hilbert"]["tlb_misses"] < out["original"]["tlb_misses"]
+        assert out["original"]["accesses"] > 0

@@ -1,0 +1,91 @@
+"""Tests for the layout diagnosis tool."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.analysis import diagnose
+from repro.machines.params import cluster_scaled, origin2000_scaled
+from repro.trace.builder import TraceBuilder
+
+
+def scattered_trace(nprocs=4, n=256):
+    """Everyone writes everywhere: maximally falsely shared."""
+    rng = np.random.default_rng(0)
+    tb = TraceBuilder(nprocs)
+    r = tb.add_region("objs", n, 64)
+    owner = rng.integers(0, nprocs, n)
+    for _ in range(3):
+        for p in range(nprocs):
+            mine = np.nonzero(owner == p)[0]
+            tb.update(p, r, mine)
+            tb.work(p, mine.shape[0])
+        tb.barrier()
+    return tb.finish()
+
+
+def blocked_trace(nprocs=4, n=256):
+    tb = TraceBuilder(nprocs)
+    r = tb.add_region("objs", n, 64)
+    for _ in range(3):
+        for p in range(nprocs):
+            mine = np.arange(p * (n // nprocs), (p + 1) * (n // nprocs))
+            tb.update(p, r, mine)
+            tb.work(p, mine.shape[0])
+        tb.barrier()
+    return tb.finish()
+
+
+@pytest.fixture
+def params():
+    return origin2000_scaled(256, 4), cluster_scaled(nprocs=4)
+
+
+class TestDiagnose:
+    def test_scattered_flagged(self, params):
+        hw, cl = params
+        d = diagnose(scattered_trace(), hw, cl)
+        assert d.region_sharers["objs"] > 3.0
+        assert any("falsely shared" in n for n in d.notes)
+        assert d.tm_data_factor > 1.0
+
+    def test_blocked_clean(self, params):
+        hw, cl = params
+        d = diagnose(blocked_trace(), hw, cl)
+        assert d.region_sharers["objs"] <= 1.5
+        assert not any("falsely shared" in n for n in d.notes)
+
+    def test_miss_breakdown_sums(self, params):
+        hw, cl = params
+        d = diagnose(scattered_trace(), hw, cl)
+        assert d.cold_misses + d.coherence_misses + d.capacity_misses == d.l2_misses
+
+    def test_rows_render(self, params):
+        hw, cl = params
+        d = diagnose(blocked_trace(), hw, cl)
+        rows = d.rows()
+        metrics = {r[0] for r in rows}
+        assert "L2 misses" in metrics
+        assert "TreadMarks messages" in metrics
+        from repro.experiments.report import render_table
+
+        out = render_table(["metric", "value"], rows)
+        assert "HLRC" in out
+
+    def test_scattered_worse_than_blocked_everywhere(self, params):
+        hw, cl = params
+        bad = diagnose(scattered_trace(), hw, cl)
+        good = diagnose(blocked_trace(), hw, cl)
+        assert bad.tm_messages > good.tm_messages
+        assert bad.coherence_misses > good.coherence_misses
+        assert bad.hlrc_data_mbytes > good.hlrc_data_mbytes
+
+
+class TestDiagnoseCLI:
+    def test_cli_diagnose(self, capsys):
+        from repro.cli import main
+
+        code = main(["--n", "256", "diagnose", "moldyn", "--version", "column"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Diagnosis: moldyn (column)" in out
+        assert "TreadMarks messages" in out

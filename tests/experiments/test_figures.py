@@ -1,0 +1,81 @@
+"""Tests for the figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    barnes_update_pages,
+    fig1_fig4,
+    fig2_fig5,
+    fig3,
+    fig6,
+)
+
+
+class TestFig1Fig4:
+    def test_paper_geometry(self):
+        out = fig1_fig4(n=168, nprocs=4)
+        page, owner = out["original"]
+        assert page.max() == 3  # four 4KB pages of 96-byte records
+        assert set(owner.tolist()) == {0, 1, 2, 3}
+
+    def test_hilbert_concentrates_pages(self):
+        out = fig1_fig4(n=168, nprocs=4)
+
+        def pages_per_proc(version):
+            page, owner = out[version]
+            return np.mean(
+                [np.unique(page[owner == p]).shape[0] for p in range(4)]
+            )
+
+        assert pages_per_proc("hilbert") < pages_per_proc("original")
+
+
+class TestFig2Fig5:
+    def test_sharer_reduction_shape(self):
+        out = fig2_fig5(n=4096, procs=(4, 16), object_size=208, page_size=8192)
+        orig16 = out["original"][16]
+        hil16 = out["hilbert"][16]
+        assert orig16.mean() > 3 * hil16.mean()
+
+    def test_more_procs_more_sharers_when_random(self):
+        out = fig2_fig5(n=4096, procs=(2, 8), object_size=208, page_size=8192)
+        assert out["original"][8].mean() > out["original"][2].mean()
+
+    def test_paper_scale_page_count(self):
+        out = fig2_fig5(n=32768, procs=(16,), object_size=208, page_size=8192)
+        assert out["original"][16].shape[0] == 832  # 32768*208/8192
+
+
+class TestFig3:
+    def test_each_ordering_is_a_tour(self):
+        out = fig3(8)
+        assert set(out) == {"morton", "hilbert", "column", "row"}
+        for path in out.values():
+            cells = {(int(x), int(y)) for x, y in path.tolist()}
+            assert len(cells) == 64
+
+    def test_hilbert_path_unit_steps(self):
+        path = fig3(8)["hilbert"]
+        steps = np.abs(np.diff(path, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_column_path_is_column_major(self):
+        path = fig3(4)["column"]
+        # x (axis 0) most significant: first 4 visits share x=0.
+        assert np.all(path[:4, 0] == 0)
+
+
+class TestFig6:
+    def test_column_fewest_partner_procs(self):
+        rows = {r.ordering: r for r in fig6(n=1024, nprocs=8, seed=1)}
+        assert rows["column"].partner_procs <= rows["hilbert"].partner_procs
+        assert rows["column"].remote_partner_pages < rows["original"].remote_partner_pages
+
+    def test_original_worst_pages(self):
+        rows = {r.ordering: r for r in fig6(n=1024, nprocs=8, seed=1)}
+        for ordering in ("column", "hilbert", "row", "morton"):
+            assert (
+                rows[ordering].remote_partner_pages
+                < rows["original"].remote_partner_pages
+            )

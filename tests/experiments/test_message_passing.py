@@ -1,0 +1,98 @@
+"""Tests for the ideal message-passing analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.message_passing import (
+    MessagePassingResult,
+    dsm_overhead,
+    ideal_message_passing,
+)
+from repro.machines import simulate_treadmarks
+from repro.trace.builder import TraceBuilder
+
+
+class TestIdealMessagePassing:
+    def test_no_remote_reads_no_traffic(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 16, 8)
+        tb.write(0, r, np.arange(8))
+        tb.write(1, r, np.arange(8, 16))
+        tb.barrier()
+        tb.read(0, r, np.arange(8))
+        tb.read(1, r, np.arange(8, 16))
+        res = ideal_message_passing(tb.finish())
+        assert res.data_bytes == 0
+        assert res.messages == 0
+
+    def test_remote_read_ships_exact_bytes(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 16, 8)
+        tb.write(0, r, np.arange(8))
+        tb.barrier()
+        tb.read(1, r, np.array([0, 1, 2]))
+        res = ideal_message_passing(tb.finish())
+        assert res.data_bytes == 3 * 8
+        assert res.remote_reads == 3
+        assert res.messages == 1  # one producer->consumer pair
+
+    def test_initial_data_is_free(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 16, 8)
+        tb.read(1, r, np.arange(16))  # never written: replicated input
+        res = ideal_message_passing(tb.finish())
+        assert res.data_bytes == 0
+
+    def test_duplicate_reads_counted_once_per_epoch(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 16, 8)
+        tb.write(0, r, [0])
+        tb.barrier()
+        tb.read(1, r, np.array([0, 0, 0, 0]))
+        res = ideal_message_passing(tb.finish())
+        assert res.remote_reads == 1
+
+    def test_same_epoch_write_read_not_shipped(self):
+        """Barrier semantics: a value written in epoch e is consumed
+        remotely only from epoch e+1 on."""
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 16, 8)
+        tb.write(0, r, [0])
+        tb.read(1, r, [0])  # same epoch: reads the pre-epoch (initial) value
+        res = ideal_message_passing(tb.finish())
+        assert res.data_bytes == 0
+
+    def test_pair_aggregation(self):
+        tb = TraceBuilder(3)
+        r = tb.add_region("o", 16, 8)
+        tb.write(0, r, np.arange(8))
+        tb.barrier()
+        tb.read(1, r, np.array([0, 1]))
+        tb.read(2, r, np.array([2]))
+        res = ideal_message_passing(tb.finish())
+        assert res.messages == 2  # 0->1 and 0->2
+
+
+class TestOverhead:
+    def test_reordering_closes_the_gap(self):
+        from repro.apps import AppConfig, Moldyn
+
+        factors = {}
+        for version in ("original", "column"):
+            app = Moldyn(AppConfig(n=512, nprocs=8, iterations=3, seed=1))
+            if version != "original":
+                app.reorder(version)
+            trace = app.run()
+            ov = dsm_overhead(simulate_treadmarks(trace), ideal_message_passing(trace))
+            factors[version] = ov["data_factor"]
+        assert factors["column"] < factors["original"]
+        assert factors["column"] >= 1.0  # a DSM can't beat the ideal
+
+    def test_overhead_handles_zero_ideal(self):
+        ideal = MessagePassingResult(nprocs=2, messages=0, data_bytes=0, remote_reads=0)
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 8)
+        tb.read(0, r, [0])
+        res = simulate_treadmarks(tb.finish())
+        ov = dsm_overhead(res, ideal)
+        assert ov["data_factor"] > 0

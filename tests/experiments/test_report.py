@@ -1,0 +1,73 @@
+"""Tests for the ASCII report renderers."""
+
+import numpy as np
+
+from repro.experiments.report import (
+    hbar,
+    render_path,
+    render_series,
+    render_table,
+    render_update_map,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["name", "value"], [["a", 1.5], ["bb", 12345]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "12,345" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_float_formats(self):
+        out = render_table(["x"], [[0.123456], [1234.5], [56.78]])
+        assert "0.123" in out
+        assert "1,234" in out or "1,235" in out
+        assert "56.8" in out
+
+
+class TestHbar:
+    def test_proportional(self):
+        assert len(hbar(5, 10, width=10)) == 5
+        assert hbar(0, 10) == ""
+        assert hbar(1, 0) == ""
+
+
+class TestRenderSeries:
+    def test_summary_stats(self):
+        out = render_series({"s": np.array([1.0, 2.0, 3.0])}, title="F")
+        assert "mean=2" in out
+        assert "min=1" in out and "max=3" in out
+
+    def test_empty_series(self):
+        out = render_series({"s": np.array([])})
+        assert "(empty)" in out
+
+    def test_long_series_bucketed(self):
+        out = render_series({"s": np.arange(1000, dtype=float)})
+        assert "|" in out
+
+
+class TestRenderUpdateMap:
+    def test_one_row_per_proc_with_page_bars(self):
+        page = np.array([0, 0, 1, 1])
+        owner = np.array([0, 1, 0, 1])
+        out = render_update_map(page, owner, 2)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("|") == 1
+        assert lines[0].endswith("*.|*.")
+
+
+class TestRenderPath:
+    def test_grid_contains_all_steps(self):
+        path = np.array([[x, y] for y in range(2) for x in range(2)])
+        out = render_path(path, 2)
+        nums = {int(tok) for tok in out.split()}
+        assert nums == {0, 1, 2, 3}

@@ -1,0 +1,134 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    RunRecord,
+    Scale,
+    clear_cache,
+    make_app,
+    run_one,
+    run_suite,
+    versions_for,
+)
+
+
+@pytest.fixture
+def tiny():
+    return Scale.tiny()
+
+
+class TestScale:
+    def test_default_covers_all_apps(self):
+        s = Scale()
+        from repro.apps import APP_REGISTRY
+
+        assert set(s.n) == set(APP_REGISTRY)
+        assert set(s.iterations) == set(APP_REGISTRY)
+
+    def test_paper_sizes(self):
+        s = Scale.paper()
+        assert s.n["barnes-hut"] == 65536
+        assert s.n["moldyn"] == 32000
+        assert s.iterations["moldyn"] == 40
+        assert s.hw_scale == 1.0
+
+    def test_config(self, tiny):
+        cfg = tiny.config("moldyn")
+        assert cfg.n == tiny.n["moldyn"]
+        assert cfg.nprocs == 16
+        assert tiny.config("moldyn", nprocs=1).nprocs == 1
+
+    def test_hardware_params_scaled(self, tiny):
+        hp = tiny.hardware()
+        assert hp.l2_bytes < 8 * 1024 * 1024
+
+
+class TestVersionsFor:
+    def test_category2_gets_column(self):
+        assert versions_for("moldyn") == ("original", "hilbert", "column")
+        assert versions_for("unstructured") == ("original", "hilbert", "column")
+
+    def test_category1_hilbert_only(self):
+        assert versions_for("barnes-hut") == ("original", "hilbert")
+        assert versions_for("water-spatial") == ("original", "hilbert")
+
+
+class TestMakeApp:
+    def test_applies_version(self, tiny):
+        app = make_app("moldyn", tiny.config("moldyn"), "column")
+        assert app.reordered_by == "column"
+
+    def test_unknown_app(self, tiny):
+        with pytest.raises(ValueError, match="unknown application"):
+            make_app("nope", tiny.config("moldyn"))
+
+
+class TestRunOne:
+    def test_origin_record_fields(self, tiny):
+        rec = run_one("moldyn", "original", "origin", tiny)
+        assert rec.time > 0
+        assert rec.seq_time > 0
+        assert rec.l2_misses > 0
+        assert rec.reorder_time == 0.0
+        assert rec.messages == 0  # DSM-only field
+
+    def test_dsm_record_fields(self, tiny):
+        rec = run_one("moldyn", "column", "treadmarks", tiny)
+        assert rec.messages > 0
+        assert rec.data_mbytes > 0
+        assert rec.reorder_time > 0  # reordered version pays the cost
+
+    def test_speedup_includes_reorder_cost(self, tiny):
+        rec = run_one("moldyn", "column", "hlrc", tiny)
+        assert rec.speedup == pytest.approx(
+            rec.seq_time / (rec.time + rec.reorder_time)
+        )
+
+    def test_memoized(self, tiny):
+        a = run_one("moldyn", "original", "origin", tiny)
+        b = run_one("moldyn", "original", "origin", tiny)
+        assert a is b
+        clear_cache()
+        c = run_one("moldyn", "original", "origin", tiny)
+        assert c is not a
+        assert c.time == a.time  # deterministic
+
+    def test_unknown_platform(self, tiny):
+        with pytest.raises(ValueError, match="unknown platform"):
+            run_one("moldyn", "original", "mars", tiny)
+
+
+class TestRunSuite:
+    def test_one_app_all_platforms(self, tiny):
+        recs = run_suite(apps=("moldyn",), scale=tiny)
+        assert len(recs) == 3 * 3  # 3 versions x 3 platforms
+        assert {r.platform for r in recs} == {"origin", "treadmarks", "hlrc"}
+
+    def test_record_speedups_positive(self, tiny):
+        recs = run_suite(apps=("moldyn",), platforms=("treadmarks",), scale=tiny)
+        assert all(r.speedup > 0 for r in recs)
+
+
+class TestScalingCurve:
+    def test_baseline_consistency(self, tiny):
+        """All points share the 1-proc original baseline; at P=1 the
+        speedup of the original is ~1 by construction."""
+        from repro.experiments.scaling import scaling_curve
+
+        pts = scaling_curve(
+            "moldyn", "hlrc", versions=("original",), procs=(1, 4), scale=tiny
+        )
+        by = {(p.nprocs, p.version): p for p in pts}
+        assert by[(1, "original")].speedup == pytest.approx(1.0, rel=0.15)
+
+    def test_all_cells_present(self, tiny):
+        from repro.experiments.scaling import scaling_curve
+
+        pts = scaling_curve(
+            "moldyn", "hlrc", versions=("original", "column"), procs=(2,), scale=tiny
+        )
+        assert {(p.nprocs, p.version) for p in pts} == {
+            (2, "original"), (2, "column"),
+        }

@@ -1,0 +1,147 @@
+"""Integration tests: the paper's headline qualitative results.
+
+Each test asserts one "shape" from the evaluation (section 5) on reduced
+problem sizes — who wins, in which direction, roughly how strongly.  These
+are the contract the benchmark harness is expected to reproduce at full
+scale; see EXPERIMENTS.md for measured factors versus the paper's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_REGISTRY, AppConfig
+from repro.experiments.runner import Scale, run_one
+from repro.machines import simulate_hlrc, simulate_treadmarks
+from repro.trace import Layout, mean_sharers, page_sharers
+
+
+@pytest.fixture(scope="module")
+def scale():
+    # Mid-sized: big enough for stable shapes, small enough for CI.
+    return Scale(
+        n={k: 2048 for k in APP_REGISTRY},
+        iterations={
+            "barnes-hut": 2,
+            "fmm": 2,
+            "water-spatial": 2,
+            "moldyn": 4,
+            "unstructured": 4,
+        },
+        hw_scale=32.0,
+    )
+
+
+class TestFig2Fig5Shape:
+    def test_sharers_drop_to_a_third_or_less(self):
+        """Paper: 'On 16 processors, the average number of processors
+        sharing a page is reduced from 9.5 to 3.'"""
+        from repro.experiments.figures import fig2_fig5
+
+        out = fig2_fig5(n=8192, procs=(16,), object_size=208, page_size=8192)
+        before = out["original"][16].mean()
+        after = out["hilbert"][16].mean()
+        assert before > 8.0
+        assert after < before / 3.0
+
+
+class TestDSMShapes:
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_every_app_improves_on_treadmarks(self, name, scale):
+        orig = run_one(name, "original", "treadmarks", scale)
+        best_version = "column" if APP_REGISTRY[name].category == 2 else "hilbert"
+        reord = run_one(name, best_version, "treadmarks", scale)
+        assert reord.speedup > orig.speedup
+
+    @pytest.mark.parametrize("name", sorted(APP_REGISTRY))
+    def test_every_app_improves_on_hlrc(self, name, scale):
+        orig = run_one(name, "original", "hlrc", scale)
+        best_version = "column" if APP_REGISTRY[name].category == 2 else "hilbert"
+        reord = run_one(name, best_version, "hlrc", scale)
+        assert reord.speedup > orig.speedup
+
+    def test_column_beats_hilbert_on_dsm_for_moldyn(self, scale):
+        """Paper section 5.3.2: on software DSMs column reordering
+        outperforms Hilbert for the block-partitioned applications — by
+        ~3x for Moldyn.  (For Unstructured the paper's 1.18x gap is inside
+        our synthetic-mesh noise; see EXPERIMENTS.md deviation D3.)"""
+        col = run_one("moldyn", "column", "treadmarks", scale)
+        hil = run_one("moldyn", "hilbert", "treadmarks", scale)
+        assert col.messages < hil.messages
+        assert col.time < hil.time
+
+    def test_reordering_cuts_data_and_messages(self, scale):
+        """Paper: reordered versions send 2.0-3.7x less data and 1.4-12.3x
+        fewer messages on TreadMarks."""
+        for name in APP_REGISTRY:
+            best = "column" if APP_REGISTRY[name].category == 2 else "hilbert"
+            orig = run_one(name, "original", "treadmarks", scale)
+            reord = run_one(name, best, "treadmarks", scale)
+            assert reord.data_mbytes < orig.data_mbytes / 1.3, name
+            assert reord.messages < orig.messages / 1.3, name
+
+    def test_tm_gains_more_than_hlrc_from_reordering(self, scale):
+        """Paper section 5.2: the same false-sharing reduction buys more on
+        TreadMarks because it sends many more messages."""
+        name = "barnes-hut"
+        tm_gain = (
+            run_one(name, "hilbert", "treadmarks", scale).speedup
+            / run_one(name, "original", "treadmarks", scale).speedup
+        )
+        hlrc_gain = (
+            run_one(name, "hilbert", "hlrc", scale).speedup
+            / run_one(name, "original", "hlrc", scale).speedup
+        )
+        assert tm_gain > hlrc_gain
+
+
+class TestOriginShapes:
+    @pytest.mark.parametrize("name", ["barnes-hut", "fmm", "moldyn", "unstructured"])
+    def test_reordering_cuts_misses_on_hardware(self, name, scale):
+        """All apps except Water-Spatial gain on the Origin (Table 2)."""
+        orig = run_one(name, "original", "origin", scale)
+        reord = run_one(name, "hilbert", "origin", scale)
+        assert reord.l2_misses < orig.l2_misses
+        assert reord.tlb_misses < orig.tlb_misses
+
+    def test_hilbert_beats_column_on_hardware_for_category2(self, scale):
+        """Paper: on the Origin, Hilbert gives ~22% better speedup than
+        column for Moldyn (small coherence units favour cubes)."""
+        for name in ("moldyn", "unstructured"):
+            hil = run_one(name, "hilbert", "origin", scale)
+            col = run_one(name, "column", "origin", scale)
+            assert hil.l2_misses < col.l2_misses, name
+
+    def test_water_spatial_l2_insensitive(self, scale):
+        """680-byte molecules >> 128-byte lines: reordering moves L2 misses
+        by little (paper: 'there is little false sharing regardless of how
+        the data is ordered')."""
+        orig = run_one("water-spatial", "original", "origin", scale)
+        reord = run_one("water-spatial", "hilbert", "origin", scale)
+        assert abs(reord.l2_misses - orig.l2_misses) < 0.5 * orig.l2_misses
+
+
+class TestTable4Shape:
+    def test_fmm_breakdown_improvements(self, scale):
+        """Tree build and the particle phases shrink the most."""
+        from repro.experiments.tables import table4
+
+        out = table4(scale)
+        orig, hil = out["original"], out["hilbert"]
+        assert hil["build_tree"] < orig["build_tree"]
+        assert hil["intra_particle"] < 0.5 * orig["intra_particle"]
+        assert hil["other"] < 0.5 * orig["other"]
+        # Build list barely changes (paper: 2.51 -> 2.53).
+        if orig["build_list"] > 0:
+            assert hil["build_list"] < 2.0 * orig["build_list"]
+
+
+class TestReorderCostSmall:
+    def test_reorder_cost_well_below_benefit(self, scale):
+        """'These benefits far outweigh the cost of executing the
+        reordering code.'"""
+        for name in APP_REGISTRY:
+            best = "column" if APP_REGISTRY[name].category == 2 else "hilbert"
+            orig = run_one(name, "original", "treadmarks", scale)
+            reord = run_one(name, best, "treadmarks", scale)
+            saving = orig.time - reord.time
+            assert reord.reorder_time < saving, name

@@ -1,0 +1,156 @@
+"""Tests for the HLRC protocol model."""
+
+import numpy as np
+import pytest
+
+from repro.machines.dsm.hlrc import block_homes, simulate_hlrc
+from repro.machines.dsm.treadmarks import simulate_treadmarks
+from repro.machines.params import cluster_scaled
+from repro.trace.builder import TraceBuilder
+from repro.trace.layout import Layout
+
+
+def params(nprocs=4):
+    return cluster_scaled(nprocs=nprocs, page_size=4096)
+
+
+class TestBlockHomes:
+    def test_contiguous_blocks_per_region(self):
+        tb = TraceBuilder(4)
+        tb.add_region("o", 64, 512)  # 8 pages
+        t = tb.finish()
+        lay = Layout.for_trace(t, align=4096)
+        homes = block_homes(lay, 4096, 4)
+        assert homes.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_all_pages_assigned(self):
+        tb = TraceBuilder(3)
+        tb.add_region("a", 20, 512)
+        tb.add_region("b", 20, 512)
+        t = tb.finish()
+        lay = Layout.for_trace(t, align=4096)
+        homes = block_homes(lay, 4096, 3)
+        assert homes.shape[0] >= 6
+        assert set(homes.tolist()) <= {0, 1, 2}
+
+
+class TestProtocol:
+    def test_home_never_fetches(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)  # page 0, home = proc 0
+        tb.write(1, r, [0])
+        tb.barrier()
+        tb.read(0, r, [1])  # home reads its own page: no fetch
+        res = simulate_hlrc(tb.finish(), params(2))
+        assert res.page_fetches[0] == 0
+
+    def test_nonhome_writer_diffs_to_home(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.write(1, r, [0, 1])
+        res = simulate_hlrc(tb.finish(), params(2))
+        assert res.diff_fetches[1] == 1  # one diff message to the home
+        assert res.diff_bytes[1] == 2 * 512
+
+    def test_home_writer_sends_nothing(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.write(0, r, [0])
+        res = simulate_hlrc(tb.finish(), params(2))
+        assert res.diff_fetches.sum() == 0
+
+    def test_whole_page_fetch_on_invalidation(self):
+        p = params(2)
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.read(1, r, [0])  # fetch (cold: not home)
+        tb.barrier()
+        tb.write(0, r, [1])  # home writes; proc 1 invalidated
+        tb.barrier()
+        tb.read(1, r, [0])  # re-fetch whole page
+        res = simulate_hlrc(tb.finish(), p)
+        assert res.page_fetches[1] == 2
+        # Full page bytes per fetch (plus headers) dominate the volume.
+        assert res.data_bytes >= 2 * p.page_size
+
+    def test_writer_refetches_after_own_remote_write_with_other_writers(self):
+        """HLRC's known weakness: after a multi-writer interval, even a
+        writer's own copy is stale and must be re-fetched from home."""
+        tb = TraceBuilder(4)
+        r = tb.add_region("o", 8, 512)  # home = proc 0
+        tb.write(1, r, [0])
+        tb.write(2, r, [1])
+        tb.barrier()
+        tb.read(1, r, [0])
+        res = simulate_hlrc(tb.finish(), params(4))
+        assert res.page_fetches[1] == 2  # cold fault + refetch
+
+    def test_sole_writer_keeps_own_copy(self):
+        tb = TraceBuilder(4)
+        r = tb.add_region("o", 8, 512)
+        tb.write(1, r, [0])
+        tb.barrier()
+        tb.read(1, r, [0])  # sole writer: own copy still valid
+        res = simulate_hlrc(tb.finish(), params(4))
+        assert res.page_fetches[1] == 1  # only the initial cold fault
+
+    def test_reader_not_invalidated_without_writes(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.read(1, r, [0])
+        tb.barrier()
+        tb.read(1, r, [1])
+        res = simulate_hlrc(tb.finish(), params(2))
+        assert res.page_fetches[1] == 1
+
+    def test_custom_homes(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.write(0, r, [0])
+        t = tb.finish()
+        res = simulate_hlrc(t, params(2), homes=np.array([1]))
+        assert res.diff_fetches[0] == 1  # proc 0 now diffs to home=1
+
+    def test_homes_length_checked(self):
+        tb = TraceBuilder(2)
+        tb.add_region("o", 8, 512)
+        t = tb.finish()
+        with pytest.raises(ValueError):
+            simulate_hlrc(t, params(2), homes=np.array([0, 1, 0]))
+
+
+class TestVersusTreadMarks:
+    def test_false_sharing_costs_fewer_messages_than_tm(self):
+        """For the same multi-writer sharing, HLRC sends fewer messages —
+        the paper's explanation for TreadMarks' larger reordering gains."""
+        tb = TraceBuilder(8)
+        r = tb.add_region("o", 64, 64)  # one page, 8 writers
+        for it in range(4):
+            for w in range(8):
+                tb.write(w, r, [w * 8])
+            tb.read(0, r, [1])
+            tb.barrier()
+        t = tb.finish()
+        tm = simulate_treadmarks(t, params(8))
+        hl = simulate_hlrc(t, params(8))
+        assert hl.messages < tm.messages
+
+    def test_hlrc_moves_more_bytes_per_fault(self):
+        p = params(2)
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 64, 64)
+        tb.read(0, r, [0])
+        tb.read(1, r, [0])  # both procs warm the page
+        tb.barrier()
+        tb.write(0, r, [0])  # home writes a single 64-byte object
+        tb.barrier()
+        tb.read(1, r, [0])
+        t = tb.finish()
+        tm = simulate_treadmarks(t, params(2))
+        hl = simulate_hlrc(t, params(2))
+        # The re-fault: TreadMarks fetches a 64-byte diff, HLRC the whole
+        # 4096-byte page.
+        assert tm.diff_fetches[1] == 1 and tm.diff_bytes[1] == 64
+        assert hl.page_fetches[1] == 2  # cold + refetch
+        assert hl.data_bytes > tm.diff_bytes.sum()
+        assert hl.data_bytes >= 2 * p.page_size

@@ -1,0 +1,76 @@
+"""Tests for the DSM interval builder."""
+
+import numpy as np
+
+from repro.machines.dsm.intervals import build_intervals, total_pages
+from repro.trace.builder import TraceBuilder
+from repro.trace.layout import Layout
+
+
+def simple_trace():
+    tb = TraceBuilder(2)
+    r = tb.add_region("o", 16, 512)  # 8 objects per 4K page, 2 pages
+    tb.read(0, r, [0, 1, 9])
+    tb.write(0, r, [0, 1])
+    tb.write(1, r, [8, 9, 10])
+    tb.barrier()
+    tb.read(1, r, [0])
+    return tb.finish()
+
+
+class TestBuildIntervals:
+    def test_page_sets(self):
+        t = simple_trace()
+        infos, lay = build_intervals(t, page_size=4096)
+        assert len(infos) == 2
+        e0 = infos[0]
+        assert e0.accesses[0].tolist() == [0, 1]
+        assert e0.writes[0].tolist() == [0]
+        assert e0.writes[1].tolist() == [1]
+        assert infos[1].accesses[1].tolist() == [0]
+
+    def test_write_bytes_counts_distinct_objects(self):
+        t = simple_trace()
+        infos, _ = build_intervals(t, page_size=4096)
+        assert infos[0].write_bytes[0].tolist() == [2 * 512]
+        assert infos[0].write_bytes[1].tolist() == [3 * 512]
+
+    def test_write_bytes_deduplicates_repeat_writes(self):
+        tb = TraceBuilder(1)
+        r = tb.add_region("o", 8, 512)
+        tb.write(0, r, [0, 0, 0, 1])
+        t = tb.finish()
+        infos, _ = build_intervals(t, page_size=4096)
+        assert infos[0].write_bytes[0].tolist() == [2 * 512]
+
+    def test_write_bytes_capped_at_page(self):
+        tb = TraceBuilder(1)
+        r = tb.add_region("o", 16, 512)
+        tb.write(0, r, np.arange(16))  # 8192 dirty bytes on... 2 pages
+        t = tb.finish()
+        infos, _ = build_intervals(t, page_size=4096)
+        assert infos[0].write_bytes[0].tolist() == [4096, 4096]
+
+    def test_straddling_object_dirties_both_pages(self):
+        tb = TraceBuilder(1)
+        r = tb.add_region("o", 10, 680)
+        tb.write(0, r, [5])  # bytes 3400..4079: page 0 only
+        tb.write(0, r, [6])  # bytes 4080..4759: pages 0 and 1
+        t = tb.finish()
+        infos, _ = build_intervals(t, page_size=4096)
+        assert infos[0].writes[0].tolist() == [0, 1]
+
+    def test_work_and_locks_carried(self):
+        tb = TraceBuilder(2)
+        tb.add_region("o", 8, 8)
+        tb.work(0, 7.0)
+        tb.lock(1, 3)
+        t = tb.finish()
+        infos, _ = build_intervals(t)
+        assert infos[0].work[0] == 7.0
+        assert infos[0].lock_acquires[1] == 3
+
+    def test_total_pages(self):
+        t = simple_trace()
+        lay = Layout.for_trace(t, align=4096)
+        assert total_pages(lay, 4096) == 2

@@ -1,0 +1,164 @@
+"""Tests for the TreadMarks protocol model."""
+
+import numpy as np
+import pytest
+
+from repro.machines.dsm.treadmarks import simulate_treadmarks
+from repro.machines.params import CLUSTER_16, cluster_scaled
+from repro.trace.builder import TraceBuilder
+
+
+def params(nprocs=4):
+    return cluster_scaled(nprocs=nprocs, page_size=4096)
+
+
+class TestFirstFaults:
+    def test_cold_page_fetch_once(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)  # one page
+        tb.read(0, r, [0])
+        tb.barrier()
+        tb.read(0, r, [1])  # same page, nothing new written: no traffic
+        t = tb.finish()
+        res = simulate_treadmarks(t, params(2))
+        assert res.page_fetches.tolist() == [1, 0]
+        assert res.diff_fetches.sum() == 0
+
+    def test_single_proc_no_comm(self):
+        tb = TraceBuilder(1)
+        r = tb.add_region("o", 8, 512)
+        tb.update(0, r, np.arange(8))
+        res = simulate_treadmarks(tb.finish(), params(1))
+        # One cold fault on its own page; no barrier messages.
+        assert res.diff_fetches.sum() == 0
+        assert res.barriers == 1
+
+
+class TestDiffs:
+    def test_one_diff_per_concurrent_writer(self):
+        """The homeless-protocol signature: a reader pays one diff fetch per
+        writer of the page."""
+        tb = TraceBuilder(4)
+        r = tb.add_region("o", 8, 512)  # one page
+        for p in range(4):
+            tb.write(p, r, [2 * p])
+        tb.barrier()
+        tb.read(3, r, [1])
+        t = tb.finish()
+        res = simulate_treadmarks(t, params(4))
+        # Proc 3 re-faults and needs diffs from procs 0,1,2 (not itself).
+        assert res.diff_fetches[3] == 3
+
+    def test_diffs_not_refetched(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.write(0, r, [0])
+        tb.write(1, r, [4])
+        tb.barrier()
+        tb.read(1, r, [0])
+        tb.barrier()
+        tb.read(1, r, [1])  # no new writes since: no new diffs
+        res = simulate_treadmarks(tb.finish(), params(2))
+        assert res.diff_fetches[1] == 1
+
+    def test_diff_accumulation_across_epochs(self):
+        """A reader that skips epochs picks up all pending diffs in one
+        exchange per writer (the writer replies with every pending diff),
+        but pays for all the accumulated bytes."""
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.read(1, r, [1])  # cold fetch in epoch 0
+        for _ in range(3):
+            tb.write(0, r, [0])
+            tb.barrier()
+        tb.read(1, r, [1])
+        res = simulate_treadmarks(tb.finish(), params(2))
+        assert res.diff_fetches[1] == 1  # one exchange with the one writer
+        assert res.diff_bytes[1] == 3 * 512  # ...carrying three diffs
+
+    def test_writer_does_not_fetch_own_diffs(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.write(0, r, [0])
+        tb.barrier()
+        tb.read(0, r, [1])
+        res = simulate_treadmarks(tb.finish(), params(2))
+        assert res.diff_fetches[0] == 0
+
+    def test_diff_bytes_proportional_to_dirty_objects(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.read(1, r, [1])
+        tb.barrier()
+        tb.write(0, r, [0, 2, 4])
+        tb.barrier()
+        tb.read(1, r, [1])
+        res = simulate_treadmarks(tb.finish(), params(2))
+        assert res.diff_bytes[1] == 3 * 512
+
+
+class TestMessagesAndTime:
+    def test_barrier_messages(self):
+        tb = TraceBuilder(4)
+        tb.add_region("o", 8, 512)
+        tb.work(0, 1.0)
+        tb.barrier()
+        tb.work(0, 1.0)
+        res = simulate_treadmarks(tb.finish(), params(4))
+        assert res.messages == 2 * 2 * 3  # two barriers x 2(P-1)
+
+    def test_lock_messages_and_time(self):
+        p = params(2)
+        tb = TraceBuilder(2)
+        tb.add_region("o", 8, 512)
+        tb.lock(0, 5)
+        tb.work(0, 1.0)
+        res = simulate_treadmarks(tb.finish(), p)
+        assert res.lock_acquires == 5
+        assert res.messages == 2 * 5 + 2  # locks + one barrier
+        tb = TraceBuilder(2)
+        tb.add_region("o", 8, 512)
+        tb.work(0, 1.0)
+        base = simulate_treadmarks(tb.finish(), p)
+        assert res.time == pytest.approx(base.time + 5 * p.lock_time)
+
+    def test_more_writers_more_messages_same_data_shape(self):
+        """Same dirty bytes, more writers => more messages and more time
+        (paper section 5.2).  A warm-up epoch removes cold-fetch effects."""
+        def build(writers):
+            tb = TraceBuilder(8)
+            r = tb.add_region("o", 64, 64)  # one 4K page
+            for q in range(8):
+                tb.read(q, r, [q])  # warm up: everyone has a copy
+            tb.barrier()
+            per = 16 // writers
+            for w in range(writers):
+                tb.write(w, r, np.arange(w * per, (w + 1) * per))
+            tb.barrier()
+            tb.read(7, r, [63])
+            return tb.finish()
+
+        few = simulate_treadmarks(build(2), params(8))
+        many = simulate_treadmarks(build(8), params(8))
+        assert many.diff_fetches.sum() > few.diff_fetches.sum()
+        assert many.messages > few.messages
+        assert many.time > few.time
+        # Dirty payload identical: 16 objects of 64 bytes either way
+        # (proc 7 skips its own diff in the 8-writer case).
+        assert few.diff_bytes.sum() == 16 * 64
+        assert many.diff_bytes.sum() == 14 * 64
+
+    def test_phase_times(self):
+        tb = TraceBuilder(2, label="x")
+        tb.add_region("o", 8, 512)
+        tb.work(0, 5.0)
+        res = simulate_treadmarks(tb.finish(), params(2))
+        assert "x" in res.phase_times
+        assert res.phase_times["x"] == pytest.approx(res.time)
+
+    def test_data_mbytes_property(self):
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 8, 512)
+        tb.read(0, r, [0])
+        res = simulate_treadmarks(tb.finish(), params(2))
+        assert res.data_mbytes == pytest.approx(res.data_bytes / 1e6)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        assert "barnes-hut" in out
+        assert "fig7" in out
+        assert "treadmarks" in out
+
+
+class TestRun:
+    def test_origin_cell(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--n", "256", "run", "moldyn", "--version", "column"
+        )
+        assert code == 0
+        assert "l2_misses" in out
+        assert "speedup" in out
+
+    def test_dsm_cell(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--n", "256", "run", "unstructured",
+            "--platform", "hlrc", "--version", "hilbert",
+        )
+        assert code == 0
+        assert "messages" in out
+        assert "data_mbytes" in out
+
+    def test_rejects_unknown_app(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuch"])
+
+
+class TestReproduce:
+    def test_fig3_cheap(self, capsys):
+        code, out, _ = run_cli(capsys, "reproduce", "fig3")
+        assert code == 0
+        assert "hilbert" in out
+
+    def test_fig1(self, capsys):
+        code, out, _ = run_cli(capsys, "reproduce", "fig1")
+        assert code == 0
+        assert "Figure 1" in out and "Figure 4" in out
+
+    def test_table1(self, capsys):
+        code, out, _ = run_cli(capsys, "--n", "256", "reproduce", "table1")
+        assert code == 0
+        assert "Water-Spatial" in out
+
+    def test_fig6_small(self, capsys):
+        code, out, _ = run_cli(capsys, "--n", "512", "reproduce", "fig6")
+        assert code == 0
+        assert "column" in out
+
+    def test_unknown_artifact(self, capsys):
+        code, _, err = run_cli(capsys, "reproduce", "fig99")
+        assert code == 2
+        assert "unknown artifact" in err
+
+    def test_duplicate_artifacts_rendered_once(self, capsys):
+        code, out, _ = run_cli(capsys, "reproduce", "fig1", "fig4")
+        assert code == 0
+        assert out.count("Figure 1") == 1
+
+
+def test_all_artifact_names_have_handlers():
+    for name in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                 "fig8", "fig9", "table1", "table2", "table3", "table4",
+                 "ablations"):
+        assert name in ARTIFACTS

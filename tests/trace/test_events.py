@@ -1,0 +1,106 @@
+"""Tests for trace data structures."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Burst, Epoch, RegionSpec, Trace
+
+
+class TestRegionSpec:
+    def test_nbytes(self):
+        assert RegionSpec("a", 10, 104).nbytes == 1040
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            RegionSpec("a", -1, 8)
+        with pytest.raises(ValueError):
+            RegionSpec("a", 1, 0)
+
+
+class TestBurst:
+    def test_coerces_indices(self):
+        b = Burst(0, [3, 1, 2], is_write=False)
+        assert b.indices.dtype == np.int64
+        assert len(b) == 3
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Burst(0, np.zeros((2, 2)), is_write=True)
+
+
+class TestEpoch:
+    def test_default_arrays(self):
+        e = Epoch(nprocs=4)
+        assert len(e.bursts) == 4
+        assert e.work.shape == (4,)
+        assert e.lock_acquires.shape == (4,)
+
+    def test_accesses_counts_multiplicity(self):
+        e = Epoch(nprocs=2)
+        e.bursts[0].append(Burst(0, [1, 1, 2], is_write=False))
+        e.bursts[0].append(Burst(0, [3], is_write=True))
+        assert e.accesses(0) == 4
+        assert e.accesses(1) == 0
+
+    def test_flat_preserves_order(self):
+        e = Epoch(nprocs=1)
+        e.bursts[0].append(Burst(0, [5, 6], is_write=False))
+        e.bursts[0].append(Burst(1, [7], is_write=True))
+        regions, indices, writes = e.flat(0)
+        assert regions.tolist() == [0, 0, 1]
+        assert indices.tolist() == [5, 6, 7]
+        assert writes.tolist() == [False, False, True]
+
+    def test_flat_empty(self):
+        regions, indices, writes = Epoch(nprocs=1).flat(0)
+        assert regions.shape == (0,)
+
+    def test_rejects_zero_procs(self):
+        with pytest.raises(ValueError):
+            Epoch(nprocs=0)
+
+
+class TestTrace:
+    def make(self) -> Trace:
+        t = Trace(nprocs=2)
+        t.regions.append(RegionSpec("bodies", 10, 8))
+        t.regions.append(RegionSpec("cells", 4, 16))
+        e = Epoch(nprocs=2, label="forces")
+        e.bursts[0].append(Burst(0, [0, 1], is_write=True))
+        e.work[0] = 5.0
+        t.epochs.append(e)
+        return t
+
+    def test_region_id(self):
+        t = self.make()
+        assert t.region_id("cells") == 1
+        with pytest.raises(KeyError):
+            t.region_id("nope")
+
+    def test_totals(self):
+        t = self.make()
+        assert t.total_accesses == 2
+        assert t.total_work == 5.0
+
+    def test_labelled_epochs(self):
+        t = self.make()
+        assert len(t.epochs_labelled("forces")) == 1
+        assert t.epochs_labelled("nope") == []
+
+    def test_validate_catches_bad_region(self):
+        t = self.make()
+        t.epochs[0].bursts[1].append(Burst(9, [0], is_write=False))
+        with pytest.raises(ValueError, match="unknown region"):
+            t.validate()
+
+    def test_validate_catches_out_of_range_index(self):
+        t = self.make()
+        t.epochs[0].bursts[1].append(Burst(0, [99], is_write=False))
+        with pytest.raises(ValueError, match="out of range"):
+            t.validate()
+
+    def test_validate_catches_nproc_mismatch(self):
+        t = self.make()
+        t.epochs.append(Epoch(nprocs=3))
+        with pytest.raises(ValueError, match="mismatch"):
+            t.validate()

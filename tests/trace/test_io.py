@@ -1,0 +1,90 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.io import load_trace, save_trace
+
+
+def roundtrip(trace, tmp_path):
+    path = tmp_path / "t.npz"
+    save_trace(trace, path)
+    return load_trace(path)
+
+
+def make_trace():
+    tb = TraceBuilder(3, label="a")
+    r0 = tb.add_region("bodies", 64, 104)
+    r1 = tb.add_region("cells", 16, 216)
+    tb.read(0, r0, [1, 2, 3])
+    tb.write(1, r0, [4])
+    tb.read(2, r1, [0, 5])
+    tb.work(0, 2.5)
+    tb.lock(1, 7)
+    tb.barrier("b")
+    tb.update(0, r1, [3, 3, 2])
+    tb.work(1, 1.0)
+    return tb.finish()
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, tmp_path):
+        t = make_trace()
+        t2 = roundtrip(t, tmp_path)
+        assert t2.nprocs == t.nprocs
+        assert [r.name for r in t2.regions] == ["bodies", "cells"]
+        assert [e.label for e in t2.epochs] == ["a", "b"]
+
+    def test_bursts_identical(self, tmp_path):
+        t = make_trace()
+        t2 = roundtrip(t, tmp_path)
+        for e, e2 in zip(t.epochs, t2.epochs):
+            for p in range(t.nprocs):
+                assert len(e.bursts[p]) == len(e2.bursts[p])
+                for b, b2 in zip(e.bursts[p], e2.bursts[p]):
+                    assert b.region == b2.region
+                    assert b.is_write == b2.is_write
+                    assert np.array_equal(b.indices, b2.indices)
+
+    def test_work_and_locks_preserved(self, tmp_path):
+        t = make_trace()
+        t2 = roundtrip(t, tmp_path)
+        assert t2.epochs[0].work[0] == 2.5
+        assert t2.epochs[0].lock_acquires[1] == 7
+
+    def test_simulations_agree(self, tmp_path):
+        """The serialized trace drives the machine models identically."""
+        from repro.apps import AppConfig, Moldyn
+        from repro.machines import simulate_hlrc, simulate_treadmarks
+
+        app = Moldyn(AppConfig(n=256, nprocs=4, iterations=2, seed=9))
+        t = app.run()
+        t2 = roundtrip(t, tmp_path)
+        a, b = simulate_treadmarks(t), simulate_treadmarks(t2)
+        assert a.messages == b.messages and a.data_bytes == b.data_bytes
+        c, d = simulate_hlrc(t), simulate_hlrc(t2)
+        assert c.messages == d.messages and c.time == d.time
+
+    def test_empty_trace(self, tmp_path):
+        tb = TraceBuilder(2)
+        tb.add_region("o", 4, 8)
+        t = tb.finish()
+        t2 = roundtrip(t, tmp_path)
+        assert t2.epochs == []
+        assert t2.nprocs == 2
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        header = np.frombuffer(
+            json.dumps({"version": 99}).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, header=header)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_loaded_trace_validates(self, tmp_path):
+        t2 = roundtrip(make_trace(), tmp_path)
+        t2.validate()

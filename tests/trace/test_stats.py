@@ -1,0 +1,117 @@
+"""Tests for trace statistics (the Figures 1/2/4/5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.layout import Layout
+from repro.trace.stats import (
+    access_counts,
+    footprint,
+    mean_sharers,
+    page_read_sets,
+    page_sharers,
+    page_write_sets,
+    proc_unit_sets,
+    update_map,
+)
+
+
+def two_proc_trace():
+    """Proc 0 writes objects 0..9, proc 1 writes 10..19; both read all."""
+    tb = TraceBuilder(2)
+    r = tb.add_region("objs", 20, 512)  # 8 objects per 4K page: 3 pages
+    tb.read(0, r, np.arange(20))
+    tb.write(0, r, np.arange(0, 10))
+    tb.read(1, r, np.arange(20))
+    tb.write(1, r, np.arange(10, 20))
+    return tb.finish()
+
+
+class TestPageSets:
+    def test_write_sets(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        ws = page_write_sets(t, lay, 4096)
+        # Page 0: objs 0-7 (proc 0); page 1: objs 8-15 (both); page 2: 16-19 (proc 1).
+        assert ws[0] == {0}
+        assert ws[1] == {0, 1}
+        assert ws[2] == {1}
+
+    def test_read_sets_include_readers(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        rs = page_read_sets(t, lay, 4096)
+        assert rs[0] == {0, 1}
+
+    def test_proc_unit_sets_filters(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        e = t.epochs[0]
+        w = proc_unit_sets(e, lay, 4096, writes_only=True)
+        assert w[0].tolist() == [0, 1]
+        assert w[1].tolist() == [1, 2]
+        r = proc_unit_sets(e, lay, 4096, reads_only=True)
+        assert r[0].tolist() == [0, 1, 2]
+        with pytest.raises(ValueError):
+            proc_unit_sets(e, lay, 4096, writes_only=True, reads_only=True)
+
+
+class TestPageSharers:
+    def test_writes_only_default(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        sh = page_sharers(t, lay, "objs", 4096)
+        assert sh.tolist() == [1, 2, 1]
+
+    def test_all_accesses(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        sh = page_sharers(t, lay, "objs", 4096, writes_only=False)
+        assert sh.tolist() == [2, 2, 2]
+
+    def test_by_region_index(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        assert np.array_equal(
+            page_sharers(t, lay, 0, 4096), page_sharers(t, lay, "objs", 4096)
+        )
+
+    def test_mean_sharers_ignores_untouched(self):
+        assert mean_sharers(np.array([0, 2, 4, 0])) == 3.0
+        assert mean_sharers(np.array([0, 0])) == 0.0
+
+
+class TestUpdateMap:
+    def test_owner_per_object(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        owner = update_map(t, lay, "objs")
+        assert np.array_equal(owner[:10], np.zeros(10))
+        assert np.array_equal(owner[10:], np.ones(10))
+
+    def test_never_written_is_minus_one(self):
+        tb = TraceBuilder(1)
+        r = tb.add_region("objs", 4, 8)
+        tb.read(0, r, [0, 1, 2, 3])
+        tb.write(0, r, [1])
+        t = tb.finish()
+        lay = Layout.for_trace(t)
+        owner = update_map(t, lay, "objs")
+        assert owner.tolist() == [-1, 0, -1, -1]
+
+
+class TestFootprintAndCounts:
+    def test_footprint_all_and_per_proc(self):
+        t = two_proc_trace()
+        lay = Layout.for_trace(t, align=4096)
+        assert footprint(t, lay, 4096) == 3
+        assert footprint(t, lay, 4096, proc=0) == 3  # reads all pages
+        assert footprint(t, lay, 512) == 20
+
+    def test_access_counts(self):
+        t = two_proc_trace()
+        c = access_counts(t)
+        assert c.reads.tolist() == [20, 20]
+        assert c.writes.tolist() == [10, 10]
+        assert c.total == 60
