@@ -21,6 +21,35 @@ from repro.experiments.runner import Scale
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _runtime():
+    """Install the resilient runtime when asked to via the environment.
+
+    ``REPRO_CACHE_DIR=<dir>`` persists traces so an interrupted benchmark
+    run (especially ``REPRO_PAPER_SCALE=1``) resumes from completed cells;
+    ``REPRO_JOBS=<n>`` fans trace generation out across workers.
+    """
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    if not cache_dir and jobs <= 1:
+        yield None
+        return
+    from repro.runtime import (
+        ExecutorConfig,
+        RuntimeContext,
+        TraceCache,
+        set_runtime,
+    )
+
+    ctx = RuntimeContext(
+        cache=TraceCache(cache_dir) if cache_dir else None,
+        executor=ExecutorConfig(jobs=max(1, jobs), task_timeout=None),
+    )
+    previous = set_runtime(ctx)
+    yield ctx
+    set_runtime(previous)
+
+
 @pytest.fixture(scope="session")
 def scale() -> Scale:
     if os.environ.get("REPRO_PAPER_SCALE"):

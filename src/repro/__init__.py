@@ -21,6 +21,11 @@ Package layout
     layouts and partitioning schemes.
 ``repro.experiments``
     Runners that regenerate every table and figure of the evaluation.
+``repro.runtime``
+    Fault-tolerant execution: parallel trace generation with timeouts and
+    retries, a persistent resumable trace cache, and fault injection.
+``repro.errors``
+    The structured error hierarchy raised at every boundary.
 """
 
 from .core import (
@@ -30,6 +35,13 @@ from .core import (
     morton_reorder,
     reorder,
     row_reorder,
+)
+from .errors import (
+    ConfigError,
+    ReproError,
+    RetryExhaustedError,
+    TraceCorruptError,
+    WorkerTimeoutError,
 )
 
 __version__ = "1.0.0"
@@ -41,5 +53,10 @@ __all__ = [
     "morton_reorder",
     "column_reorder",
     "row_reorder",
+    "ReproError",
+    "ConfigError",
+    "TraceCorruptError",
+    "WorkerTimeoutError",
+    "RetryExhaustedError",
     "__version__",
 ]

@@ -7,6 +7,18 @@ Usage::
     python -m repro reproduce all --paper-scale
     python -m repro run barnes-hut --version hilbert --platform treadmarks
 
+Resilience flags (accepted before or after the subcommand)::
+
+    --jobs 8               generate traces across 8 worker processes
+    --cache-dir DIR        persistent trace cache; interrupted runs resume
+    --no-resume            keep writing the cache but never read it
+    --task-timeout 600     wall-clock seconds per trace-generation worker
+    --quiet                suppress per-cell progress logging
+
+``--cache-dir`` defaults to ``$REPRO_CACHE_DIR`` when that is set.  Any
+structured failure (:class:`repro.errors.ReproError`) exits with code 1
+and a one-line message instead of a traceback.
+
 The pytest benchmark harness (`pytest benchmarks/ --benchmark-only`) does
 the same with timing statistics and assertions; the CLI is the quick path.
 """
@@ -14,9 +26,12 @@ the same with timing statistics and assertions; the CLI is the quick path.
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 
 from .apps import APP_REGISTRY
+from .errors import ReproError
 from .experiments import (
     Scale,
     curve_quality,
@@ -42,9 +57,79 @@ from .experiments.report import (
     render_table,
     render_update_map,
 )
+from .experiments.runner import prefetch_traces
 from .experiments.tables import TABLE4_PHASES
+from .runtime import ExecutorConfig, RuntimeContext, TraceCache, set_runtime
 
 __all__ = ["main", "ARTIFACTS"]
+
+#: Defaults for options addable both before and after the subcommand (the
+#: parsers use ``SUPPRESS`` so a later occurrence overrides an earlier one).
+_COMMON_DEFAULTS = {
+    "n": 0,
+    "nprocs": 16,
+    "paper_scale": False,
+    "jobs": 1,
+    "cache_dir": None,
+    "resume": True,
+    "task_timeout": 300.0,
+    "quiet": False,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    S = argparse.SUPPRESS
+    parser.add_argument("--n", type=int, default=S,
+                        help="objects per app (default: Scale())")
+    parser.add_argument("--nprocs", type=int, default=S)
+    parser.add_argument("--paper-scale", action="store_true", default=S,
+                        help="the paper's Table 1 sizes")
+    parser.add_argument("--jobs", type=int, default=S, metavar="N",
+                        help="worker processes for trace generation (default 1)")
+    parser.add_argument("--cache-dir", default=S, metavar="DIR",
+                        help="persistent trace cache (default: $REPRO_CACHE_DIR)")
+    parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                        default=S,
+                        help="read completed cells back from the cache"
+                             " (default: yes)")
+    parser.add_argument("--task-timeout", type=float, default=S,
+                        metavar="SECONDS",
+                        help="wall-clock budget per trace worker (default 300)")
+    parser.add_argument("--quiet", action="store_true", default=S,
+                        help="suppress progress logging")
+
+
+def _resolve_common(args) -> argparse.Namespace:
+    for name, default in _COMMON_DEFAULTS.items():
+        if not hasattr(args, name):
+            setattr(args, name, default)
+    if args.cache_dir is None:
+        args.cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return args
+
+
+def _install_runtime(args) -> None:
+    cache = TraceCache(args.cache_dir) if args.cache_dir else None
+    set_runtime(
+        RuntimeContext(
+            cache=cache,
+            executor=ExecutorConfig(
+                jobs=max(1, args.jobs), task_timeout=args.task_timeout
+            ),
+            resume=args.resume,
+        )
+    )
+    runtime_log = logging.getLogger("repro.runtime")
+    runtime_log.setLevel(logging.WARNING if args.quiet else logging.INFO)
+    existing = [h for h in runtime_log.handlers
+                if getattr(h, "name", "") == "repro-cli"]
+    if existing:
+        existing[0].stream = sys.stderr  # rebind: stderr may be redirected
+    else:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.set_name("repro-cli")
+        handler.setFormatter(logging.Formatter("[repro] %(message)s"))
+        runtime_log.addHandler(handler)
 
 
 def _scale(args) -> Scale:
@@ -233,6 +318,10 @@ def _cmd_list(args) -> int:
 
 def _cmd_reproduce(args) -> int:
     scale = _scale(args)
+    if args.jobs > 1 and args.cache_dir:
+        # Fan the matrix's trace generation out before rendering anything;
+        # each artifact below then hits the persistent cache.
+        prefetch_traces(scale=scale)
     names = args.artifact
     if "all" in names:
         names = sorted({"fig1", "fig2", "fig3", "fig6", "fig7", "fig8",
@@ -306,15 +395,15 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce Hu, Cox & Zwaenepoel (SC 2000): data "
         "reordering for fine-grained irregular shared-memory benchmarks.",
     )
-    ap.add_argument("--n", type=int, default=0, help="objects per app (default: Scale())")
-    ap.add_argument("--nprocs", type=int, default=16)
-    ap.add_argument("--paper-scale", action="store_true", help="the paper's Table 1 sizes")
+    _add_common(ap)
     sub = ap.add_subparsers(dest="cmd", required=True)
 
-    sub.add_parser("list", help="list artifacts, applications, platforms")
+    lst = sub.add_parser("list", help="list artifacts, applications, platforms")
+    _add_common(lst)
 
     rep = sub.add_parser("reproduce", help="regenerate tables/figures")
     rep.add_argument("artifact", nargs="+", help="fig1..fig9, table1..table4, ablations, all")
+    _add_common(rep)
 
     run = sub.add_parser("run", help="run one app/version/platform cell")
     run.add_argument("app", choices=sorted(APP_REGISTRY))
@@ -322,6 +411,7 @@ def main(argv: list[str] | None = None) -> int:
                      choices=["original", "hilbert", "morton", "column", "row"])
     run.add_argument("--platform", default="origin",
                      choices=["origin", "treadmarks", "hlrc"])
+    _add_common(run)
 
     diag = sub.add_parser(
         "diagnose", help="full layout diagnosis of one app run"
@@ -329,12 +419,31 @@ def main(argv: list[str] | None = None) -> int:
     diag.add_argument("app", choices=sorted(APP_REGISTRY))
     diag.add_argument("--version", default="original",
                       choices=["original", "hilbert", "morton", "column", "row"])
+    _add_common(diag)
 
-    args = ap.parse_args(argv)
+    args = _resolve_common(ap.parse_args(argv))
     handlers = {
         "list": _cmd_list,
         "reproduce": _cmd_reproduce,
         "run": _cmd_run,
         "diagnose": _cmd_diagnose,
     }
-    return handlers[args.cmd](args)
+    previous = None
+    installed = False
+    try:
+        from .runtime import get_runtime
+
+        previous = get_runtime()
+        _install_runtime(args)
+        installed = True
+        return handlers[args.cmd](args)
+    except KeyboardInterrupt:
+        print("interrupted; completed cells persist in the cache"
+              if args.cache_dir else "interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if installed:
+            set_runtime(previous)

@@ -1,0 +1,109 @@
+"""Structured error hierarchy for the reproduction.
+
+Every error the package raises at a *boundary* — the experiment runner,
+the CLI, trace serialization, the machine-model entry points, and the
+fault-tolerant runtime — derives from :class:`ReproError`, so callers can
+catch one type and the CLI can turn any failure into a clean one-line
+message instead of a traceback.
+
+Most concrete classes *also* inherit from the builtin the code used to
+raise (``ValueError``, ``TimeoutError``), so pre-existing callers that
+catch builtins keep working; new code should catch the structured types.
+
+Hierarchy::
+
+    ReproError
+    ├── ConfigError(ValueError)          bad user-supplied configuration
+    │   ├── UnknownAppError
+    │   └── UnknownPlatformError
+    ├── MetricError(ValueError)          undefined derived metric
+    ├── SimulationInputError(ValueError) bad input to a machine model
+    ├── TraceCorruptError(ValueError)    unreadable/garbled trace file
+    │   ├── TraceVersionError            wrong on-disk format version
+    │   └── CacheMismatchError           cache entry does not match its key
+    └── WorkerError                      fault-tolerant executor failures
+        ├── WorkerCrashError             worker died without a result
+        ├── WorkerTimeoutError(TimeoutError)
+        └── RetryExhaustedError          all attempts (and fallback) failed
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnknownAppError",
+    "UnknownPlatformError",
+    "MetricError",
+    "SimulationInputError",
+    "TraceCorruptError",
+    "TraceVersionError",
+    "CacheMismatchError",
+    "WorkerError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "RetryExhaustedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every structured error the package raises."""
+
+
+class ConfigError(ReproError, ValueError):
+    """User-supplied configuration is invalid (sizes, names, flags)."""
+
+
+class UnknownAppError(ConfigError):
+    """An application name is not in the registry."""
+
+
+class UnknownPlatformError(ConfigError):
+    """A platform name is not one of origin/treadmarks/hlrc."""
+
+
+class MetricError(ReproError, ValueError):
+    """A derived metric (e.g. speedup) is undefined for this record."""
+
+
+class SimulationInputError(ReproError, ValueError):
+    """A machine model was handed an input it cannot simulate."""
+
+
+class TraceCorruptError(ReproError, ValueError):
+    """A trace file is unreadable, truncated, or internally inconsistent."""
+
+
+class TraceVersionError(TraceCorruptError):
+    """A trace file has an unsupported on-disk format version."""
+
+
+class CacheMismatchError(TraceCorruptError):
+    """A persistent-cache entry does not match the key it was looked up by."""
+
+
+class WorkerError(ReproError):
+    """Base class for fault-tolerant executor failures."""
+
+
+class WorkerCrashError(WorkerError):
+    """A worker process died without delivering a result."""
+
+    def __init__(self, message: str, exitcode: int | None = None):
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class WorkerTimeoutError(WorkerError, TimeoutError):
+    """A worker exceeded its wall-clock budget and was terminated."""
+
+
+class RetryExhaustedError(WorkerError):
+    """A task failed on every attempt (including any serial fallback)."""
+
+    def __init__(self, message: str, *, key: str = "", attempts: int = 0,
+                 last_error: BaseException | str | None = None):
+        super().__init__(message)
+        self.key = key
+        self.attempts = attempts
+        self.last_error = last_error

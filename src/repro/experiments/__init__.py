@@ -7,7 +7,16 @@ from .ablations import (
     sequential_locality,
 )
 from .figures import fig1_fig4, fig2_fig5, fig3, fig6, fig7, fig8_fig9
-from .runner import RunRecord, Scale, clear_cache, make_app, run_one, run_suite, versions_for
+from .runner import (
+    RunRecord,
+    Scale,
+    clear_cache,
+    make_app,
+    prefetch_traces,
+    run_one,
+    run_suite,
+    versions_for,
+)
 from .analysis import Diagnosis, diagnose
 from .message_passing import (
     MessagePassingResult,
@@ -25,6 +34,7 @@ __all__ = [
     "make_app",
     "versions_for",
     "clear_cache",
+    "prefetch_traces",
     "fig1_fig4",
     "fig2_fig5",
     "fig3",

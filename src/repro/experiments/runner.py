@@ -6,13 +6,25 @@ functions of it) and once sequentially (the speedup baseline — "all
 speedups are computed relative to the single-processor version of the
 original benchmark").  Results are memoized in-process so that e.g. the
 Figure 7 bench and the Table 2 bench do not re-run the same simulations.
+
+When a :class:`repro.runtime.RuntimeContext` is installed (CLI ``--jobs``/
+``--cache-dir``, benchmark env vars, or tests), trace generation gains two
+resilience layers: a **persistent cache** under the in-process memo — so a
+run killed mid-matrix resumes from the cells already on disk — and an
+optional **parallel prefetch** (:func:`prefetch_traces`) that fans the
+distinct traces of the evaluation matrix out across worker processes with
+timeouts and retries.  Per-cell progress (cache hit/miss, generation
+duration) is logged on the ``repro.runtime`` logger.
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 
 from ..apps import APP_REGISTRY, AppConfig, reorder_cycles
+from ..errors import ConfigError, MetricError, UnknownAppError, UnknownPlatformError
 from ..machines.dsm import simulate_hlrc, simulate_treadmarks
 from ..machines.hardware import simulate_hardware
 from ..machines.params import (
@@ -21,8 +33,21 @@ from ..machines.params import (
     HardwareParams,
     origin2000_scaled,
 )
+from ..runtime.cache import CacheKey
+from ..runtime.context import get_runtime
+from ..runtime.executor import Task, run_tasks
+from ..runtime.worker import generate_trace_into_cache
 
-__all__ = ["Scale", "RunRecord", "run_suite", "make_app", "clear_cache"]
+__all__ = [
+    "Scale",
+    "RunRecord",
+    "run_suite",
+    "make_app",
+    "clear_cache",
+    "prefetch_traces",
+]
+
+log = logging.getLogger("repro.runtime")
 
 PLATFORMS = ("origin", "treadmarks", "hlrc")
 
@@ -48,6 +73,9 @@ class Scale:
     simulated Origin shrunk by ``hw_scale`` to preserve working-set ratios
     (see DESIGN.md section 5).  ``paper()`` returns the full-size
     configuration.
+
+    Inputs are validated at construction: sizes and iteration counts must
+    be positive, app names must be registered, ``nprocs >= 1``.
     """
 
     n: dict[str, int] = field(
@@ -71,6 +99,28 @@ class Scale:
     nprocs: int = 16
     seed: int = 42
     hw_scale: float = 16.0
+
+    def __post_init__(self) -> None:
+        unknown = (set(self.n) | set(self.iterations)) - set(APP_REGISTRY)
+        if unknown:
+            raise ConfigError(
+                f"unknown application(s) in Scale: {sorted(unknown)};"
+                f" expected names from {sorted(APP_REGISTRY)}"
+            )
+        for app, value in self.n.items():
+            if value <= 0:
+                raise ConfigError(f"Scale.n[{app!r}] must be positive, got {value}")
+        for app, value in self.iterations.items():
+            if value < 1:
+                raise ConfigError(
+                    f"Scale.iterations[{app!r}] must be >= 1, got {value}"
+                )
+        if self.nprocs < 1:
+            raise ConfigError(f"Scale.nprocs must be >= 1, got {self.nprocs}")
+        if self.hw_scale <= 0:
+            raise ConfigError(
+                f"Scale.hw_scale must be positive, got {self.hw_scale}"
+            )
 
     @classmethod
     def paper(cls) -> "Scale":
@@ -140,7 +190,13 @@ class RunRecord:
     def speedup(self) -> float:
         """Speedup including the reordering cost, as the paper computes it."""
         denom = self.time + self.reorder_time
-        return self.seq_time / denom if denom > 0 else float("inf")
+        if denom <= 0.0:
+            raise MetricError(
+                f"speedup undefined for {self.app}/{self.version} on"
+                f" {self.platform}: parallel time + reorder time is"
+                f" {denom!r} (expected > 0)"
+            )
+        return self.seq_time / denom
 
 
 def make_app(name: str, config: AppConfig, version: str = "original"):
@@ -148,7 +204,7 @@ def make_app(name: str, config: AppConfig, version: str = "original"):
     try:
         cls = APP_REGISTRY[name]
     except KeyError:
-        raise ValueError(
+        raise UnknownAppError(
             f"unknown application {name!r}; expected one of {sorted(APP_REGISTRY)}"
         ) from None
     app = cls(config)
@@ -161,16 +217,50 @@ _cache: dict = {}
 
 
 def clear_cache() -> None:
-    """Drop memoized runs (tests use this to control memory)."""
+    """Drop memoized runs (tests use this to control memory).
+
+    Only the in-process memo is dropped; an installed persistent cache
+    keeps its files (that is its whole point).
+    """
     _cache.clear()
+
+
+def _cache_key_for(name: str, version: str, scale: Scale, nprocs: int) -> CacheKey:
+    return CacheKey(
+        app=name,
+        version=version,
+        n=scale.n[name],
+        iterations=scale.iterations[name],
+        nprocs=nprocs,
+        seed=scale.seed,
+    )
 
 
 def _trace_for(name: str, version: str, scale: Scale, nprocs: int):
     key = ("trace", name, version, scale.n[name], scale.iterations[name], nprocs, scale.seed)
-    if key not in _cache:
-        app = make_app(name, scale.config(name, nprocs), version)
-        _cache[key] = app.run()
-    return _cache[key]
+    if key in _cache:
+        return _cache[key]
+    rt = get_runtime()
+    ck = None
+    if rt is not None and rt.cache is not None:
+        ck = _cache_key_for(name, version, scale, nprocs)
+        if rt.resume:
+            trace = rt.cache.load(ck)
+            if trace is not None:
+                log.info("trace %s: cache hit", ck.filename())
+                _cache[key] = trace
+                return trace
+    started = time.perf_counter()
+    app = make_app(name, scale.config(name, nprocs), version)
+    trace = app.run()
+    log.info(
+        "trace %s/%s p=%d n=%d: generated in %.2fs (cache miss)",
+        name, version, nprocs, scale.n[name], time.perf_counter() - started,
+    )
+    if ck is not None:
+        rt.cache.store(ck, trace)
+    _cache[key] = trace
+    return trace
 
 
 def _reorder_time(name: str, version: str, scale: Scale, cycle_time: float) -> float:
@@ -205,10 +295,13 @@ def run_one(
 ) -> RunRecord:
     """Run one cell of the evaluation matrix (memoized)."""
     if platform not in PLATFORMS:
-        raise ValueError(f"unknown platform {platform!r}; expected one of {PLATFORMS}")
+        raise UnknownPlatformError(
+            f"unknown platform {platform!r}; expected one of {PLATFORMS}"
+        )
     key = ("run", name, version, platform, scale.n[name], scale.iterations[name], scale.nprocs, scale.seed, scale.hw_scale)
     if key in _cache:
         return _cache[key]
+    started = time.perf_counter()
     trace = _trace_for(name, version, scale, scale.nprocs)
     if platform == "origin":
         params = scale.hardware()
@@ -244,6 +337,10 @@ def run_one(
             phase_times=dict(res.phase_times),
         )
     _cache[key] = rec
+    log.info(
+        "cell %s/%s/%s p=%d: done in %.2fs",
+        name, version, platform, scale.nprocs, time.perf_counter() - started,
+    )
     return rec
 
 
@@ -253,10 +350,76 @@ def versions_for(name: str) -> tuple[str, ...]:
     Category 2 apps get both Hilbert and column; Category 1 apps get
     Hilbert (the paper's choice).
     """
+    if name not in APP_REGISTRY:
+        raise UnknownAppError(
+            f"unknown application {name!r}; expected one of {sorted(APP_REGISTRY)}"
+        )
     cls = APP_REGISTRY[name]
     if cls.category == 2:
         return ("original", "hilbert", "column")
     return ("original", "hilbert")
+
+
+def _matrix_trace_cells(
+    apps: tuple[str, ...], scale: Scale
+) -> list[tuple[str, str, int]]:
+    """Distinct (app, version, nprocs) traces the evaluation matrix needs,
+    including each app's 1-processor original baseline."""
+    cells: list[tuple[str, str, int]] = []
+    for name in apps:
+        for version in versions_for(name):
+            cells.append((name, version, scale.nprocs))
+        cells.append((name, "original", 1))
+    seen: set[tuple[str, str, int]] = set()
+    out = []
+    for cell in cells:
+        if cell not in seen:
+            seen.add(cell)
+            out.append(cell)
+    return out
+
+
+def prefetch_traces(
+    apps: tuple[str, ...] | None = None,
+    scale: Scale | None = None,
+) -> int:
+    """Generate the matrix's traces in parallel into the persistent cache.
+
+    Requires an installed runtime with a cache; a no-op (returns 0)
+    otherwise.  Cells already cached (or memoized in-process) are skipped
+    when resuming.  Returns the number of traces generated.  Worker
+    crashes, hangs, and timeouts follow the executor's retry/serial-
+    fallback policy; results land in the cache file-by-file, so an
+    interrupt loses at most the cells in flight.
+    """
+    rt = get_runtime()
+    if rt is None or rt.cache is None:
+        return 0
+    scale = scale or Scale()
+    apps = tuple(APP_REGISTRY) if apps is None else apps
+    tasks = []
+    for name, version, nprocs in _matrix_trace_cells(apps, scale):
+        memo_key = ("trace", name, version, scale.n[name],
+                    scale.iterations[name], nprocs, scale.seed)
+        ck = _cache_key_for(name, version, scale, nprocs)
+        if memo_key in _cache:
+            continue
+        if rt.resume and rt.cache.contains(ck):
+            continue
+        tasks.append(
+            Task(
+                key=ck.filename(),
+                fn=generate_trace_into_cache,
+                args=(str(rt.cache.root), name, version, scale.n[name],
+                      scale.iterations[name], nprocs, scale.seed),
+            )
+        )
+    if not tasks:
+        return 0
+    log.info("prefetch: generating %d trace(s) with %d job(s)",
+             len(tasks), rt.executor.jobs)
+    run_tasks(tasks, rt.executor, fault_plan=rt.fault_plan)
+    return len(tasks)
 
 
 def run_suite(
@@ -264,9 +427,17 @@ def run_suite(
     platforms: tuple[str, ...] = PLATFORMS,
     scale: Scale | None = None,
 ) -> list[RunRecord]:
-    """Run the full evaluation matrix; returns one record per cell."""
+    """Run the full evaluation matrix; returns one record per cell.
+
+    With a runtime installed (cache + ``jobs > 1``), the distinct traces
+    are prefetched in parallel first; the machine models — cheap pure
+    functions of the traces — then run serially in-process.
+    """
     scale = scale or Scale()
     apps = tuple(APP_REGISTRY) if apps is None else apps
+    rt = get_runtime()
+    if rt is not None and rt.cache is not None and rt.executor.jobs > 1:
+        prefetch_traces(apps, scale)
     out = []
     for name in apps:
         for version in versions_for(name):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import SimulationInputError
 from ...trace.events import Trace
 from ...trace.layout import Layout
 from ..params import CLUSTER_16, ClusterParams
@@ -55,6 +56,10 @@ def simulate_hlrc(
     intervals: list[EpochPageInfo] | None = None,
 ) -> DSMResult:
     """Run a trace through the HLRC protocol model."""
+    if not isinstance(trace, Trace):
+        raise SimulationInputError(
+            f"simulate_hlrc expects a Trace, got {type(trace).__name__}"
+        )
     if intervals is None:
         intervals, layout = build_intervals(trace, layout, params.page_size)
     assert layout is not None
@@ -64,7 +69,7 @@ def simulate_hlrc(
         homes = block_homes(layout, params.page_size, nprocs)
     homes = np.asarray(homes, dtype=np.int64)
     if homes.shape[0] != npages:
-        raise ValueError("homes array does not cover the address space")
+        raise SimulationInputError("homes array does not cover the address space")
 
     # valid[g, p]: p's copy of g is current. Homes are always valid.
     valid = np.zeros((npages, nprocs), dtype=bool)

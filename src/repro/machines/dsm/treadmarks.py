@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import SimulationInputError
 from ...trace.events import Trace
 from ...trace.layout import Layout
 from ..params import CLUSTER_16, ClusterParams
@@ -42,6 +43,10 @@ def simulate_treadmarks(
     intervals: list[EpochPageInfo] | None = None,
 ) -> DSMResult:
     """Run a trace through the TreadMarks protocol model."""
+    if not isinstance(trace, Trace):
+        raise SimulationInputError(
+            f"simulate_treadmarks expects a Trace, got {type(trace).__name__}"
+        )
     if intervals is None:
         intervals, layout = build_intervals(trace, layout, params.page_size)
     assert layout is not None

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import SimulationInputError
 from ..trace.events import Trace
 from ..trace.layout import Layout
 from .cache import LRUCache, SetAssocCache, collapse_runs
@@ -126,6 +127,10 @@ def simulate_hardware(
     The trace may use fewer processors than ``params.nprocs`` (e.g. the
     single-processor runs of Table 2); idle processors contribute nothing.
     """
+    if not isinstance(trace, Trace):
+        raise SimulationInputError(
+            f"simulate_hardware expects a Trace, got {type(trace).__name__}"
+        )
     if layout is None:
         layout = Layout.for_trace(trace, align=params.page_size)
     nprocs = trace.nprocs

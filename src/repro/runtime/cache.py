@@ -1,0 +1,192 @@
+"""Persistent, content-keyed trace cache.
+
+Layered under the experiment runner's in-process memoization: every trace
+is keyed by the full tuple that determines it — ``(app, version, n,
+iterations, nprocs, seed)`` plus the on-disk format version — so an
+interrupted paper-scale run resumes from the cells that already finished,
+and a cache populated at one scale can never satisfy another.
+
+Layout (all inside the cache root)::
+
+    <root>/
+        barnes-hut__hilbert__n4096_i2_p16_s42_fv1.npz    the trace
+        barnes-hut__hilbert__n4096_i2_p16_s42_fv1.json   sidecar: the key
+        quarantine/                                      damaged entries
+
+The sidecar records the key the entry was stored under; a load verifies it
+against the requested key (catching renames, tampering, or stale layouts)
+before trusting the ``.npz``.  Any entry that fails to load — truncated,
+garbled, wrong format version, key mismatch — is *quarantined* (moved
+aside with a reason file) and reported as a miss, so the runner simply
+regenerates it; a corrupted cache can slow a run down but never crash it.
+
+Both the ``.npz`` (via :func:`repro.trace.io.save_trace`) and the sidecar
+are written atomically, so a crash mid-store leaves either no entry or a
+complete one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import CacheMismatchError, ConfigError, TraceCorruptError
+from ..trace.events import Trace
+from ..trace.io import _FORMAT_VERSION, load_trace, save_trace
+
+__all__ = ["CacheKey", "TraceCache"]
+
+log = logging.getLogger("repro.runtime")
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything that determines a trace's content, plus the file format."""
+
+    app: str
+    version: str
+    n: int
+    iterations: int
+    nprocs: int
+    seed: int
+    format_version: int = _FORMAT_VERSION
+
+    def filename(self) -> str:
+        return (
+            f"{self.app}__{self.version}__n{self.n}_i{self.iterations}"
+            f"_p{self.nprocs}_s{self.seed}_fv{self.format_version}.npz"
+        )
+
+    def meta(self) -> dict:
+        return asdict(self)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class TraceCache:
+    """On-disk trace store keyed by :class:`CacheKey`.
+
+    ``load`` returns ``None`` on a miss *or* on a damaged entry (which it
+    quarantines); ``store`` writes atomically.  Hit/miss/quarantine
+    counters make behaviour observable in tests and logs.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(
+                f"cache directory {self.root} is unusable: {exc}"
+            ) from exc
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def path(self, key: CacheKey) -> Path:
+        return self.root / key.filename()
+
+    def _sidecar(self, key: CacheKey) -> Path:
+        return self.path(key).with_suffix(".json")
+
+    def contains(self, key: CacheKey) -> bool:
+        return self.path(key).exists() and self._sidecar(key).exists()
+
+    # ---- store -----------------------------------------------------------
+    def store(self, key: CacheKey, trace: Trace) -> Path:
+        """Atomically persist ``trace`` under ``key``; returns the path."""
+        path = self.path(key)
+        save_trace(trace, path)  # atomic: temp file + os.replace
+        _atomic_write_text(self._sidecar(key), json.dumps(key.meta(), indent=0))
+        return path
+
+    # ---- load ------------------------------------------------------------
+    def load(self, key: CacheKey) -> Trace | None:
+        """Return the cached trace, or ``None`` (miss or quarantined entry)."""
+        path = self.path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            self._check_sidecar(key)
+            trace = load_trace(path)
+        except TraceCorruptError as exc:
+            self.quarantine(key, reason=str(exc))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def _check_sidecar(self, key: CacheKey) -> None:
+        sidecar = self._sidecar(key)
+        if not sidecar.exists():
+            raise CacheMismatchError(
+                f"cache entry {self.path(key).name} has no sidecar metadata"
+                " (interrupted store?)"
+            )
+        try:
+            meta = json.loads(sidecar.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheMismatchError(
+                f"cache sidecar {sidecar.name} is unreadable: {exc}"
+            ) from exc
+        if meta != key.meta():
+            raise CacheMismatchError(
+                f"cache entry {self.path(key).name} was stored under a"
+                f" different key: {meta!r} != {key.meta()!r}"
+            )
+
+    # ---- quarantine ------------------------------------------------------
+    def quarantine(self, key: CacheKey, reason: str = "") -> Path:
+        """Move a damaged entry aside so it is regenerated, not retried."""
+        qdir = self.quarantine_dir
+        qdir.mkdir(exist_ok=True)
+        src = self.path(key)
+        dest = qdir / src.name
+        i = 0
+        while dest.exists():
+            i += 1
+            dest = qdir / f"{src.stem}.{i}{src.suffix}"
+        try:
+            os.replace(src, dest)
+        except FileNotFoundError:
+            pass
+        for extra in (self._sidecar(key),):
+            try:
+                os.replace(extra, dest.with_suffix(".json"))
+            except FileNotFoundError:
+                pass
+        if reason:
+            _atomic_write_text(dest.with_suffix(".reason.txt"), reason + "\n")
+        self.quarantined += 1
+        log.warning("cache: quarantined %s (%s)", src.name,
+                    reason or "unspecified damage")
+        return dest
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+        }

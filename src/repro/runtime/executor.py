@@ -1,0 +1,412 @@
+"""Fault-tolerant task executor.
+
+Fans independent tasks out across worker *processes* (one process per
+attempt, so a crashed or hung worker cannot take the parent down), with:
+
+* a per-task wall-clock timeout — a worker that exceeds it is terminated
+  and the attempt counts as a failure;
+* bounded retry with exponential backoff and deterministic jitter
+  (:func:`backoff_delay` is a pure function of the task key and attempt,
+  so schedules are reproducible);
+* graceful degradation — if the process pool cannot be created at all,
+  or a task's workers die repeatedly, the task is re-run serially in the
+  parent process; a structured :class:`repro.errors.RetryExhaustedError`
+  is raised only when that last resort also fails (timeouts never fall
+  back to serial: an in-process hang could never be interrupted);
+* one-line progress logging per attempt (task key, attempt, duration,
+  outcome) on the ``repro.runtime`` logger.
+
+Results travel back over a pipe; tasks whose results are large should
+instead persist them (e.g. into :class:`repro.runtime.cache.TraceCache`)
+and return a small token — that is what the experiment runner's trace
+prefetch does.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import time
+import zlib
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+
+from ..errors import (
+    ConfigError,
+    RetryExhaustedError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from . import faults as _faults
+from .faults import FaultPlan
+
+__all__ = ["ExecutorConfig", "Task", "TaskOutcome", "backoff_delay", "run_tasks"]
+
+log = logging.getLogger("repro.runtime")
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs for :func:`run_tasks`.
+
+    ``max_retries`` counts *re*-tries: a task gets ``1 + max_retries``
+    attempts before the serial fallback is considered.  ``task_timeout``
+    is wall-clock seconds per attempt (``None`` disables).  ``jobs <= 1``
+    runs everything serially in-process (no pool, no timeouts).
+    """
+
+    jobs: int = 1
+    task_timeout: float | None = 300.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigError("task_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a picklable callable plus a stable string key."""
+
+    key: str
+    fn: Callable
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class TaskOutcome:
+    """How one task finished (for logs and tests)."""
+
+    key: str
+    value: object
+    attempts: int
+    duration: float
+    where: str  # "pool" | "serial" | "fallback"
+
+
+def backoff_delay(config: ExecutorConfig, key: str, attempt: int) -> float:
+    """Deterministic exponential backoff with jitter.
+
+    ``attempt`` is the attempt that just *failed* (1-based).  Jitter is a
+    pure function of ``(key, attempt)`` so retry schedules are reproducible
+    run to run — no wall-clock or RNG state involved.
+    """
+    base = min(config.backoff_cap, config.backoff_base * (2.0 ** (attempt - 1)))
+    frac = zlib.crc32(f"{key}:{attempt}".encode()) / 2**32
+    return base * (1.0 + 0.5 * frac)
+
+
+def _child_main(conn, fn, args, kwargs, fault) -> None:
+    """Worker entry point: run the task, ship (status, payload) back."""
+    try:
+        if fault is not None:
+            _faults.inject_worker_fault(fault)
+        value = fn(*args, **kwargs)
+        conn.send(("ok", value))
+    except BaseException as exc:  # noqa: BLE001 — must not escape a worker
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Running:
+    task: Task
+    attempt: int
+    proc: "mp.process.BaseProcess"
+    conn: object
+    started: float
+    deadline: float | None
+
+
+class _PoolUnavailable(Exception):
+    """Raised internally when worker processes cannot be started."""
+
+    def __init__(self, message: str, task: "Task | None" = None):
+        super().__init__(message)
+        self.task = task
+
+
+def _run_attempt_serial(task: Task, attempt: int, plan: FaultPlan) -> object:
+    fault = plan.worker_fault(task.key, attempt)
+    if fault is not None:
+        _faults.inject_worker_fault(fault, in_process=True)
+    return task.fn(*task.args, **task.kwargs)
+
+
+def _serial_with_retries(
+    task: Task, config: ExecutorConfig, plan: FaultPlan
+) -> TaskOutcome:
+    started = time.monotonic()
+    last: BaseException | None = None
+    for attempt in range(1, config.max_retries + 2):
+        try:
+            value = _run_attempt_serial(task, attempt, plan)
+            duration = time.monotonic() - started
+            log.info("task %s: ok (serial, attempt %d, %.2fs)",
+                     task.key, attempt, duration)
+            return TaskOutcome(task.key, value, attempt, duration, "serial")
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 — retry boundary
+            last = exc
+            log.warning("task %s: attempt %d failed (serial): %s",
+                        task.key, attempt, exc)
+            if attempt <= config.max_retries:
+                time.sleep(backoff_delay(config, task.key, attempt))
+    raise RetryExhaustedError(
+        f"task {task.key!r} failed after {config.max_retries + 1} serial"
+        f" attempts: {last}",
+        key=task.key,
+        attempts=config.max_retries + 1,
+        last_error=last,
+    )
+
+
+def run_tasks(
+    tasks: Iterable[Task],
+    config: ExecutorConfig | None = None,
+    *,
+    fault_plan: FaultPlan | None = None,
+) -> dict[str, object]:
+    """Run every task, fault-tolerantly; return ``{key: result}``.
+
+    Raises :class:`RetryExhaustedError` if any task fails every attempt
+    (the message names all permanently-failed keys; completed tasks keep
+    their results in flight — callers that persist results per-task, like
+    the trace prefetch, lose nothing).  Raises ``KeyboardInterrupt`` when
+    an injected ``interrupt_after`` fires, mirroring a user Ctrl-C.
+    """
+    config = config or ExecutorConfig()
+    plan = fault_plan or FaultPlan()
+    tasks = list(tasks)
+    seen: set[str] = set()
+    for t in tasks:
+        if t.key in seen:
+            raise ValueError(f"duplicate task key {t.key!r}")
+        seen.add(t.key)
+
+    outcomes = _run_all(tasks, config, plan)
+    return {o.key: o.value for o in outcomes}
+
+
+def _interrupt_check(plan: FaultPlan, completed: int, running: dict) -> None:
+    if plan.interrupt_after is not None and completed >= plan.interrupt_after:
+        for r in running.values():
+            r.proc.terminate()
+        for r in running.values():
+            r.proc.join(5.0)
+        raise KeyboardInterrupt(
+            f"injected interrupt after {completed} completed tasks"
+        )
+
+
+def _run_all(
+    tasks: Sequence[Task], config: ExecutorConfig, plan: FaultPlan
+) -> list[TaskOutcome]:
+    outcomes: list[TaskOutcome] = []
+    if config.jobs <= 1 or not tasks:
+        for task in tasks:
+            outcomes.append(_serial_with_retries(task, config, plan))
+            _interrupt_check(plan, len(outcomes), {})
+        return outcomes
+
+    try:
+        ctx = mp.get_context()
+    except Exception:  # pragma: no cover — platform without multiprocessing
+        ctx = None
+    if ctx is None:
+        log.warning("process pool unavailable; degrading to serial execution")
+        for task in tasks:
+            outcomes.append(_serial_with_retries(task, config, plan))
+            _interrupt_check(plan, len(outcomes), {})
+        return outcomes
+
+    return _run_pool(tasks, config, plan, ctx, outcomes)
+
+
+def _run_pool(tasks, config, plan, ctx, outcomes) -> list[TaskOutcome]:
+    pending: deque[tuple[Task, int, float]] = deque(
+        (t, 1, time.monotonic()) for t in tasks
+    )  # (task, attempt, first_started)
+    waiting: list[tuple[float, Task, int, float]] = []  # (ready_at, ...)
+    running: dict[object, _Running] = {}
+    failed: dict[str, tuple[int, BaseException | str]] = {}
+
+    def launch(task: Task, attempt: int, first_started: float) -> None:
+        fault = plan.worker_fault(task.key, attempt)
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(send, task.fn, task.args, task.kwargs, fault),
+            daemon=True,
+        )
+        try:
+            proc.start()
+        except OSError as exc:
+            recv.close()
+            send.close()
+            raise _PoolUnavailable(str(exc), task) from exc
+        send.close()
+        now = time.monotonic()
+        deadline = (
+            now + config.task_timeout if config.task_timeout is not None else None
+        )
+        running[recv] = _Running(task, attempt, proc, recv, first_started, deadline)
+
+    def settle_failure(r: _Running, err: BaseException | str) -> None:
+        log.warning("task %s: attempt %d failed: %s", r.task.key, r.attempt, err)
+        if r.attempt <= config.max_retries:
+            ready_at = time.monotonic() + backoff_delay(
+                config, r.task.key, r.attempt
+            )
+            waiting.append((ready_at, r.task, r.attempt + 1, r.started))
+            return
+        timed_out = isinstance(err, WorkerTimeoutError)
+        crashed = isinstance(err, WorkerCrashError)
+        if config.serial_fallback and crashed and not timed_out:
+            log.warning(
+                "task %s: workers died repeatedly; falling back to serial",
+                r.task.key,
+            )
+            try:
+                value = _run_attempt_serial(r.task, r.attempt + 1, plan)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 — last resort failed
+                failed[r.task.key] = (r.attempt + 1, exc)
+                return
+            duration = time.monotonic() - r.started
+            log.info("task %s: ok (serial fallback, attempt %d, %.2fs)",
+                     r.task.key, r.attempt + 1, duration)
+            outcomes.append(
+                TaskOutcome(r.task.key, value, r.attempt + 1, duration, "fallback")
+            )
+            _interrupt_check(plan, len(outcomes), running)
+            return
+        failed[r.task.key] = (r.attempt, err)
+
+    def settle(conn, r: _Running) -> None:
+        msg = None
+        try:
+            if conn.poll():
+                msg = conn.recv()
+        except (EOFError, OSError):
+            msg = None
+        conn.close()
+        r.proc.join(5.0)
+        if msg is not None and msg[0] == "ok":
+            duration = time.monotonic() - r.started
+            log.info("task %s: ok (pool, attempt %d, %.2fs)",
+                     r.task.key, r.attempt, duration)
+            outcomes.append(
+                TaskOutcome(r.task.key, msg[1], r.attempt, duration, "pool")
+            )
+            _interrupt_check(plan, len(outcomes), running)
+        elif msg is not None:
+            settle_failure(r, msg[1])
+        else:
+            settle_failure(
+                r,
+                WorkerCrashError(
+                    f"worker for {r.task.key!r} died without a result"
+                    f" (exit code {r.proc.exitcode})",
+                    exitcode=r.proc.exitcode,
+                ),
+            )
+
+    try:
+        while pending or waiting or running:
+            now = time.monotonic()
+            if waiting:
+                still = []
+                for item in waiting:
+                    if item[0] <= now:
+                        pending.append(item[1:])
+                    else:
+                        still.append(item)
+                waiting[:] = still
+            while pending and len(running) < config.jobs:
+                launch(*pending.popleft())
+            if not running:
+                if waiting:
+                    time.sleep(max(0.0, min(w[0] for w in waiting) - now))
+                continue
+
+            horizon: float | None = None
+            deadlines = [r.deadline for r in running.values() if r.deadline]
+            if deadlines:
+                horizon = min(deadlines)
+            if waiting:
+                soonest = min(w[0] for w in waiting)
+                horizon = soonest if horizon is None else min(horizon, soonest)
+            timeout = (
+                max(0.0, horizon - time.monotonic()) if horizon is not None else None
+            )
+            ready = _conn_wait(list(running), timeout)
+            for conn in ready:
+                r = running.pop(conn)
+                settle(conn, r)
+            now = time.monotonic()
+            for conn, r in list(running.items()):
+                if r.deadline is not None and now >= r.deadline:
+                    running.pop(conn)
+                    r.proc.terminate()
+                    r.proc.join(5.0)
+                    conn.close()
+                    settle_failure(
+                        r,
+                        WorkerTimeoutError(
+                            f"worker for {r.task.key!r} exceeded"
+                            f" {config.task_timeout:.1f}s and was terminated"
+                        ),
+                    )
+    except _PoolUnavailable as exc:
+        log.warning("cannot start worker processes (%s);"
+                    " degrading to serial execution", exc)
+        leftovers = [item[0] for item in pending] + [w[1] for w in waiting]
+        if exc.task is not None:
+            leftovers.insert(0, exc.task)
+        for r in running.values():
+            r.proc.terminate()
+            r.proc.join(5.0)
+            leftovers.append(r.task)
+        done = {o.key for o in outcomes}
+        for task in leftovers:
+            if task.key in done or task.key in failed:
+                continue
+            outcomes.append(_serial_with_retries(task, config, plan))
+            _interrupt_check(plan, len(outcomes), {})
+    except BaseException:
+        for r in running.values():
+            r.proc.terminate()
+        for r in running.values():
+            r.proc.join(5.0)
+        raise
+
+    if failed:
+        key, (attempts, err) = next(iter(failed.items()))
+        raise RetryExhaustedError(
+            f"{len(failed)} task(s) failed after exhausting retries:"
+            f" {sorted(failed)}; first failure ({key!r}): {err}",
+            key=key,
+            attempts=attempts,
+            last_error=err if isinstance(err, BaseException) else str(err),
+        )
+    return outcomes

@@ -3,7 +3,18 @@
 Trace generation is the expensive half of every experiment (the apps run
 real physics); the machine models are cheap pure functions.  Saving traces
 lets a workflow generate once and sweep machine parameters offline, or ship
-a trace to a colleague without shipping the computation.
+a trace to a colleague without shipping the computation.  The persistent
+cache behind resumable runs (:mod:`repro.runtime.cache`) is built on this
+module, which imposes two robustness requirements:
+
+* **writes are atomic** — :func:`save_trace` writes to a temporary file in
+  the destination directory and ``os.replace``-s it into place, so an
+  interrupt mid-write can never leave a half-written ``.npz`` behind;
+* **reads fail structurally** — :func:`load_trace` raises
+  :class:`repro.errors.TraceCorruptError` (a ``ValueError`` subclass) for
+  *any* unreadable, truncated, or garbled file, and
+  :class:`repro.errors.TraceVersionError` for a format-version mismatch,
+  so callers can quarantine-and-regenerate instead of crashing.
 
 Format: one compressed ``.npz`` holding a small JSON header (processor
 count, regions, epoch labels/work/locks) plus three flat arrays per
@@ -14,19 +25,38 @@ and loading is allocation-light.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
+import zipfile
+import zlib
 
 import numpy as np
 
+from ..errors import TraceCorruptError, TraceVersionError
 from .events import Burst, Epoch, RegionSpec, Trace
 
 __all__ = ["save_trace", "load_trace"]
 
 _FORMAT_VERSION = 1
 
+#: Everything that can plausibly escape ``np.load``/``json``/array slicing
+#: on a damaged file.  Anything else is a programming error and propagates.
+_CORRUPTION_ERRORS = (
+    ValueError,
+    KeyError,
+    IndexError,
+    EOFError,
+    OSError,
+    zipfile.BadZipFile,
+    zlib.error,
+    json.JSONDecodeError,
+    UnicodeDecodeError,
+)
 
-def save_trace(trace: Trace, path) -> None:
-    """Write ``trace`` to ``path`` (``.npz``, compressed)."""
+
+def _serialize(trace: Trace) -> dict[str, np.ndarray]:
     header = {
         "version": _FORMAT_VERSION,
         "nprocs": trace.nprocs,
@@ -67,43 +97,96 @@ def save_trace(trace: Trace, path) -> None:
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write ``trace`` to ``path`` (``.npz``, compressed) atomically.
+
+    The bytes are written to a temporary sibling file which is fsynced and
+    then ``os.replace``-d over ``path``: readers either see the old file or
+    the complete new one, never a prefix.  File-like destinations are
+    written directly (no atomicity to offer there).
+    """
+    arrays = _serialize(trace)
+    if not isinstance(path, (str, os.PathLike)):
+        np.savez_compressed(path, **arrays)
+        return
+    dest = os.fspath(path)
+    if not dest.endswith(".npz"):
+        dest += ".npz"  # match np.savez_compressed's filename behaviour
+    dirpath = os.path.dirname(dest) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=dirpath, prefix=os.path.basename(dest) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def _deserialize(data) -> Trace:
+    header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+    if header.get("version") != _FORMAT_VERSION:
+        raise TraceVersionError(
+            f"unsupported trace format version {header.get('version')!r}"
+            f" (expected {_FORMAT_VERSION})"
+        )
+    trace = Trace(nprocs=int(header["nprocs"]))
+    for r in header["regions"]:
+        trace.regions.append(
+            RegionSpec(r["name"], int(r["num_objects"]), int(r["object_size"]))
+        )
+    for ei, emeta in enumerate(header["epochs"]):
+        epoch = Epoch(nprocs=trace.nprocs, label=emeta["label"])
+        epoch.work = np.array(emeta["work"], dtype=np.float64)
+        epoch.lock_acquires = np.array(emeta["locks"], dtype=np.int64)
+        for p in range(trace.nprocs):
+            key = f"e{ei}_p{p}"
+            if f"{key}_regions" not in data:
+                continue
+            regions = data[f"{key}_regions"]
+            writes = data[f"{key}_writes"]
+            lengths = data[f"{key}_lengths"]
+            indices = data[f"{key}_indices"]
+            offsets = np.concatenate([[0], np.cumsum(lengths)])
+            for bi in range(regions.shape[0]):
+                epoch.bursts[p].append(
+                    Burst(
+                        int(regions[bi]),
+                        indices[offsets[bi] : offsets[bi + 1]],
+                        bool(writes[bi]),
+                    )
+                )
+        trace.epochs.append(epoch)
+    trace.validate()
+    return trace
 
 
 def load_trace(path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(path) as data:
-        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
-        if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {header.get('version')!r}"
-            )
-        trace = Trace(nprocs=int(header["nprocs"]))
-        for r in header["regions"]:
-            trace.regions.append(
-                RegionSpec(r["name"], int(r["num_objects"]), int(r["object_size"]))
-            )
-        for ei, emeta in enumerate(header["epochs"]):
-            epoch = Epoch(nprocs=trace.nprocs, label=emeta["label"])
-            epoch.work = np.array(emeta["work"], dtype=np.float64)
-            epoch.lock_acquires = np.array(emeta["locks"], dtype=np.int64)
-            for p in range(trace.nprocs):
-                key = f"e{ei}_p{p}"
-                if f"{key}_regions" not in data:
-                    continue
-                regions = data[f"{key}_regions"]
-                writes = data[f"{key}_writes"]
-                lengths = data[f"{key}_lengths"]
-                indices = data[f"{key}_indices"]
-                offsets = np.concatenate([[0], np.cumsum(lengths)])
-                for bi in range(regions.shape[0]):
-                    epoch.bursts[p].append(
-                        Burst(
-                            int(regions[bi]),
-                            indices[offsets[bi] : offsets[bi + 1]],
-                            bool(writes[bi]),
-                        )
-                    )
-            trace.epochs.append(epoch)
-        trace.validate()
-        return trace
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`repro.errors.TraceCorruptError` if the file cannot be
+    parsed back into a valid trace (truncated archive, garbled bytes, bad
+    header, out-of-range indices...), and its subclass
+    :class:`repro.errors.TraceVersionError` on a format-version mismatch.
+    A missing file still raises ``FileNotFoundError``.
+    """
+    try:
+        with np.load(path) as data:
+            return _deserialize(data)
+    except TraceCorruptError:
+        raise
+    except FileNotFoundError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise TraceCorruptError(
+            f"trace file {os.fspath(path) if isinstance(path, (str, os.PathLike)) else path!r}"
+            f" is corrupt or unreadable: {type(exc).__name__}: {exc}"
+        ) from exc

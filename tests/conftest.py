@@ -11,8 +11,11 @@ def rng():
 
 @pytest.fixture(autouse=True)
 def _clear_experiment_cache():
-    """Keep the runner's memoization from leaking memory across tests."""
+    """Keep the runner's memoization (and any installed runtime context)
+    from leaking across tests."""
     yield
     from repro.experiments import clear_cache
+    from repro.runtime import set_runtime
 
     clear_cache()
+    set_runtime(None)

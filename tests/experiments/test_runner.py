@@ -19,6 +19,76 @@ def tiny():
     return Scale.tiny()
 
 
+class TestScaleValidation:
+    def test_nonpositive_n_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="must be positive"):
+            Scale(n={"moldyn": 0})
+
+    def test_nonpositive_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            Scale(iterations={"moldyn": 0})
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            Scale(n={"not-an-app": 128})
+
+    def test_bad_nprocs_rejected(self):
+        with pytest.raises(ValueError, match="nprocs"):
+            Scale(nprocs=0)
+
+    def test_bad_hw_scale_rejected(self):
+        with pytest.raises(ValueError, match="hw_scale"):
+            Scale(hw_scale=0.0)
+
+    def test_config_errors_are_value_errors(self):
+        """Backwards compatibility: ConfigError subclasses ValueError."""
+        from repro.errors import ConfigError, ReproError
+
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+
+
+class TestSpeedupGuard:
+    def test_zero_denominator_raises_clearly(self):
+        from repro.errors import MetricError
+
+        rec = RunRecord(app="moldyn", version="original", platform="origin",
+                        nprocs=16, time=0.0, reorder_time=0.0, seq_time=1.0)
+        with pytest.raises(MetricError, match="speedup undefined"):
+            rec.speedup
+
+    def test_metric_error_is_value_error(self):
+        rec = RunRecord(app="moldyn", version="original", platform="origin",
+                        nprocs=16, time=0.0, reorder_time=0.0, seq_time=1.0)
+        with pytest.raises(ValueError):
+            rec.speedup
+
+    def test_normal_speedup_unchanged(self):
+        rec = RunRecord(app="moldyn", version="original", platform="origin",
+                        nprocs=16, time=2.0, reorder_time=0.5, seq_time=10.0)
+        assert rec.speedup == pytest.approx(4.0)
+
+
+class TestStructuredErrors:
+    def test_unknown_app_is_structured(self, tiny):
+        from repro.errors import UnknownAppError
+
+        with pytest.raises(UnknownAppError):
+            make_app("nope", tiny.config("moldyn"))
+
+    def test_unknown_platform_is_structured(self, tiny):
+        from repro.errors import UnknownPlatformError
+
+        with pytest.raises(UnknownPlatformError):
+            run_one("moldyn", "original", "mars", tiny)
+
+    def test_versions_for_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            versions_for("nope")
+
+
 class TestScale:
     def test_default_covers_all_apps(self):
         s = Scale()

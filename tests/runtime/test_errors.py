@@ -1,0 +1,82 @@
+"""The structured error hierarchy: relationships and builtin compatibility."""
+
+import pytest
+
+from repro.errors import (
+    CacheMismatchError,
+    ConfigError,
+    MetricError,
+    ReproError,
+    RetryExhaustedError,
+    SimulationInputError,
+    TraceCorruptError,
+    TraceVersionError,
+    UnknownAppError,
+    UnknownPlatformError,
+    WorkerCrashError,
+    WorkerError,
+    WorkerTimeoutError,
+)
+
+
+ALL = [
+    ConfigError,
+    UnknownAppError,
+    UnknownPlatformError,
+    MetricError,
+    SimulationInputError,
+    TraceCorruptError,
+    TraceVersionError,
+    CacheMismatchError,
+    WorkerError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    RetryExhaustedError,
+]
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_everything_is_a_repro_error(cls):
+    assert issubclass(cls, ReproError)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [ConfigError, UnknownAppError, UnknownPlatformError, MetricError,
+     SimulationInputError, TraceCorruptError, TraceVersionError,
+     CacheMismatchError],
+)
+def test_boundary_errors_remain_value_errors(cls):
+    """Pre-existing callers catching ValueError keep working."""
+    assert issubclass(cls, ValueError)
+
+
+def test_timeout_is_a_builtin_timeout():
+    assert issubclass(WorkerTimeoutError, TimeoutError)
+
+
+def test_trace_version_is_corruption():
+    assert issubclass(TraceVersionError, TraceCorruptError)
+    assert issubclass(CacheMismatchError, TraceCorruptError)
+
+
+def test_worker_crash_carries_exitcode():
+    err = WorkerCrashError("died", exitcode=23)
+    assert err.exitcode == 23
+
+
+def test_retry_exhausted_carries_context():
+    last = RuntimeError("boom")
+    err = RetryExhaustedError("gone", key="cell", attempts=3, last_error=last)
+    assert err.key == "cell"
+    assert err.attempts == 3
+    assert err.last_error is last
+
+
+def test_one_catch_covers_all():
+    try:
+        raise UnknownAppError("nope")
+    except ReproError as exc:
+        assert "nope" in str(exc)
+    else:  # pragma: no cover
+        pytest.fail("not caught")

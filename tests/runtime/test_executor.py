@@ -1,0 +1,183 @@
+"""The fault-tolerant executor: fan-out, timeouts, retries, degradation.
+
+Worker callables live at module level; the default Linux ``fork`` start
+method inherits them, and they pickle cleanly for other start methods.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import RetryExhaustedError, WorkerTimeoutError
+from repro.runtime.executor import (
+    ExecutorConfig,
+    Task,
+    backoff_delay,
+    run_tasks,
+)
+from repro.runtime.faults import FaultPlan
+
+# Fast configs: tiny backoff so retry tests stay sub-second.
+FAST = dict(backoff_base=0.01, backoff_cap=0.05)
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x):
+    time.sleep(5.0)
+    return x * x
+
+
+class TestSerial:
+    def test_runs_everything(self):
+        tasks = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(5)]
+        results = run_tasks(tasks, ExecutorConfig(jobs=1))
+        assert results == {f"t{i}": i * i for i in range(5)}
+
+    def test_injected_error_retried_then_succeeds(self):
+        plan = FaultPlan(worker={"t0": ("error",)})
+        results = run_tasks(
+            [Task(key="t0", fn=square, args=(3,))],
+            ExecutorConfig(jobs=1, max_retries=1, **FAST),
+            fault_plan=plan,
+        )
+        assert results == {"t0": 9}
+
+    def test_retry_exhausted_is_structured(self):
+        plan = FaultPlan(worker={"t0": ("error", "error", "error")})
+        with pytest.raises(RetryExhaustedError) as ei:
+            run_tasks(
+                [Task(key="t0", fn=square, args=(3,))],
+                ExecutorConfig(jobs=1, max_retries=2, **FAST),
+                fault_plan=plan,
+            )
+        assert ei.value.key == "t0"
+        assert ei.value.attempts == 3
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task key"):
+            run_tasks([Task(key="t", fn=square, args=(1,)),
+                       Task(key="t", fn=square, args=(2,))])
+
+    def test_interrupt_after(self):
+        plan = FaultPlan(interrupt_after=2)
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(
+                [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(5)],
+                ExecutorConfig(jobs=1),
+                fault_plan=plan,
+            )
+
+
+class TestPool:
+    def test_parallel_results_complete(self):
+        tasks = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(8)]
+        results = run_tasks(tasks, ExecutorConfig(jobs=4, task_timeout=30.0))
+        assert results == {f"t{i}": i * i for i in range(8)}
+
+    def test_crash_retried_then_succeeds(self):
+        plan = FaultPlan(worker={"t0": ("crash",)})
+        results = run_tasks(
+            [Task(key="t0", fn=square, args=(4,)),
+             Task(key="t1", fn=square, args=(5,))],
+            ExecutorConfig(jobs=2, max_retries=2, task_timeout=30.0, **FAST),
+            fault_plan=plan,
+        )
+        assert results == {"t0": 16, "t1": 25}
+
+    def test_repeated_crashes_fall_back_to_serial(self):
+        plan = FaultPlan(worker={"t0": ("crash", "crash")})
+        results = run_tasks(
+            [Task(key="t0", fn=square, args=(6,))],
+            ExecutorConfig(jobs=2, max_retries=1, task_timeout=30.0, **FAST),
+            fault_plan=plan,
+        )
+        assert results == {"t0": 36}  # attempt 3 ran in-process
+
+    def test_crashes_beyond_fallback_raise(self):
+        plan = FaultPlan(worker={"t0": ("crash", "crash", "crash")})
+        with pytest.raises(RetryExhaustedError):
+            run_tasks(
+                [Task(key="t0", fn=square, args=(6,))],
+                ExecutorConfig(jobs=2, max_retries=1, task_timeout=30.0,
+                               serial_fallback=True, **FAST),
+                fault_plan=plan,
+            )
+
+    def test_hang_times_out_and_exhausts(self):
+        plan = FaultPlan(worker={"t0": ("hang", "hang")})
+        with pytest.raises(RetryExhaustedError) as ei:
+            run_tasks(
+                [Task(key="t0", fn=square, args=(2,))],
+                ExecutorConfig(jobs=2, max_retries=1, task_timeout=0.4, **FAST),
+                fault_plan=plan,
+            )
+        assert isinstance(ei.value.last_error, WorkerTimeoutError)
+
+    def test_hang_then_clean_attempt_succeeds(self):
+        plan = FaultPlan(worker={"t0": ("hang",)})
+        results = run_tasks(
+            [Task(key="t0", fn=square, args=(7,))],
+            ExecutorConfig(jobs=2, max_retries=1, task_timeout=0.4, **FAST),
+            fault_plan=plan,
+        )
+        assert results == {"t0": 49}
+
+    def test_slow_task_terminated_not_waited_for(self):
+        started = time.monotonic()
+        with pytest.raises(RetryExhaustedError):
+            run_tasks(
+                [Task(key="slow", fn=slow_square, args=(2,))],
+                ExecutorConfig(jobs=2, max_retries=0, task_timeout=0.4, **FAST),
+            )
+        assert time.monotonic() - started < 4.0  # nowhere near the 5s sleep
+
+    def test_other_tasks_survive_one_failure(self):
+        plan = FaultPlan(worker={"bad": ("error", "error")})
+        with pytest.raises(RetryExhaustedError) as ei:
+            run_tasks(
+                [Task(key="bad", fn=square, args=(1,))]
+                + [Task(key=f"ok{i}", fn=square, args=(i,)) for i in range(4)],
+                ExecutorConfig(jobs=2, max_retries=1, task_timeout=30.0, **FAST),
+                fault_plan=plan,
+            )
+        assert ei.value.key == "bad"
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        cfg = ExecutorConfig()
+        assert backoff_delay(cfg, "k", 1) == backoff_delay(cfg, "k", 1)
+
+    def test_grows_exponentially_until_cap(self):
+        cfg = ExecutorConfig(backoff_base=0.1, backoff_cap=10.0)
+        d1 = backoff_delay(cfg, "k", 1)
+        d2 = backoff_delay(cfg, "k", 2)
+        d3 = backoff_delay(cfg, "k", 3)
+        assert 0.1 <= d1 <= 0.15
+        assert d2 >= 2 * 0.1 and d3 >= 4 * 0.1
+
+    def test_capped(self):
+        cfg = ExecutorConfig(backoff_base=1.0, backoff_cap=2.0)
+        assert backoff_delay(cfg, "k", 10) <= 2.0 * 1.5
+
+    def test_jitter_varies_by_key(self):
+        cfg = ExecutorConfig(backoff_base=1.0, backoff_cap=100.0)
+        delays = {backoff_delay(cfg, f"key{i}", 1) for i in range(16)}
+        assert len(delays) > 8  # jitter actually spreads
+
+
+class TestConfigValidation:
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(jobs=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(task_timeout=-1.0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(max_retries=-1)

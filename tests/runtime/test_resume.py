@@ -1,0 +1,151 @@
+"""End-to-end resilience: a run killed mid-matrix resumes from the
+persistent cache and produces results identical to an uninterrupted run;
+corrupted cache entries degrade to regeneration, never a crash."""
+
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.experiments.runner import (
+    Scale,
+    clear_cache,
+    prefetch_traces,
+    run_suite,
+)
+from repro.runtime import (
+    ExecutorConfig,
+    FaultPlan,
+    RuntimeContext,
+    TraceCache,
+    use_runtime,
+)
+from repro.runtime.faults import garble_file
+
+APPS = ("moldyn",)
+
+
+@pytest.fixture
+def scale():
+    return Scale(
+        n={k: 256 for k in APP_REGISTRY},
+        iterations={k: 2 for k in APP_REGISTRY},
+        nprocs=4,
+        hw_scale=128.0,
+    )
+
+
+def record_fingerprint(records):
+    """Every numeric field of every cell, exactly."""
+    return [
+        (r.app, r.version, r.platform, r.nprocs, r.time, r.reorder_time,
+         r.seq_time, r.messages, r.data_mbytes, r.l2_misses, r.tlb_misses)
+        for r in records
+    ]
+
+
+def runtime(tmp_path, **kw):
+    return RuntimeContext(
+        cache=TraceCache(tmp_path / "cache"),
+        executor=ExecutorConfig(jobs=1, task_timeout=None),
+        **kw,
+    )
+
+
+class TestResumeAfterInterrupt:
+    def test_identical_results_after_kill_mid_matrix(self, tmp_path, scale):
+        # Cold run, no runtime at all: the ground truth.
+        cold = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        clear_cache()
+
+        # Interrupted run: the fault harness kills it after 2 of the 4
+        # distinct traces (3 versions at P=4 + the 1-proc baseline).
+        ctx = runtime(tmp_path, fault_plan=FaultPlan(interrupt_after=2))
+        with use_runtime(ctx):
+            with pytest.raises(KeyboardInterrupt):
+                prefetch_traces(apps=APPS, scale=scale)
+        clear_cache()
+        cached = list(ctx.cache.root.glob("*.npz"))
+        assert len(cached) == 2  # exactly the completed cells persist
+
+        # Resumed run: completes from cell 3 and matches the cold run.
+        ctx2 = runtime(tmp_path)
+        with use_runtime(ctx2):
+            generated = prefetch_traces(apps=APPS, scale=scale)
+            assert generated == 2  # only the missing cells were generated
+            resumed = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        assert resumed == cold
+        assert ctx2.cache.hits >= 2
+
+    def test_second_run_is_all_cache_hits(self, tmp_path, scale):
+        ctx = runtime(tmp_path)
+        with use_runtime(ctx):
+            first = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        clear_cache()
+        ctx2 = runtime(tmp_path)
+        with use_runtime(ctx2):
+            second = record_fingerprint(run_suite(apps=APPS, scale=scale))
+            assert prefetch_traces(apps=APPS, scale=scale) == 0
+        assert second == first
+        assert ctx2.cache.hits == 4  # every distinct trace came from disk
+
+    def test_no_resume_regenerates_but_matches(self, tmp_path, scale):
+        ctx = runtime(tmp_path)
+        with use_runtime(ctx):
+            first = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        clear_cache()
+        ctx2 = runtime(tmp_path, resume=False)
+        with use_runtime(ctx2):
+            second = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        assert ctx2.cache.hits == 0  # never read
+        assert second == first  # deterministic regeneration
+
+
+class TestCorruptionDegradesGracefully:
+    def test_corrupt_cache_entry_regenerated_identically(self, tmp_path, scale):
+        ctx = runtime(tmp_path)
+        with use_runtime(ctx):
+            first = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        clear_cache()
+
+        # Garble every cached trace: a disk gone bad under the cache.
+        for path in ctx.cache.root.glob("*.npz"):
+            garble_file(path, seed=11, nbytes=512)
+
+        ctx2 = runtime(tmp_path)
+        with use_runtime(ctx2):
+            second = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        assert second == first
+        assert ctx2.cache.quarantined == 4
+        assert list(ctx2.cache.quarantine_dir.glob("*.npz"))
+
+    def test_quarantined_entries_replaced_on_disk(self, tmp_path, scale):
+        ctx = runtime(tmp_path)
+        with use_runtime(ctx):
+            run_suite(apps=APPS, scale=scale)
+        for path in ctx.cache.root.glob("*.npz"):
+            garble_file(path, seed=5)
+        clear_cache()
+        ctx2 = runtime(tmp_path)
+        with use_runtime(ctx2):
+            run_suite(apps=APPS, scale=scale)
+        clear_cache()
+        # Third run: the regenerated entries are valid again.
+        ctx3 = runtime(tmp_path)
+        with use_runtime(ctx3):
+            run_suite(apps=APPS, scale=scale)
+        assert ctx3.cache.quarantined == 0
+        assert ctx3.cache.hits == 4
+
+
+class TestParallelPrefetch:
+    def test_pool_prefetch_matches_serial(self, tmp_path, scale):
+        cold = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        clear_cache()
+        ctx = RuntimeContext(
+            cache=TraceCache(tmp_path / "cache"),
+            executor=ExecutorConfig(jobs=2, task_timeout=120.0),
+        )
+        with use_runtime(ctx):
+            assert prefetch_traces(apps=APPS, scale=scale) == 4
+            parallel = record_fingerprint(run_suite(apps=APPS, scale=scale))
+        assert parallel == cold
+        assert ctx.cache.hits >= 4  # the suite consumed the prefetched traces

@@ -75,6 +75,68 @@ class TestReproduce:
         assert out.count("Figure 1") == 1
 
 
+class TestResilienceFlags:
+    def test_flags_accepted_after_subcommand(self, capsys):
+        code, out, _ = run_cli(capsys, "reproduce", "fig3", "--n", "512")
+        assert code == 0
+        assert "hilbert" in out
+
+    def test_cache_dir_persists_traces(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        code, out, _ = run_cli(
+            capsys, "--n", "256", "--cache-dir", str(cache),
+            "run", "moldyn", "--version", "hilbert",
+        )
+        assert code == 0
+        entries = list(cache.glob("*.npz"))
+        assert entries  # traces landed on disk
+
+    def test_second_run_hits_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = ("--n", "256", "--cache-dir", str(cache), "run", "moldyn")
+        code1, out1, _ = run_cli(capsys, *args)
+        from repro.experiments import clear_cache
+
+        clear_cache()
+        code2, out2, err2 = run_cli(capsys, *args)
+        assert code1 == code2 == 0
+        assert "cache hit" in err2  # progress log reports the hits
+        # Identical numbers either way.
+        assert out1 == out2
+
+    def test_no_resume_flag_parses(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "--n", "256", "--cache-dir", str(tmp_path / "c"),
+            "--no-resume", "run", "moldyn",
+        )
+        assert code == 0
+        assert "speedup" in out
+
+    def test_quiet_suppresses_progress(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "--n", "256", "--quiet",
+            "--cache-dir", str(tmp_path / "c"), "run", "moldyn",
+        )
+        assert code == 0
+        assert "cache" not in err
+
+    def test_structured_error_exits_1(self, capsys):
+        code, _, err = run_cli(capsys, "--n", "-5", "reproduce", "table1")
+        assert code == 1
+        assert "error:" in err
+
+    def test_jobs_flag_parses(self, capsys):
+        code, out, _ = run_cli(capsys, "--jobs", "2", "list")
+        assert code == 0
+        assert "artifacts" in out
+
+    def test_env_cache_dir_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        code, _, _ = run_cli(capsys, "--n", "256", "run", "moldyn")
+        assert code == 0
+        assert list((tmp_path / "envcache").glob("*.npz"))
+
+
 def test_all_artifact_names_have_handlers():
     for name in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                  "fig8", "fig9", "table1", "table2", "table3", "table4",

@@ -88,3 +88,82 @@ class TestRoundtrip:
     def test_loaded_trace_validates(self, tmp_path):
         t2 = roundtrip(make_trace(), tmp_path)
         t2.validate()
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_trace(make_trace(), tmp_path / "t.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.npz"]
+
+    def test_failed_write_preserves_old_file(self, tmp_path, monkeypatch):
+        """An exception mid-write never clobbers the existing trace."""
+        path = tmp_path / "t.npz"
+        save_trace(make_trace(), path)
+        good = path.read_bytes()
+
+        def exploding_savez(fh, **arrays):
+            fh.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_trace(make_trace(), path)
+        assert path.read_bytes() == good  # old file untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["t.npz"]  # no debris
+
+    def test_appends_npz_suffix_like_numpy(self, tmp_path):
+        save_trace(make_trace(), tmp_path / "bare")
+        assert (tmp_path / "bare.npz").exists()
+        load_trace(tmp_path / "bare.npz").validate()
+
+
+class TestCorruption:
+    def test_truncated_file_is_structured_error(self, tmp_path):
+        from repro.errors import TraceCorruptError
+
+        path = tmp_path / "t.npz"
+        save_trace(make_trace(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceCorruptError):
+            load_trace(path)
+
+    def test_corruption_error_is_value_error(self, tmp_path):
+        path = tmp_path / "t.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_version_mismatch_is_structured(self, tmp_path):
+        import json
+
+        from repro.errors import TraceVersionError
+
+        path = tmp_path / "bad.npz"
+        header = np.frombuffer(
+            json.dumps({"version": 99}).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, header=header)
+        with pytest.raises(TraceVersionError, match="version"):
+            load_trace(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_out_of_range_indices_are_corruption(self, tmp_path):
+        """A structurally valid file whose payload violates the trace
+        invariants is corruption too (validate() runs on load)."""
+        from repro.errors import TraceCorruptError
+
+        path = tmp_path / "t.npz"
+        save_trace(make_trace(), path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        # Point some burst indices far outside every region.
+        for k in arrays:
+            if k.endswith("_indices"):
+                arrays[k] = arrays[k] + 10_000_000
+        np.savez_compressed(str(path), **arrays)
+        with pytest.raises(TraceCorruptError):
+            load_trace(path)
