@@ -10,6 +10,7 @@
 
 from .cache import LRUCache, SetAssocCache, collapse_runs
 from .coherence import MESIResult, simulate_mesi
+from .kernels import StreamResult, lru_kernel, reuse_distances, setassoc_kernel
 from .dsm import DSMResult, simulate_hlrc, simulate_treadmarks
 from .hardware import HardwareResult, simulate_hardware
 from .params import (
@@ -25,6 +26,10 @@ __all__ = [
     "LRUCache",
     "SetAssocCache",
     "collapse_runs",
+    "StreamResult",
+    "lru_kernel",
+    "setassoc_kernel",
+    "reuse_distances",
     "HardwareParams",
     "ClusterParams",
     "ORIGIN2000",

@@ -7,12 +7,30 @@ intervened since the last reference, and the set-associative variant
 partitions keys by index bits first — the behaviour the paper's L2/TLB miss
 counts depend on.
 
-Implementation notes (CPython performance):
+Two replay engines produce identical counts (asserted by property tests in
+``tests/machines/test_kernels.py``):
 
-* ``OrderedDict.move_to_end`` gives O(1) amortized LRU maintenance;
-* consecutive duplicate references are collapsed with numpy before the
-  Python loop — a re-reference to the line just touched can never miss, and
-  object-granularity traces produce long such runs.
+* ``"loop"`` — the reference implementation: an ``OrderedDict`` per set,
+  ``move_to_end`` for O(1) LRU maintenance, one Python iteration per
+  access.  Authoritative but interpreter-bound.
+* ``"kernel"`` — the batch reuse-distance kernels in
+  :mod:`repro.machines.kernels`; state is carried as a numpy resident
+  array between calls, so paper-size replays never enter a per-access
+  Python loop.
+
+``access_stream(..., engine="auto")`` (the default, via
+:data:`DEFAULT_ENGINE`) picks the kernel for long streams — or whenever
+the state already lives in array form, so a hot simulation loop mixing
+streams with :meth:`invalidate_present` never bounces through dicts.
+Point operations (``access``, ``__contains__``, the reference
+``invalidate``) materialize the dict form on demand; the two forms are
+interconverted lazily and exactly.
+
+Consecutive duplicate references are collapsed with numpy before either
+engine runs — a re-reference to the line just touched can never miss, and
+object-granularity traces produce long such runs.  ``accesses`` counts the
+*pre-collapse* stream length, matching what per-access ``access`` calls
+would have counted.
 """
 
 from __future__ import annotations
@@ -21,7 +39,25 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["collapse_runs", "LRUCache", "SetAssocCache"]
+from .kernels import lru_kernel, setassoc_kernel
+
+__all__ = [
+    "collapse_runs",
+    "LRUCache",
+    "SetAssocCache",
+    "DEFAULT_ENGINE",
+    "KERNEL_THRESHOLD",
+]
+
+#: Engine used when ``access_stream`` is called with ``engine=None``:
+#: ``"auto"``, ``"loop"``, or ``"kernel"``.  Module-level so benchmarks and
+#: experiments can force one path globally.
+DEFAULT_ENGINE = "auto"
+
+#: Minimum (collapsed) stream length for which ``"auto"`` picks the
+#: vectorized kernel when the state is in dict form; below it the per-key
+#: loop's lower constant wins.
+KERNEL_THRESHOLD = 512
 
 
 def collapse_runs(keys: np.ndarray) -> np.ndarray:
@@ -32,7 +68,20 @@ def collapse_runs(keys: np.ndarray) -> np.ndarray:
     keep = np.empty(keys.shape[0], dtype=bool)
     keep[0] = True
     np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    if keep.all():  # nothing to drop: skip the gather copy
+        return keys
     return keys[keep]
+
+
+def _resolve_engine(engine: str | None, nkeys: int, state_is_array: bool) -> str:
+    eng = DEFAULT_ENGINE if engine is None else engine
+    if eng == "auto":
+        if state_is_array or nkeys >= KERNEL_THRESHOLD:
+            return "kernel"
+        return "loop"
+    if eng not in ("loop", "kernel"):
+        raise ValueError(f"unknown engine {eng!r}; expected auto, loop or kernel")
+    return eng
 
 
 class LRUCache:
@@ -42,26 +91,46 @@ class LRUCache:
     capacity-only approximation of large caches.
     """
 
-    __slots__ = ("capacity", "_entries", "misses", "accesses", "evictions")
+    __slots__ = ("capacity", "_entries", "_arr", "misses", "accesses", "evictions")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: OrderedDict[int, None] = OrderedDict()
+        # Exactly one of the two state forms is authoritative at any time.
+        self._entries: OrderedDict[int, None] | None = OrderedDict()
+        self._arr: np.ndarray | None = None
         self.misses = 0
         self.accesses = 0
         self.evictions = 0
 
+    # -- state form conversion (lazy, exact) ------------------------------
+
+    def _dict(self) -> OrderedDict[int, None]:
+        if self._entries is None:
+            self._entries = OrderedDict.fromkeys(self._arr.tolist())
+            self._arr = None
+        return self._entries
+
+    def _array(self) -> np.ndarray:
+        if self._arr is None:
+            self._arr = np.fromiter(
+                self._entries.keys(), dtype=np.int64, count=len(self._entries)
+            )
+            self._entries = None
+        return self._arr
+
     def __contains__(self, key: int) -> bool:
+        if self._arr is not None:
+            return bool(np.any(self._arr == key))
         return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return int(self._arr.shape[0]) if self._arr is not None else len(self._entries)
 
     def access(self, key: int) -> bool:
         """Touch one key; returns True on hit."""
-        entries = self._entries
+        entries = self._dict()
         self.accesses += 1
         if key in entries:
             entries.move_to_end(key)
@@ -73,12 +142,29 @@ class LRUCache:
             self.evictions += 1
         return False
 
-    def access_stream(self, keys: np.ndarray, *, collapse: bool = True) -> int:
-        """Replay a reference stream; returns the number of misses added."""
+    def access_stream(
+        self, keys: np.ndarray, *, collapse: bool = True, engine: str | None = None
+    ) -> int:
+        """Replay a reference stream; returns the number of misses added.
+
+        ``engine`` selects the replay path (``"loop"``, ``"kernel"``, or
+        ``"auto"``); ``None`` defers to :data:`DEFAULT_ENGINE`.  Both
+        engines produce identical counts and identical end state.
+        """
         keys = np.asarray(keys, dtype=np.int64)
+        n_raw = int(keys.shape[0])
         if collapse:
             keys = collapse_runs(keys)
-        entries = self._entries
+        self.accesses += n_raw
+        if keys.shape[0] == 0:
+            return 0
+        if _resolve_engine(engine, keys.shape[0], self._arr is not None) == "kernel":
+            res = lru_kernel(keys, self.capacity, self._array())
+            self._arr = res.resident
+            self.misses += res.misses
+            self.evictions += res.evictions
+            return res.misses
+        entries = self._dict()
         cap = self.capacity
         misses = 0
         evict = 0
@@ -93,25 +179,49 @@ class LRUCache:
                 if len(entries) > cap:
                     pop(last=False)
                     evict += 1
-        self.accesses += int(keys.shape[0])
         self.misses += misses
         self.evictions += evict
         return misses
 
     def invalidate(self, keys: np.ndarray) -> int:
         """Remove keys (directory invalidation); returns how many were present."""
-        entries = self._entries
-        hit = 0
+        entries = self._dict()
+        present = 0
         for key in np.asarray(keys, dtype=np.int64).tolist():
-            if entries.pop(key, False) is None:
-                hit += 1
-        return hit
+            if key in entries:
+                del entries[key]
+                present += 1
+        return present
+
+    def invalidate_present(
+        self, keys: np.ndarray, *, assume_unique: bool = False
+    ) -> np.ndarray:
+        """Vectorized invalidation: remove ``keys``, return those removed.
+
+        Operates on the array state form (sorted-merge ``np.isin``), so a
+        simulation loop alternating streams and barrier invalidations
+        stays dict-free.  ``invalidate`` is the per-key reference path.
+        Pass ``assume_unique=True`` when ``keys`` has no duplicates to
+        skip the dedup pass.
+        """
+        arr = self._array()
+        targets = np.asarray(keys, dtype=np.int64)
+        if not assume_unique:
+            targets = np.unique(targets)
+        hit = np.isin(arr, targets, assume_unique=True)
+        if not hit.any():
+            return np.empty(0, dtype=np.int64)
+        self._arr = arr[~hit]
+        return arr[hit]
 
     def flush(self) -> None:
-        self._entries.clear()
+        self._entries = OrderedDict()
+        self._arr = None
 
     def resident(self) -> np.ndarray:
         """Currently cached keys, LRU first."""
+        if self._arr is not None:
+            return self._arr.copy()
         return np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
 
 
@@ -123,7 +233,7 @@ class SetAssocCache:
     :class:`LRUCache` (and tests assert so).
     """
 
-    __slots__ = ("nsets", "assoc", "_sets", "misses", "accesses", "evictions")
+    __slots__ = ("nsets", "assoc", "_sets", "_arr", "misses", "accesses", "evictions")
 
     def __init__(self, nsets: int, assoc: int):
         if nsets <= 0 or nsets & (nsets - 1):
@@ -132,7 +242,12 @@ class SetAssocCache:
             raise ValueError("assoc must be positive")
         self.nsets = nsets
         self.assoc = assoc
-        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(nsets)]
+        self._sets: list[OrderedDict[int, None]] | None = [
+            OrderedDict() for _ in range(nsets)
+        ]
+        # Array form: keys grouped by ascending set id, LRU-first within
+        # each set (the kernels' StreamResult.resident format).
+        self._arr: np.ndarray | None = None
         self.misses = 0
         self.accesses = 0
         self.evictions = 0
@@ -141,12 +256,42 @@ class SetAssocCache:
     def capacity(self) -> int:
         return self.nsets * self.assoc
 
+    # -- state form conversion (lazy, exact) ------------------------------
+
+    def _dicts(self) -> list[OrderedDict[int, None]]:
+        if self._sets is None:
+            sets: list[OrderedDict[int, None]] = [
+                OrderedDict() for _ in range(self.nsets)
+            ]
+            mask = self.nsets - 1
+            for key in self._arr.tolist():
+                sets[key & mask][key] = None
+            self._sets = sets
+            self._arr = None
+        return self._sets
+
+    def _array(self) -> np.ndarray:
+        if self._arr is None:
+            total = sum(len(s) for s in self._sets)
+            self._arr = np.fromiter(
+                (k for s in self._sets for k in s), dtype=np.int64, count=total
+            )
+            self._sets = None
+        return self._arr
+
     def __contains__(self, key: int) -> bool:
+        if self._arr is not None:
+            return bool(np.any(self._arr == key))
         return key in self._sets[key & (self.nsets - 1)]
+
+    def __len__(self) -> int:
+        if self._arr is not None:
+            return int(self._arr.shape[0])
+        return sum(len(s) for s in self._sets)
 
     def access(self, key: int) -> bool:
         self.accesses += 1
-        s = self._sets[key & (self.nsets - 1)]
+        s = self._dicts()[key & (self.nsets - 1)]
         if key in s:
             s.move_to_end(key)
             return True
@@ -157,11 +302,27 @@ class SetAssocCache:
             self.evictions += 1
         return False
 
-    def access_stream(self, keys: np.ndarray, *, collapse: bool = True) -> int:
+    def access_stream(
+        self, keys: np.ndarray, *, collapse: bool = True, engine: str | None = None
+    ) -> int:
+        """Replay a reference stream; returns the number of misses added.
+
+        See :meth:`LRUCache.access_stream` for the ``engine`` contract.
+        """
         keys = np.asarray(keys, dtype=np.int64)
+        n_raw = int(keys.shape[0])
         if collapse:
             keys = collapse_runs(keys)
-        sets = self._sets
+        self.accesses += n_raw
+        if keys.shape[0] == 0:
+            return 0
+        if _resolve_engine(engine, keys.shape[0], self._arr is not None) == "kernel":
+            res = setassoc_kernel(keys, self.nsets, self.assoc, self._array())
+            self._arr = res.resident
+            self.misses += res.misses
+            self.evictions += res.evictions
+            return res.misses
+        sets = self._dicts()
         mask = self.nsets - 1
         assoc = self.assoc
         misses = 0
@@ -176,22 +337,50 @@ class SetAssocCache:
                 if len(s) > assoc:
                     s.popitem(last=False)
                     evict += 1
-        self.accesses += int(keys.shape[0])
         self.misses += misses
         self.evictions += evict
         return misses
 
     def invalidate(self, keys: np.ndarray) -> int:
+        """Remove keys (directory invalidation); returns how many were present."""
+        sets = self._dicts()
         mask = self.nsets - 1
-        hit = 0
+        present = 0
         for key in np.asarray(keys, dtype=np.int64).tolist():
-            if self._sets[key & mask].pop(key, False) is None:
-                hit += 1
-        return hit
+            s = sets[key & mask]
+            if key in s:
+                del s[key]
+                present += 1
+        return present
+
+    def invalidate_present(
+        self, keys: np.ndarray, *, assume_unique: bool = False
+    ) -> np.ndarray:
+        """Vectorized invalidation: remove ``keys``, return those removed.
+
+        Set grouping and per-set LRU order are preserved by construction
+        (removal never reorders survivors).  Pass ``assume_unique=True``
+        when ``keys`` has no duplicates to skip the dedup pass.
+        """
+        arr = self._array()
+        targets = np.asarray(keys, dtype=np.int64)
+        if not assume_unique:
+            targets = np.unique(targets)
+        hit = np.isin(arr, targets, assume_unique=True)
+        if not hit.any():
+            return np.empty(0, dtype=np.int64)
+        self._arr = arr[~hit]
+        return arr[hit]
 
     def flush(self) -> None:
-        for s in self._sets:
-            s.clear()
+        self._sets = [OrderedDict() for _ in range(self.nsets)]
+        self._arr = None
 
-    def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+    def resident(self) -> np.ndarray:
+        """Currently cached keys, grouped by set, LRU first within each set."""
+        if self._arr is not None:
+            return self._arr.copy()
+        total = sum(len(s) for s in self._sets)
+        return np.fromiter(
+            (k for s in self._sets for k in s), dtype=np.int64, count=total
+        )

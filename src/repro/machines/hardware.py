@@ -31,6 +31,7 @@ not; this reproduces the paper's Table 2 single-processor TLB contrast
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,7 +39,7 @@ import numpy as np
 from ..errors import SimulationInputError
 from ..trace.events import Trace
 from ..trace.layout import Layout
-from .cache import LRUCache, SetAssocCache, collapse_runs
+from .cache import LRUCache, SetAssocCache
 from .params import HardwareParams
 
 __all__ = ["HardwareResult", "simulate_hardware"]
@@ -60,9 +61,14 @@ class HardwareResult:
     phase_times: dict[str, float] = field(default_factory=dict)
     # Miss classification (per proc): first-ever touches, re-misses on
     # invalidated lines, and everything else (capacity/conflict evictions).
+    # ``capacity_misses`` is the exact residual ``l2 - cold - coherence``;
+    # if classification ever over-counts (cold + coherence > total), the
+    # excess is surfaced in ``classification_overcount`` (per proc, >= 0)
+    # and a RuntimeWarning is emitted — never silently clamped away.
     cold_misses: np.ndarray = field(default=None)  # type: ignore[assignment]
     coherence_misses: np.ndarray = field(default=None)  # type: ignore[assignment]
     capacity_misses: np.ndarray = field(default=None)  # type: ignore[assignment]
+    classification_overcount: np.ndarray = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         z = lambda: np.zeros(self.nprocs, dtype=np.int64)  # noqa: E731
@@ -72,6 +78,8 @@ class HardwareResult:
             self.coherence_misses = z()
         if self.capacity_misses is None:
             self.capacity_misses = z()
+        if self.classification_overcount is None:
+            self.classification_overcount = z()
 
     @property
     def total_l2_misses(self) -> int:
@@ -92,28 +100,38 @@ class HardwareResult:
 
 
 def _proc_streams(
-    epoch, layout: Layout, line_size: int, page_size: int, proc: int
+    epoch, layout: Layout, line_size: int, page_size: int, proc: int, nlines: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Line stream, page stream and written-line set for one processor."""
-    line_chunks: list[np.ndarray] = []
-    write_chunks: list[np.ndarray] = []
-    for b in epoch.bursts[proc]:
-        lines = layout.units(b.region, b.indices, line_size)
-        line_chunks.append(lines)
-        if b.is_write:
-            write_chunks.append(lines)
-    if line_chunks:
-        lines = np.concatenate(line_chunks)
+    """Line stream, page stream and written-line set for one processor.
+
+    One batched line-id conversion covers every burst; the written-line
+    set is collected through a dense line mask rather than a hash-based
+    ``np.unique`` over the (much longer) expanded write stream.
+    """
+    bursts = epoch.bursts[proc]
+    empty = np.empty(0, dtype=np.int64)
+    if not bursts:
+        return empty, empty, empty
+    per_burst = [len(b.indices) for b in bursts]
+    regs = np.repeat(
+        np.fromiter((b.region for b in bursts), dtype=np.int64, count=len(bursts)),
+        per_burst,
+    )
+    idx = np.concatenate([np.asarray(b.indices, dtype=np.int64) for b in bursts])
+    lines, counts = layout.units_batch(regs, idx, line_size, return_counts=True)
+    wflags = np.repeat(
+        np.fromiter((b.is_write for b in bursts), dtype=bool, count=len(bursts)),
+        per_burst,
+    )
+    if wflags.any():
+        wmask = np.zeros(nlines, dtype=bool)
+        wmask[lines[np.repeat(wflags, counts)]] = True
+        written = np.flatnonzero(wmask)
     else:
-        lines = np.empty(0, dtype=np.int64)
+        written = empty
     shift = line_size.bit_length() - 1
     pshift = page_size.bit_length() - 1
     pages = (lines << shift) >> pshift
-    written = (
-        np.unique(np.concatenate(write_chunks))
-        if write_chunks
-        else np.empty(0, dtype=np.int64)
-    )
     return lines, pages, written
 
 
@@ -134,9 +152,9 @@ def simulate_hardware(
     if layout is None:
         layout = Layout.for_trace(trace, align=params.page_size)
     nprocs = trace.nprocs
-    nsets = max(params.l2_sets, 1)
-    caches = [SetAssocCache(1 << (nsets - 1).bit_length() if nsets & (nsets - 1) else nsets,
-                            params.l2_assoc) for _ in range(nprocs)]
+    # Geometry is validated by HardwareParams at construction; build the
+    # caches exactly as specified — no silent rounding of the set count.
+    caches = [SetAssocCache(params.l2_sets, params.l2_assoc) for _ in range(nprocs)]
     tlbs = [LRUCache(params.tlb_entries) for _ in range(nprocs)]
 
     l2_misses = np.zeros(nprocs, dtype=np.int64)
@@ -148,9 +166,14 @@ def simulate_hardware(
     locks = np.zeros(nprocs, dtype=np.int64)
     phase_times: dict[str, float] = {}
     # Classification state: lines each proc has ever touched, and lines
-    # invalidated out of its cache and not yet re-touched.
-    seen: list[set[int]] = [set() for _ in range(nprocs)]
-    pending_inval: list[set[int]] = [set() for _ in range(nprocs)]
+    # invalidated out of its cache and not yet re-touched.  Line ids are
+    # dense (bounded by the layout's extent), so per-proc boolean tables
+    # make the per-epoch set algebra O(lines) scatter/mask work.
+    shift = params.line_size.bit_length() - 1
+    nlines = (layout.total_bytes >> shift) + 1
+    seen = np.zeros((nprocs, nlines), dtype=bool)
+    pending_inval = np.zeros((nprocs, nlines), dtype=bool)
+    touched = np.zeros(nlines, dtype=bool)
 
     miss_time = params.l2_miss_time()
     work_time = params.work_cycles * params.cycle_time
@@ -163,37 +186,40 @@ def simulate_hardware(
         epoch_tlb = np.zeros(nprocs, dtype=np.int64)
         for p in range(nprocs):
             lines, pages, written = _proc_streams(
-                epoch, layout, params.line_size, params.page_size, p
+                epoch, layout, params.line_size, params.page_size, p, nlines
             )
             epoch_written.append(written)
             if lines.shape[0]:
                 epoch_l2[p] = caches[p].access_stream(lines)
-                epoch_tlb[p] = tlbs[p].access_stream(collapse_runs(pages))
+                epoch_tlb[p] = tlbs[p].access_stream(pages)
                 # Classify: first-ever touches are cold; re-touches of
                 # invalidated lines are coherence; the remainder of the
                 # LRU's miss count is capacity/conflict.
-                touched = set(np.unique(lines).tolist())
-                fresh = touched - seen[p]
-                cold[p] += len(fresh)
+                touched[lines] = True
+                fresh = touched & ~seen[p]
+                cold[p] += int(np.count_nonzero(fresh))
                 seen[p] |= fresh
-                reinval = touched & pending_inval[p]
-                coherence[p] += len(reinval)
-                pending_inval[p] -= reinval
+                coherence[p] += int(np.count_nonzero(touched & pending_inval[p]))
+                pending_inval[p] &= ~touched
+                touched.fill(False)
         # Directory invalidation at the barrier: every line written by q is
         # purged from all other caches (and its TLB entry is unaffected —
-        # TLBs cache translations, not data).
+        # TLBs cache translations, not data).  ``invalidate_present`` is a
+        # sorted-merge ``np.isin`` over each cache's resident array, so the
+        # step is O(lines log lines) per processor pair instead of a Python
+        # membership scan per written line.
         for q in range(nprocs):
-            if epoch_written[q].shape[0] == 0:
+            written_q = epoch_written[q]
+            if written_q.shape[0] == 0:
                 continue
             for p in range(nprocs):
                 if p != q:
-                    present = [
-                        k for k in epoch_written[q].tolist() if k in caches[p]
-                    ]
-                    if present:
-                        caches[p].invalidate(np.array(present, dtype=np.int64))
-                        invalidations[p] += len(present)
-                        pending_inval[p].update(present)
+                    removed = caches[p].invalidate_present(
+                        written_q, assume_unique=True
+                    )
+                    if removed.shape[0]:
+                        invalidations[p] += removed.shape[0]
+                        pending_inval[p][removed] = True
         l2_misses += epoch_l2
         tlb_misses += epoch_tlb
         work += epoch.work
@@ -209,6 +235,20 @@ def simulate_hardware(
         if epoch.label:
             phase_times[epoch.label] = phase_times.get(epoch.label, 0.0) + epoch_time
 
+    # Capacity/conflict misses are the exact residual.  A negative value
+    # means cold + coherence over-counted the simulator's misses — that is
+    # classification drift, and it is surfaced, not floored away.
+    residual = l2_misses - cold - coherence
+    overcount = np.maximum(-residual, 0)
+    if overcount.any():
+        warnings.warn(
+            "miss classification drift: cold + coherence exceed total L2"
+            f" misses by {overcount.tolist()} per processor (total"
+            f" {int(overcount.sum())}); capacity_misses carries the exact"
+            " (negative) residual and classification_overcount the excess",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return HardwareResult(
         params=params,
         nprocs=nprocs,
@@ -222,5 +262,6 @@ def simulate_hardware(
         phase_times=phase_times,
         cold_misses=cold,
         coherence_misses=coherence,
-        capacity_misses=np.maximum(l2_misses - cold - coherence, 0),
+        capacity_misses=residual,
+        classification_overcount=overcount,
     )

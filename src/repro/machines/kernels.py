@@ -1,0 +1,408 @@
+"""Vectorized batch replay kernels for the exact LRU cache models.
+
+The reference simulators in :mod:`repro.machines.cache` walk the access
+stream one key at a time through an ``OrderedDict`` — exact, but
+interpreter-bound at a few million accesses per second, which puts the
+paper-size replays (65536 bodies, 16 processors, tens of epochs) out of
+reach.  This module computes the *same counts* with numpy batch
+algorithms, so the per-access work happens in C.
+
+The core identity is the classic reuse-distance (stack-distance)
+characterization of fully-associative LRU:
+
+    an access to key ``k`` hits iff fewer than ``capacity`` *distinct*
+    keys were referenced since the previous access to ``k``.
+
+Let ``prev[i]`` be the index of the previous occurrence of ``keys[i]``
+(``-1`` for a first occurrence).  The number of distinct keys referenced
+strictly between ``prev[i]`` and ``i`` equals the number of positions
+``t`` with ``prev[i] < t < i`` whose own previous occurrence lies at or
+before ``prev[i]`` (``prev[t] <= prev[i]``) — i.e. the first occurrence
+*within the window* of each distinct intervening key.  Because
+``prev[t] < t`` always, that count telescopes to::
+
+    dist[i] = #{t < i : prev[t] <= prev[i]}  -  (prev[i] + 1)
+
+The left term — "how many earlier positions have a previous-occurrence
+index at most mine" — is an offline 2-D dominance count.  We compute it
+without a Fenwick tree via a bottom-up blocked merge count: at block
+width ``w`` every pair of adjacent length-``w`` slices contributes, for
+each right-slice element, the number of left-slice elements ``<=`` it;
+every ordered pair of positions is counted at exactly one level.  Each
+level is a single ``np.sort`` + ``np.searchsorted`` over all blocks at
+once (blocks are lifted into disjoint value ranges so one global
+``searchsorted`` serves them all), giving O(n log^2 n) work entirely in
+vectorized numpy.
+
+Set-associativity comes for free: grouping the stream by set index with
+a *stable* argsort makes each set's substream contiguous and in program
+order, and since a key only ever maps to one set, every reuse window
+``(prev[i], i)`` lies inside a single set's segment.  One dominance
+count over the grouped stream therefore yields per-set reuse distances,
+and the miss rule is ``dist >= assoc`` uniformly.
+
+Cache state across calls is carried as the *resident array*: the cached
+keys grouped by set, LRU-first within each set.  LRU obeys inclusion —
+a set's content is always its ``assoc`` most recently used distinct
+keys — so replaying the resident keys as an uncharged prefix of the
+stream reconstructs the exact state, and the post-replay state is read
+off the last-occurrence indices.  Equality with the reference loop
+(including interleaved invalidations) is asserted access-for-access in
+``tests/machines/test_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "StreamResult",
+    "count_left_le",
+    "reuse_distances",
+    "lru_kernel",
+    "setassoc_kernel",
+]
+
+_COLD = np.iinfo(np.int64).max  # reuse distance of a first-ever occurrence
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one batched replay.
+
+    Attributes
+    ----------
+    misses:
+        Misses charged to the stream (the uncharged resident prefix is
+        excluded).
+    evictions:
+        Entries pushed out by capacity during the replay.
+    resident:
+        Cache content after the replay: keys grouped by ascending set
+        index, LRU-first within each set — the format accepted back as
+        the ``resident`` argument of the next call.
+    """
+
+    misses: int
+    evictions: int
+    resident: np.ndarray
+
+
+def count_left_le(vals: np.ndarray) -> np.ndarray:
+    """For each ``i``, count positions ``t < i`` with ``vals[t] <= vals[i]``.
+
+    Offline dominance counting by bottom-up blocked merge: O(n log^2 n),
+    all levels fully vectorized (one sort + one searchsorted per level).
+    """
+    vals = np.asarray(vals, dtype=np.int64)
+    n = vals.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    if n <= 1:
+        return counts
+    # Shift values to [0, span-2]; span-1 is the padding sentinel, so
+    # lifting block b by b*span keeps blocks in disjoint sorted ranges.
+    v = vals - int(vals.min())
+    span = int(v.max()) + 2
+    m = 1 << (n - 1).bit_length()
+    if m > n:
+        v = np.concatenate([v, np.full(m - n, span - 1, dtype=np.int64)])
+    positions = np.arange(m)
+    width = 1
+    while width < m:
+        pairs = m // (2 * width)
+        blocks = v.reshape(pairs, 2 * width)
+        lift = np.arange(pairs, dtype=np.int64)[:, None] * span
+        left = np.sort(blocks[:, :width], axis=1) + lift
+        right = blocks[:, width:] + lift
+        hits = np.searchsorted(left.ravel(), right.ravel(), side="right")
+        hits -= np.repeat(np.arange(pairs, dtype=np.int64), width) * width
+        pos = positions.reshape(pairs, 2 * width)[:, width:].ravel()
+        real = pos < n
+        counts[pos[real]] += hits[real]
+        width *= 2
+    return counts
+
+
+def _narrow(keys: np.ndarray) -> np.ndarray:
+    """Narrow non-negative keys to the smallest dtype for radix argsort.
+
+    numpy's stable argsort is a byte-wise radix sort; int64 line/page ids
+    that fit in 16 bits sort ~7x faster as uint16.  Keys with negative
+    values (never produced by the layouts, but allowed by the cache API)
+    are passed through unchanged.
+    """
+    if keys.shape[0] == 0 or keys.dtype.itemsize <= 1:
+        return keys
+    if keys.dtype.kind != "u" and int(keys.min()) < 0:
+        return keys
+    hi = int(keys.max())
+    for dt, limit in ((np.uint8, 1 << 8), (np.uint16, 1 << 16), (np.uint32, 1 << 32)):
+        if hi < limit:
+            return keys if keys.dtype == dt else keys.astype(dt)
+    return keys
+
+
+def _prev_occurrence(keys: np.ndarray) -> np.ndarray:
+    """Index of each key's previous occurrence in the stream (-1 if none)."""
+    n = keys.shape[0]
+    if n < 2:
+        return np.full(n, -1, dtype=np.int64)
+    k = _narrow(keys)
+    order = np.argsort(k, kind="stable")
+    # In sorted order each position's predecessor is the previous stream
+    # index of the same key, except at key-group starts (typically few) —
+    # shift, patch the group starts to -1, scatter back to stream order.
+    ko = k[order]
+    po = np.empty(n, dtype=np.int64)
+    po[0] = -1
+    po[1:] = order[:-1]
+    po[np.flatnonzero(ko[1:] != ko[:-1]) + 1] = -1
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = po
+    return prev
+
+
+def reuse_distances(keys: np.ndarray) -> np.ndarray:
+    """Distinct keys referenced strictly between consecutive occurrences.
+
+    First occurrences get ``np.iinfo(np.int64).max`` (an infinite
+    distance: always a miss at any finite capacity).
+    """
+    keys = np.asarray(keys)
+    prev = _prev_occurrence(keys)
+    dist = count_left_le(prev) - (prev + 1)
+    dist[prev < 0] = _COLD
+    return dist
+
+
+def _miss_mask(prev: np.ndarray, seg_end: np.ndarray, capacity: int) -> np.ndarray:
+    """Per-access miss flags for an LRU of ``capacity`` ways per segment.
+
+    ``prev`` is the previous-occurrence index of each position in the
+    set-grouped stream (each segment one set, program order inside);
+    ``seg_end[i]`` is the exclusive end of ``i``'s segment.
+
+    The miss test only needs ``dist >= capacity``, never the exact reuse
+    distance, so the hot path is a *windowed* count: a position ``t`` is
+    "live" at time ``i`` iff its key does not recur before ``i``
+    (``next[t] >= i``), and live positions inside the reuse window are
+    exactly the distinct intervening keys.  Scanning a lookback of ``W``
+    shifted comparisons therefore decides, in O(n·W) fully vectorized
+    work:
+
+    * ``gap <= W+1``   — the whole window is inside the lookback: the
+      live count *is* the reuse distance (exact hit/miss);
+    * ``live >= capacity`` — at least ``capacity`` distinct keys already
+      in the lookback suffix: a certain miss;
+
+    Undecided positions (long gap, low-diversity suffix) retry with a 4x
+    larger gathered lookback; if that budget blows up the exact
+    O(n log^2 n) dominance count (:func:`reuse_distances`) finishes the
+    job.  Segment boundaries are folded into the liveness horizon
+    (``next`` capped at ``seg_end - 1``), so no per-position segment
+    comparison is needed in the hot loop.
+    """
+    n = prev.shape[0]
+    miss = prev < 0  # cold
+    if capacity >= n:  # can never evict: only cold misses
+        return miss
+    iota = np.arange(n, dtype=np.int32)
+    gap = iota - prev.astype(np.int32)  # i - prev[i]; cold rows already decided
+    has_next = prev >= 0
+    # rem[t] = next-occurrence(t) - t, with the liveness horizon capped at
+    # t's segment end; "t live at i" (no recurrence before i) is then the
+    # scalar test rem[t] >= i - t.
+    rem = np.empty(n, dtype=np.int32)
+    rem[:] = seg_end - 1
+    rem[prev[has_next]] = iota[has_next]
+    rem -= iota
+
+    # acc[i] = live positions among the last W with offset inside the
+    # reuse window.  For gap <= W+1 the window fits the lookback, so acc
+    # is the exact reuse distance; for gap > W+1 every lookback offset is
+    # in-window, so acc is a lower bound and acc >= capacity proves a
+    # miss.  (One accumulator serves both cases.)  1.5x capacity of
+    # lookback decides all but a sliver of real streams in the first
+    # pass: an undecided row needs a long gap AND heavy repetition among
+    # the most recent accesses.
+    W = int(min(capacity + capacity // 2, 64, n - 1))
+    acc = np.zeros(n, dtype=np.uint8 if W <= 255 else np.int32)
+    buf = np.empty(n, dtype=bool)
+    win = np.empty(n, dtype=bool)
+    for k in range(1, W + 1):
+        a = np.greater_equal(rem[: n - k], k, out=buf[: n - k])
+        a &= np.greater(gap[k:], k, out=win[: n - k])
+        acc[k:] += a
+    near = (gap <= W + 1) & ~miss  # window inside lookback: acc is exact
+    miss |= acc >= capacity  # exact verdict for near rows, certain for far
+    undec = np.flatnonzero(~(near | miss))
+
+    while undec.size:
+        W = min(W * 4, n)
+        if undec.size * W > 64 * n + (1 << 22):
+            # Adversarial stream shape: finish with the exact global count.
+            dist = count_left_le(prev) - (prev + 1)
+            miss[undec] = dist[undec] >= capacity
+            break
+        g = gap[undec]
+        acc2 = np.zeros(undec.size, dtype=np.int32)
+        # Rows below W need the t >= 0 guard; undec is sorted, so they
+        # are a prefix and the (usually much larger) tail skips it.
+        lo = int(np.searchsorted(undec, W))
+        head, tail = undec[:lo], undec[lo:]
+        acc_h, acc_t = acc2[:lo], acc2[lo:]
+        g_h, g_t = g[:lo], g[lo:]
+        for k in range(1, W + 1):
+            if head.size:
+                t = head - k
+                acc_h += (t >= 0) & (rem[np.maximum(t, 0)] >= k) & (k < g_h)
+            a = rem[tail - k] >= k
+            a &= k < g_t
+            acc_t += a
+        near2 = g <= W + 1
+        sub_miss = acc2 >= capacity
+        sub_decided = near2 | sub_miss
+        miss[undec[sub_decided]] = sub_miss[sub_decided]
+        undec = undec[~sub_decided]
+    return miss
+
+
+def _replay_small_assoc(
+    grouped: np.ndarray, bounds: np.ndarray, assoc: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Miss flags and end state for ``assoc <= 2``, O(n) without sorting.
+
+    At associativity 1 an access hits iff it repeats the in-segment
+    predecessor (reuse distance 0).  At associativity 2 the only other
+    hit shape is reuse distance 1: the window back to the previous
+    occurrence is a single *run* of one foreign key — so a hit iff the
+    key just before the run ending at ``i-1`` equals ``keys[i]``.  Both
+    tests are local run analysis, which matters because the 2-way L2 is
+    the simulator's highest-volume cache: this path skips the
+    previous-occurrence radix sort entirely.
+
+    Returns ``(miss, resident)`` with ``resident`` in the usual grouped
+    LRU-first format (per segment: the pre-final-run key, if any, then
+    the final run's key).
+    """
+    n = grouped.shape[0]
+    chg = np.empty(n, dtype=bool)
+    chg[0] = True
+    np.not_equal(grouped[1:], grouped[:-1], out=chg[1:])
+    chg[bounds[:-1]] = True  # runs never span segments
+    miss = chg.copy()  # non-boundary repeats are the dist-0 hits
+    ends = bounds[1:] - 1  # last position of each segment
+    if assoc == 1:
+        return miss, grouped[ends]
+    iota = np.arange(n, dtype=np.int32)
+    rs = np.maximum.accumulate(np.where(chg, iota, 0))  # run start per position
+    seg_start = np.repeat(bounds[:-1].astype(np.int32), np.diff(bounds))
+    # dist-1 hits at i: i-1 ends a run of one foreign key and the key
+    # before that run (cand) is keys[i], still inside i's segment.
+    cand = rs[:-1] - 1
+    ok = chg[1:] & (cand >= seg_start[1:])
+    h1 = ok & (grouped[np.maximum(cand, 0)] == grouped[1:])
+    miss[1:] &= ~h1
+    # End state: MRU = final run's key; LRU = key before the final run.
+    mru = grouped[ends]
+    cand_e = rs[ends] - 1
+    has_lru = cand_e >= bounds[:-1]
+    counts = 1 + has_lru.astype(np.int64)
+    pos_end = np.cumsum(counts)
+    resident = np.empty(int(pos_end[-1]), dtype=grouped.dtype)
+    resident[pos_end - 1] = mru
+    resident[pos_end[has_lru] - 2] = grouped[np.maximum(cand_e, 0)][has_lru]
+    return miss, resident
+
+
+def setassoc_kernel(
+    keys: np.ndarray,
+    nsets: int,
+    assoc: int,
+    resident: np.ndarray | None = None,
+) -> StreamResult:
+    """Replay ``keys`` through a set-associative LRU, batch-vectorized.
+
+    ``resident`` is the prior cache content in :class:`StreamResult`
+    format (grouped by set, LRU-first); ``None`` means a cold cache.
+    Keys map to set ``key & (nsets - 1)`` exactly as
+    :class:`repro.machines.cache.SetAssocCache` does.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    if resident is None or resident.shape[0] == 0:
+        resident = np.empty(0, dtype=np.int64)
+    else:
+        resident = np.ascontiguousarray(resident, dtype=np.int64)
+    nres = resident.shape[0]
+    combined = np.concatenate([resident, keys]) if nres else keys
+    n = combined.shape[0]
+    if n == 0:
+        return StreamResult(0, 0, resident)
+    # Narrow once up front: every later pass (set extraction, sort gather,
+    # run comparisons, extraction) then moves 1-4 bytes per key instead
+    # of 8.  Negative keys fall back to int64 untouched.
+    combined = _narrow(combined)
+    # Group by set, program order preserved within each set; the
+    # resident prefix of each set lands ahead of its stream accesses.
+    if nsets > 1:
+        mask = nsets - 1
+        if combined.dtype == np.int64:
+            sets_all = combined & mask
+            if nsets <= 1 << 16:
+                sets_all = sets_all.astype(np.uint16)
+        elif mask >= (1 << (8 * combined.dtype.itemsize)) - 1:
+            sets_all = combined  # mask covers the whole dtype: set id == key
+        else:
+            sets_all = combined & combined.dtype.type(mask)
+        order = np.argsort(sets_all, kind="stable")
+        grouped = combined[order]
+        # Segment boundaries fall out of the per-set population counts —
+        # no need to materialize the sorted set-id array for them.
+        counts = np.bincount(sets_all, minlength=nsets)
+        bounds = np.concatenate([[0], np.cumsum(counts[counts > 0])])
+    else:
+        grouped = combined
+        bounds = np.array([0, n], dtype=np.int64)
+
+    if assoc <= 2:
+        miss, new_resident = _replay_small_assoc(grouped, bounds, assoc)
+    else:
+        seg_end = np.repeat(bounds[1:], np.diff(bounds))
+        prev = _prev_occurrence(grouped)
+        miss = _miss_mask(prev, seg_end, assoc)
+        # Post-replay state: per set, the `assoc` distinct keys with the
+        # largest last-occurrence index, emitted LRU-first.  A position
+        # is a key's *last* occurrence iff nothing points back to it via
+        # ``prev``; those positions, in stream order, are already sorted
+        # by set (the grouping) and by recency within each set.
+        is_last = np.ones(n, dtype=bool)
+        has_next = prev >= 0
+        is_last[prev[has_next]] = False
+        idx = np.flatnonzero(is_last)
+        keys_last = grouped[idx]
+        if nsets > 1:
+            set_of_last = sets_all[order[idx]]
+            counts = np.bincount(set_of_last, minlength=nsets)
+            from_end = np.cumsum(counts)[set_of_last] - np.arange(idx.shape[0])
+            new_resident = keys_last[from_end <= assoc]  # from_end is 1-based
+        elif keys_last.shape[0] > assoc:
+            new_resident = keys_last[-assoc:]
+        else:
+            new_resident = keys_last
+    # Resident keys are distinct (one set each, unique within a set), so
+    # every uncharged prefix position is a first occurrence and carries a
+    # miss flag; charging the stream is a single subtraction.
+    misses = int(np.count_nonzero(miss)) - nres
+    evictions = nres + misses - new_resident.shape[0]
+    # Resident state goes back out as int64 regardless of the internal
+    # narrowing — it is tiny (<= nsets * assoc entries).
+    return StreamResult(misses, int(evictions), new_resident.astype(np.int64, copy=False))
+
+
+def lru_kernel(
+    keys: np.ndarray, capacity: int, resident: np.ndarray | None = None
+) -> StreamResult:
+    """Fully-associative LRU replay: one set of ``capacity`` ways."""
+    return setassoc_kernel(keys, 1, capacity, resident)

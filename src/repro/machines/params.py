@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..errors import SimulationInputError
+
 __all__ = [
     "HardwareParams",
     "ClusterParams",
@@ -52,6 +54,41 @@ class HardwareParams:
     tlb_miss_time: float = 0.20e-6  # software-refilled TLB exception
     barrier_time: float = 8.0e-6
     lock_time: float = 0.5e-6  # uncontended LL/SC lock
+
+    def __post_init__(self) -> None:
+        """Validate cache geometry at construction.
+
+        The simulators index sets with ``key & (nsets - 1)``, which is only
+        a set index when the set count is a power of two.  An invalid
+        geometry is an error here — it is never silently rounded, because
+        rounding changes cache capacity (and therefore every miss count)
+        without a word.
+        """
+        for name in ("line_size", "page_size"):
+            v = getattr(self, name)
+            if v <= 0 or v & (v - 1):
+                raise SimulationInputError(
+                    f"{self.name}: {name} must be a positive power of two, got {v}"
+                )
+        if self.nprocs < 1:
+            raise SimulationInputError(f"{self.name}: nprocs must be >= 1")
+        if self.tlb_entries < 1:
+            raise SimulationInputError(f"{self.name}: tlb_entries must be >= 1")
+        if self.l2_assoc < 1:
+            raise SimulationInputError(f"{self.name}: l2_assoc must be >= 1")
+        if self.l2_bytes % (self.line_size * self.l2_assoc):
+            raise SimulationInputError(
+                f"{self.name}: l2_bytes ({self.l2_bytes}) must be a multiple of"
+                f" line_size * l2_assoc ({self.line_size * self.l2_assoc})"
+            )
+        sets = self.l2_sets
+        if sets < 1 or sets & (sets - 1):
+            raise SimulationInputError(
+                f"{self.name}: derived L2 set count {sets} is not a positive"
+                f" power of two (l2_bytes={self.l2_bytes},"
+                f" line_size={self.line_size}, l2_assoc={self.l2_assoc});"
+                " adjust l2_bytes or l2_assoc"
+            )
 
     @property
     def l2_lines(self) -> int:
@@ -137,10 +174,18 @@ def origin2000_scaled(scale: float, nprocs: int = 16) -> HardwareParams:
     cache and TLB by the same factor preserves the working-set-to-cache
     ratio.  Line and page *sizes* are kept — they set the false-sharing
     granularity, which is the paper's subject.
+
+    The scaled cache is floored to a power-of-two line count (minimum 16
+    lines), so the derived set count stays a power of two — the geometry
+    :class:`HardwareParams` validates.  Power-of-two scales are exact;
+    other scales shrink to the next valid geometry below (an explicit,
+    documented rounding here, never a silent one inside the simulator).
     """
     if scale < 1:
         raise ValueError("scale must be >= 1")
-    l2 = max(int(ORIGIN2000.l2_bytes / scale), 16 * ORIGIN2000.line_size)
+    lines = max(int(ORIGIN2000.l2_bytes / scale) // ORIGIN2000.line_size, 16)
+    lines = 1 << (lines.bit_length() - 1)  # floor to power of two
+    l2 = lines * ORIGIN2000.line_size
     tlb = max(int(ORIGIN2000.tlb_entries / scale), 8)
     return replace(
         ORIGIN2000,

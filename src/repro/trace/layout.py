@@ -96,6 +96,50 @@ class Layout:
         mask = np.arange(max_span, dtype=np.int64)[None, :] <= span[:, None]
         return grid[mask]
 
+    def units_batch(
+        self,
+        regions: np.ndarray,
+        indices: np.ndarray,
+        unit: int,
+        return_counts: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Unit ids for a mixed-region access stream, fully vectorized.
+
+        Equivalent to concatenating :meth:`units` over per-burst slices —
+        ``regions`` gives each access's region id — but runs as one numpy
+        pass, so decoding an epoch is not bound by per-burst call
+        overhead.  Order is preserved; objects straddling unit boundaries
+        expand to consecutive entries exactly as :meth:`units` does.
+        With ``return_counts=True`` also returns how many units each
+        access expanded to, so callers can propagate per-access metadata
+        (e.g. write flags) onto the expanded stream.
+        """
+        if not _is_pow2(unit):
+            raise ValueError("unit must be a power of two")
+        shift = unit.bit_length() - 1
+        regions = np.asarray(regions, dtype=np.int64)
+        bases = np.asarray(self.bases, dtype=np.int64)[regions]
+        sizes = np.fromiter(
+            (r.object_size for r in self.regions), dtype=np.int64, count=len(self.regions)
+        )[regions]
+        start = bases + np.asarray(indices, dtype=np.int64) * sizes
+        first = start >> shift
+        span = ((start + sizes - 1) >> shift) - first
+        if not span.any():
+            if return_counts:
+                return first, np.ones(first.shape[0], dtype=np.int64)
+            return first
+        # Variable-length expansion: repeat each first unit, then add the
+        # within-object offset 0..span reconstructed from the run starts.
+        counts = span + 1
+        out = np.repeat(first, counts)
+        run_start = np.repeat(np.cumsum(counts) - counts, counts)
+        out += np.arange(out.shape[0], dtype=np.int64)
+        out -= run_start
+        if return_counts:
+            return out, counts
+        return out
+
     def lines(self, region: int, indices: np.ndarray, line_size: int) -> np.ndarray:
         """Cache-line ids touched by the accesses (order-preserving, expanded)."""
         return self.units(region, indices, line_size, expand=True)

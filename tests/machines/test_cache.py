@@ -71,6 +71,36 @@ class TestLRUCache:
         assert 2 not in c
         assert c.access(2) is False
 
+    def test_invalidate_counts_every_present_key(self):
+        """Regression for the `pop(key, False) is None` idiom: the count is
+        an explicit membership count, all present / none present / dupes."""
+        c = LRUCache(8)
+        c.access_stream(np.array([1, 2, 3, 4]))
+        assert c.invalidate(np.array([1, 2, 3, 4])) == 4
+        assert c.invalidate(np.array([1, 2, 3, 4])) == 0
+        c.access_stream(np.array([5]))
+        assert c.invalidate(np.array([5, 5])) == 1  # second is absent
+
+    def test_invalidate_present_matches_invalidate(self, rng):
+        a, b = LRUCache(16), LRUCache(16)
+        keys = rng.integers(0, 40, 200)
+        a.access_stream(keys, collapse=False)
+        b.access_stream(keys, collapse=False)
+        targets = rng.integers(0, 40, 10)
+        assert a.invalidate(targets) == b.invalidate_present(targets).shape[0]
+        assert a.resident().tolist() == b.resident().tolist()
+
+    def test_accesses_counted_pre_collapse(self):
+        """Streaming with collapse must report the same `accesses` as the
+        per-access path would."""
+        keys = np.array([1, 1, 1, 2, 2, 3])
+        a, b = LRUCache(4), LRUCache(4)
+        a.access_stream(keys, collapse=True)
+        for k in keys.tolist():
+            b.access(k)
+        assert a.accesses == b.accesses == 6
+        assert a.misses == b.misses
+
     def test_flush(self):
         c = LRUCache(4)
         c.access_stream(np.array([1, 2]))
@@ -116,6 +146,21 @@ class TestSetAssocCache:
         assert len(c) == 4
         assert c.invalidate(np.array([0, 1, 17])) == 2
         assert len(c) == 2
+
+    def test_invalidate_counts_every_present_key(self):
+        c = SetAssocCache(4, 2)
+        c.access_stream(np.array([0, 1, 2, 3]))
+        assert c.invalidate(np.array([0, 1, 2, 3])) == 4
+        assert c.invalidate(np.array([0, 1, 2, 3])) == 0
+
+    def test_invalidate_present_matches_invalidate(self, rng):
+        a, b = SetAssocCache(8, 2), SetAssocCache(8, 2)
+        keys = rng.integers(0, 64, 300)
+        a.access_stream(keys, collapse=False)
+        b.access_stream(keys, collapse=False)
+        targets = rng.integers(0, 64, 12)
+        assert a.invalidate(targets) == b.invalidate_present(targets).shape[0]
+        assert a.resident().tolist() == b.resident().tolist()
 
     def test_stream_equals_singles(self, rng):
         keys = rng.integers(0, 64, 500)

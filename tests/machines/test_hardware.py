@@ -173,6 +173,36 @@ class TestParams:
         with pytest.raises(ValueError):
             origin2000_scaled(0.5)
 
+    def test_non_power_of_two_scale_yields_valid_geometry(self):
+        """Scaling by an awkward factor must floor to a valid power-of-two
+        geometry at construction, not be silently rounded mid-simulation."""
+        s = origin2000_scaled(655.36)  # e.g. 65536 objects / n=100
+        sets = s.l2_sets
+        assert sets >= 1 and sets & (sets - 1) == 0
+        assert s.l2_bytes % s.line_size == 0
+
+    def test_power_of_two_scale_is_exact(self):
+        from repro.machines.params import ORIGIN2000
+
+        s = origin2000_scaled(64)
+        assert s.l2_bytes == ORIGIN2000.l2_bytes // 64
+
+    def test_non_power_of_two_set_count_rejected(self):
+        from repro.errors import SimulationInputError
+
+        with pytest.raises(SimulationInputError):
+            HardwareParams(l2_bytes=3 * 128 * 2, line_size=128, l2_assoc=2)
+
+    def test_bad_line_and_page_sizes_rejected(self):
+        from repro.errors import SimulationInputError
+
+        with pytest.raises(SimulationInputError):
+            HardwareParams(line_size=96)
+        with pytest.raises(SimulationInputError):
+            HardwareParams(page_size=3000)
+        with pytest.raises(SimulationInputError):
+            HardwareParams(tlb_entries=0)
+
 
 class TestMissClassification:
     def test_all_cold_for_single_proc_fitting_cache(self):
@@ -216,6 +246,52 @@ class TestMissClassification:
         res = simulate_hardware(app.run(), small_params(4, l2_lines=64))
         total = res.cold_misses + res.coherence_misses + res.capacity_misses
         assert np.array_equal(total, res.l2_misses)
+
+    def test_invalidate_retouch_evict_split(self):
+        """A line that is invalidated, re-touched, and later evicted must
+        land in exactly one class per miss: cold on first touch, coherence
+        on the post-invalidation re-touch, capacity on the post-eviction
+        re-touch — across barriers."""
+        tb = TraceBuilder(2)
+        r = tb.add_region("o", 4, 64)  # one object per 64-byte line
+        tb.read(0, r, [0])  # epoch 1: p0 touches line A -> cold
+        tb.barrier()
+        tb.write(1, r, [0])  # epoch 2: p1 writes A -> invalidated from p0
+        tb.barrier()
+        # epoch 3: p0 re-touches A (coherence), then touches B and C
+        # (cold); capacity 2 evicts A.
+        tb.read(0, r, [0])
+        tb.read(0, r, [1, 2])
+        tb.barrier()
+        tb.read(0, r, [0])  # epoch 4: A evicted -> capacity miss
+        res = simulate_hardware(tb.finish(), small_params(2, l2_lines=2))
+        assert res.cold_misses[0] == 3  # A, B, C first touches
+        assert res.coherence_misses[0] == 1  # A after invalidation
+        assert res.capacity_misses[0] == 1  # A after eviction
+        assert res.l2_misses[0] == 5
+        assert res.cold_misses[1] == 1 and res.l2_misses[1] == 1
+        assert res.classification_overcount.sum() == 0
+
+    def test_classification_drift_warns_instead_of_clamping(self, monkeypatch):
+        """If cold+coherence ever exceed the miss counter, the residual must
+        surface as a diagnostic, not be floored to zero."""
+        from repro.machines.cache import SetAssocCache
+
+        real = SetAssocCache.access_stream
+
+        def underreport(self, keys, **kw):
+            return max(real(self, keys, **kw) - 1, 0)
+
+        monkeypatch.setattr(SetAssocCache, "access_stream", underreport)
+        tb = TraceBuilder(1)
+        r = tb.add_region("o", 64, 64)
+        tb.read(0, r, np.arange(64))
+        with pytest.warns(RuntimeWarning, match="classification drift"):
+            res = simulate_hardware(tb.finish(), small_params(1, l2_lines=16))
+        assert res.classification_overcount[0] > 0
+        assert res.capacity_misses[0] < 0  # exact residual, not clamped
+        total = res.cold_misses + res.coherence_misses + res.capacity_misses
+        assert np.array_equal(total, res.l2_misses)  # identity still exact
 
     def test_reordering_cuts_coherence_share(self):
         from repro.apps import AppConfig, Moldyn

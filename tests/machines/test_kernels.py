@@ -1,0 +1,187 @@
+"""Equivalence tests: vectorized replay kernels vs the loop reference.
+
+The kernels must be *count-for-count* identical to the OrderedDict
+reference — misses, evictions, resident set, and per-set LRU order —
+on randomized streams with interleaved invalidations, including the
+empty-stream and collapse edge cases.  The whole-simulator test then
+checks that ``simulate_hardware`` produces identical results whichever
+engine the caches dispatch to.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import cache as cache_mod
+from repro.machines.cache import LRUCache, SetAssocCache, collapse_runs
+from repro.machines.kernels import (
+    count_left_le,
+    lru_kernel,
+    reuse_distances,
+    setassoc_kernel,
+)
+
+
+@pytest.fixture
+def force_engine(monkeypatch):
+    def _force(name):
+        monkeypatch.setattr(cache_mod, "DEFAULT_ENGINE", name)
+
+    return _force
+
+
+class TestCountLeftLe:
+    def brute(self, vals):
+        return [
+            sum(1 for t in range(i) if vals[t] <= vals[i]) for i in range(len(vals))
+        ]
+
+    def test_small_cases(self):
+        for vals in ([], [5], [3, 1, 2, 2, 0], [1, 1, 1], list(range(9, -1, -1))):
+            arr = np.array(vals, dtype=np.int64)
+            assert count_left_le(arr).tolist() == self.brute(vals)
+
+    def test_random_matches_brute_force(self, rng):
+        for n in (2, 3, 17, 64, 100, 257):
+            vals = rng.integers(-5, 30, n)
+            assert count_left_le(vals).tolist() == self.brute(vals.tolist())
+
+    def test_non_power_of_two_lengths(self, rng):
+        vals = rng.integers(0, 7, 1000)
+        assert count_left_le(vals).tolist() == self.brute(vals.tolist())
+
+
+class TestReuseDistances:
+    def test_known_stream(self):
+        # keys:  1  2  3  1  4  1
+        # dist:  ∞  ∞  ∞  2  ∞  1
+        d = reuse_distances(np.array([1, 2, 3, 1, 4, 1]))
+        cold = np.iinfo(np.int64).max
+        assert d.tolist() == [cold, cold, cold, 2, cold, 1]
+
+    def test_miss_rule_matches_lru(self, rng):
+        keys = rng.integers(0, 25, 400)
+        for cap in (1, 2, 5, 16):
+            expected = LRUCache(cap)
+            misses = [not expected.access(int(k)) for k in keys]
+            got = reuse_distances(keys) >= cap
+            assert got.tolist() == misses
+
+
+def _loop_twin(kind, nsets, assoc):
+    if kind == "lru":
+        return LRUCache(assoc)
+    return SetAssocCache(nsets, assoc)
+
+
+@pytest.mark.parametrize(
+    "kind,nsets,assoc",
+    [("lru", 1, 1), ("lru", 1, 7), ("lru", 1, 64), ("sa", 4, 2), ("sa", 8, 1), ("sa", 16, 4)],
+)
+def test_kernel_equals_loop_with_invalidations(kind, nsets, assoc, rng):
+    """Segmented replay with invalidations between segments: all counters
+    and the exact resident order must match the reference at every step."""
+    loop = _loop_twin(kind, nsets, assoc)
+    kern = _loop_twin(kind, nsets, assoc)
+    for seg in range(6):
+        keys = rng.integers(0, 80, int(rng.integers(0, 300)))
+        m_loop = loop.access_stream(keys, collapse=False, engine="loop")
+        m_kern = kern.access_stream(keys, collapse=False, engine="kernel")
+        assert m_loop == m_kern
+        assert loop.misses == kern.misses
+        assert loop.evictions == kern.evictions
+        assert loop.accesses == kern.accesses
+        assert loop.resident().tolist() == kern.resident().tolist()
+        targets = np.unique(rng.integers(0, 80, int(rng.integers(0, 20))))
+        n_loop = loop.invalidate(targets)
+        removed = kern.invalidate_present(targets)
+        assert n_loop == removed.shape[0]
+        assert loop.resident().tolist() == kern.resident().tolist()
+
+
+def test_empty_stream_and_empty_cache():
+    for c in (LRUCache(4), SetAssocCache(4, 2)):
+        assert c.access_stream(np.empty(0, dtype=np.int64), engine="kernel") == 0
+        assert c.misses == 0 and len(c) == 0
+    res = setassoc_kernel(np.empty(0, dtype=np.int64), 4, 2, None)
+    assert res.misses == 0 and res.evictions == 0 and res.resident.shape == (0,)
+    res = lru_kernel(np.array([3, 3, 3]), 2)
+    assert res.misses == 1 and res.resident.tolist() == [3]
+
+
+def test_collapse_runs_same_counts_both_engines(rng):
+    raw = np.repeat(rng.integers(0, 30, 200), rng.integers(1, 5, 200))
+    for engine in ("loop", "kernel"):
+        a = LRUCache(8)
+        b = LRUCache(8)
+        a.access_stream(raw, collapse=True, engine=engine)
+        b.access_stream(raw, collapse=False, engine=engine)
+        assert a.misses == b.misses
+        # accesses counts the pre-collapse stream either way
+        assert a.accesses == b.accesses == raw.shape[0]
+        assert a.resident().tolist() == b.resident().tolist()
+
+
+def test_kernel_threshold_dispatch(force_engine):
+    """auto uses the kernel for long streams and whenever state is already
+    in array form (so hot loops never materialize dicts)."""
+    force_engine("auto")
+    c = LRUCache(16)
+    c.access_stream(np.arange(cache_mod.KERNEL_THRESHOLD + 1))  # kernel path
+    assert c._arr is not None and c._entries is None
+    c.access_stream(np.array([1, 2]))  # short, but state is array: stays kernel
+    assert c._arr is not None
+    assert c.access(1) is True  # point op materializes the dict form
+    assert c._entries is not None and c._arr is None
+
+
+@given(
+    data=st.data(),
+    nsets=st.sampled_from([1, 2, 8]),
+    assoc=st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_streams_with_invalidations(data, nsets, assoc):
+    loop = SetAssocCache(nsets, assoc)
+    kern = SetAssocCache(nsets, assoc)
+    nsegs = data.draw(st.integers(1, 4))
+    for _ in range(nsegs):
+        keys = np.array(
+            data.draw(st.lists(st.integers(0, 40), max_size=120)), dtype=np.int64
+        )
+        collapse = data.draw(st.booleans())
+        assert loop.access_stream(
+            keys, collapse=collapse, engine="loop"
+        ) == kern.access_stream(keys, collapse=collapse, engine="kernel")
+        inval = np.unique(
+            np.array(data.draw(st.lists(st.integers(0, 40), max_size=10)), dtype=np.int64)
+        )
+        assert loop.invalidate(inval) == kern.invalidate_present(inval).shape[0]
+        assert loop.resident().tolist() == kern.resident().tolist()
+        assert loop.misses == kern.misses
+        assert loop.evictions == kern.evictions
+
+
+def test_simulate_hardware_engine_equivalence(force_engine):
+    """Whole-simulator equality: the Moldyn trace replayed with the loop
+    engine and the kernel engine yields identical counters and timing."""
+    from repro.apps import AppConfig, Moldyn
+    from repro.machines.hardware import simulate_hardware
+    from repro.machines.params import origin2000_scaled
+
+    app = Moldyn(AppConfig(n=256, nprocs=4, iterations=2, seed=11))
+    trace = app.run()
+    params = origin2000_scaled(256, 4)
+    results = {}
+    for engine in ("loop", "kernel"):
+        force_engine(engine)
+        results[engine] = simulate_hardware(trace, params)
+    a, b = results["loop"], results["kernel"]
+    assert np.array_equal(a.l2_misses, b.l2_misses)
+    assert np.array_equal(a.tlb_misses, b.tlb_misses)
+    assert np.array_equal(a.invalidations, b.invalidations)
+    assert np.array_equal(a.cold_misses, b.cold_misses)
+    assert np.array_equal(a.coherence_misses, b.coherence_misses)
+    assert np.array_equal(a.capacity_misses, b.capacity_misses)
+    assert a.time == b.time
