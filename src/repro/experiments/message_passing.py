@@ -58,12 +58,16 @@ def ideal_message_passing(
     for epoch in trace.epochs:
         pairs: set[tuple[int, int]] = set()
         for p in range(nprocs):
-            read_chunks: dict[int, list[np.ndarray]] = {}
-            for b in epoch.bursts[p]:
-                if not b.is_write:
-                    read_chunks.setdefault(b.region, []).append(b.indices)
-            for region, chunks in read_chunks.items():
-                objs = np.unique(np.concatenate(chunks))
+            regs, idx, wflags = epoch.flat(p)
+            if not regs.shape[0]:
+                continue
+            reads = ~wflags
+            if not reads.any():
+                continue
+            rregs = regs[reads]
+            ridx = idx[reads]
+            for region in np.unique(rregs).tolist():
+                objs = np.unique(ridx[rregs == region])
                 who = owners[region][objs]
                 remote = (who >= 0) & (who != p)
                 if remote.any():
@@ -75,9 +79,12 @@ def ideal_message_passing(
         messages += len(pairs)
         # Writes take effect at the end of the epoch (barrier semantics).
         for p in range(nprocs):
-            for b in epoch.bursts[p]:
-                if b.is_write:
-                    owners[b.region][b.indices] = p
+            regs, idx, wflags = epoch.flat(p)
+            if wflags.any():
+                wregs = regs[wflags]
+                widx = idx[wflags]
+                for region in np.unique(wregs).tolist():
+                    owners[region][widx[wregs == region]] = p
     return MessagePassingResult(
         nprocs=nprocs,
         messages=messages,

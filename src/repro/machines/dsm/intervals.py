@@ -18,7 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...trace.events import Epoch, Trace
-from ...trace.layout import Layout
+from ...trace.layout import DecodeMemo, Layout, decode_memo
+from ...trace.packed import PackedTrace
 
 __all__ = ["EpochPageInfo", "build_intervals", "total_pages"]
 
@@ -111,10 +112,92 @@ def _epoch_info(epoch: Epoch, layout: Layout, page_size: int) -> EpochPageInfo:
     )
 
 
+def _epoch_info_packed(
+    epoch, decoded, layout: Layout, page_size: int
+) -> EpochPageInfo:
+    """Vectorized :func:`_epoch_info` over packed columns.
+
+    ``accesses`` comes straight from the memoized page decode; dirty-byte
+    accounting deduplicates expanded ``(page, region, object)`` triples
+    with one lexsort instead of per-burst dict accumulation.  Outputs are
+    byte-for-byte identical to :func:`_epoch_info`.
+    """
+    shift = page_size.bit_length() - 1
+    bases = np.asarray(layout.bases, dtype=np.int64)
+    osizes = np.fromiter(
+        (r.object_size for r in layout.regions),
+        dtype=np.int64,
+        count=len(layout.regions),
+    )
+    accesses: list[np.ndarray] = []
+    writes: list[np.ndarray] = []
+    write_bytes: list[np.ndarray] = []
+    for p in range(epoch.nprocs):
+        units = decoded.units[p]
+        accesses.append(
+            np.unique(units) if units.shape[0] else np.empty(0, np.int64)
+        )
+        regs, idx, wflags = epoch.flat(p)
+        if wflags.any():
+            wregs = regs[wflags]
+            widx = idx[wflags]
+            sizes = osizes[wregs]
+            start = bases[wregs] + widx * sizes
+            first = start >> shift
+            counts = ((start + sizes - 1) >> shift) - first + 1
+            # Expand each written object to the pages it covers, carrying
+            # (region, object) along for distinct-object dirty accounting.
+            pages_e = np.repeat(first, counts)
+            run_start = np.repeat(np.cumsum(counts) - counts, counts)
+            pages_e += np.arange(pages_e.shape[0], dtype=np.int64) - run_start
+            regs_e = np.repeat(wregs, counts)
+            objs_e = np.repeat(widx, counts)
+            order = np.lexsort((objs_e, regs_e, pages_e))
+            pg, rg, ob = pages_e[order], regs_e[order], objs_e[order]
+            fresh = np.empty(pg.shape[0], dtype=bool)
+            fresh[0] = True
+            fresh[1:] = (pg[1:] != pg[:-1]) | (rg[1:] != rg[:-1]) | (ob[1:] != ob[:-1])
+            wpages, inverse = np.unique(pg[fresh], return_inverse=True)
+            wbytes = np.bincount(inverse, weights=osizes[rg[fresh]]).astype(np.int64)
+            np.minimum(wbytes, page_size, out=wbytes)
+        else:
+            wpages = np.empty(0, np.int64)
+            wbytes = np.empty(0, np.int64)
+        writes.append(wpages)
+        write_bytes.append(wbytes)
+    return EpochPageInfo(
+        accesses=accesses,
+        writes=writes,
+        write_bytes=write_bytes,
+        label=epoch.label,
+        work=np.asarray(epoch.work, dtype=np.float64).copy(),
+        lock_acquires=np.asarray(epoch.lock_acquires, dtype=np.int64).copy(),
+    )
+
+
 def build_intervals(
     trace: Trace, layout: Layout | None = None, page_size: int = 4096
 ) -> tuple[list[EpochPageInfo], Layout]:
-    """Summarize every epoch of ``trace`` at ``page_size`` granularity."""
+    """Summarize every epoch of ``trace`` at ``page_size`` granularity.
+
+    For packed traces the summaries are built vectorized from the memoized
+    page decode and cached on the trace's decode memo keyed by geometry —
+    so running TreadMarks and HLRC (or repeating a sweep point) builds the
+    intervals once.
+    """
     if layout is None:
         layout = Layout.for_trace(trace, align=page_size)
+    if isinstance(trace, PackedTrace):
+        memo = decode_memo(trace)
+        key = ("intervals", DecodeMemo.geometry_key(layout, page_size))
+
+        def _build() -> list[EpochPageInfo]:
+            return [
+                _epoch_info_packed(
+                    epoch, memo.epoch(layout, page_size, ei), layout, page_size
+                )
+                for ei, epoch in enumerate(trace.epochs)
+            ]
+
+        return memo.derived(key, _build), layout
     return [_epoch_info(e, layout, page_size) for e in trace.epochs], layout

@@ -38,7 +38,8 @@ import numpy as np
 
 from ..errors import SimulationInputError
 from ..trace.events import Trace
-from ..trace.layout import Layout
+from ..trace.layout import DecodedEpoch, Layout, decode_memo
+from ..trace.packed import PackedTrace
 from .cache import LRUCache, SetAssocCache
 from .params import HardwareParams
 
@@ -135,6 +136,37 @@ def _proc_streams(
     return lines, pages, written
 
 
+def _proc_streams_packed(
+    epoch,
+    decoded: DecodedEpoch,
+    proc: int,
+    line_size: int,
+    page_size: int,
+    nlines: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Packed-trace counterpart of :func:`_proc_streams`.
+
+    The line stream comes straight from the (memoized) decoded epoch —
+    no per-burst concatenation, and the decode is shared across platforms
+    and sweep points.  Counts must match :func:`_proc_streams` exactly.
+    """
+    lines = decoded.units[proc]
+    empty = np.empty(0, dtype=np.int64)
+    if lines.shape[0] == 0:
+        return empty, empty, empty
+    _regs, _idx, wflags = epoch.flat(proc)
+    if wflags.any():
+        wmask = np.zeros(nlines, dtype=bool)
+        wmask[lines[decoded.expand(proc, wflags)]] = True
+        written = np.flatnonzero(wmask)
+    else:
+        written = empty
+    shift = line_size.bit_length() - 1
+    pshift = page_size.bit_length() - 1
+    pages = (lines << shift) >> pshift
+    return lines, pages, written
+
+
 def simulate_hardware(
     trace: Trace,
     params: HardwareParams = HardwareParams(),
@@ -179,15 +211,26 @@ def simulate_hardware(
     work_time = params.work_cycles * params.cycle_time
     total_time = 0.0
 
-    for epoch in trace.epochs:
+    # Packed traces decode through the per-trace memo: one units_batch pass
+    # per (epoch, geometry), shared with the DSM simulators and any sweep
+    # re-running this trace under the same line size.
+    memo = decode_memo(trace) if isinstance(trace, PackedTrace) else None
+
+    for ei, epoch in enumerate(trace.epochs):
         epoch_written: list[np.ndarray] = []
         proc_time = np.zeros(nprocs, dtype=np.float64)
         epoch_l2 = np.zeros(nprocs, dtype=np.int64)
         epoch_tlb = np.zeros(nprocs, dtype=np.int64)
+        decoded = None if memo is None else memo.epoch(layout, params.line_size, ei)
         for p in range(nprocs):
-            lines, pages, written = _proc_streams(
-                epoch, layout, params.line_size, params.page_size, p, nlines
-            )
+            if decoded is not None:
+                lines, pages, written = _proc_streams_packed(
+                    epoch, decoded, p, params.line_size, params.page_size, nlines
+                )
+            else:
+                lines, pages, written = _proc_streams(
+                    epoch, layout, params.line_size, params.page_size, p, nlines
+                )
             epoch_written.append(written)
             if lines.shape[0]:
                 epoch_l2[p] = caches[p].access_stream(lines)

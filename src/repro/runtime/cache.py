@@ -9,20 +9,23 @@ and a cache populated at one scale can never satisfy another.
 Layout (all inside the cache root)::
 
     <root>/
-        barnes-hut__hilbert__n4096_i2_p16_s42_fv1.npz    the trace
-        barnes-hut__hilbert__n4096_i2_p16_s42_fv1.json   sidecar: the key
+        barnes-hut__hilbert__n4096_i2_p16_s42_fv2.npt    the packed trace
+        barnes-hut__hilbert__n4096_i2_p16_s42_fv2.json   sidecar: the key
         quarantine/                                      damaged entries
 
 The sidecar records the key the entry was stored under; a load verifies it
 against the requested key (catching renames, tampering, or stale layouts)
-before trusting the ``.npz``.  Any entry that fails to load — truncated,
+before trusting the trace file.  Any entry that fails to load — truncated,
 garbled, wrong format version, key mismatch — is *quarantined* (moved
 aside with a reason file) and reported as a miss, so the runner simply
 regenerates it; a corrupted cache can slow a run down but never crash it.
 
-Both the ``.npz`` (via :func:`repro.trace.io.save_trace`) and the sidecar
-are written atomically, so a crash mid-store leaves either no entry or a
-complete one.
+Entries are packed mmap bundles (:mod:`repro.trace.io`): a cache hit maps
+the file and returns zero-copy views, so pages are faulted in lazily as
+the simulators touch them instead of deserializing the whole trace up
+front.  Both the trace file (via :func:`repro.trace.io.save_trace`) and
+the sidecar are written atomically, so a crash mid-store leaves either no
+entry or a complete one.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from pathlib import Path
 
 from ..errors import CacheMismatchError, ConfigError, TraceCorruptError
 from ..trace.events import Trace
-from ..trace.io import _FORMAT_VERSION, load_trace, save_trace
+from ..trace.io import _FORMAT_VERSION, TRACE_SUFFIX, load_trace, save_trace
 
 __all__ = ["CacheKey", "TraceCache"]
 
@@ -58,7 +61,7 @@ class CacheKey:
     def filename(self) -> str:
         return (
             f"{self.app}__{self.version}__n{self.n}_i{self.iterations}"
-            f"_p{self.nprocs}_s{self.seed}_fv{self.format_version}.npz"
+            f"_p{self.nprocs}_s{self.seed}_fv{self.format_version}{TRACE_SUFFIX}"
         )
 
     def meta(self) -> dict:
@@ -122,15 +125,19 @@ class TraceCache:
         return path
 
     # ---- load ------------------------------------------------------------
-    def load(self, key: CacheKey) -> Trace | None:
-        """Return the cached trace, or ``None`` (miss or quarantined entry)."""
+    def load(self, key: CacheKey, mmap: bool = True) -> Trace | None:
+        """Return the cached trace, or ``None`` (miss or quarantined entry).
+
+        With ``mmap=True`` (default) a hit returns a packed trace of
+        zero-copy views over the mapped file.
+        """
         path = self.path(key)
         if not path.exists():
             self.misses += 1
             return None
         try:
             self._check_sidecar(key)
-            trace = load_trace(path)
+            trace = load_trace(path, mmap=mmap)
         except TraceCorruptError as exc:
             self.quarantine(key, reason=str(exc))
             self.misses += 1

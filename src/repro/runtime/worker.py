@@ -3,8 +3,9 @@
 Workers never ship a trace back over the result pipe — traces are large
 and the pipe is a failure surface.  Instead each worker writes its result
 into the persistent :class:`repro.runtime.cache.TraceCache` (atomically)
-and returns the cache filename as a small token; the parent then loads
-from the cache.  This also means a run killed between worker completion
+and returns the cache filename as a small token; the parent then *mmaps*
+the packed bundle out of the cache — no trace is ever pickled across a
+process boundary.  This also means a run killed between worker completion
 and parent bookkeeping loses nothing: the cell is already on disk.
 """
 

@@ -1,9 +1,10 @@
 """Shared-memory access traces: representation, construction, statistics."""
 
-from .builder import TraceBuilder
+from .builder import TraceBuilder, set_packed_default
 from .events import Burst, Epoch, RegionSpec, Trace
-from .io import load_trace, save_trace
-from .layout import Layout
+from .io import TRACE_SUFFIX, load_trace, save_trace, save_trace_npz
+from .layout import DecodedEpoch, DecodeMemo, Layout, decode_epoch, decode_memo
+from .packed import PackedEpoch, PackedTrace, pack_epoch, pack_trace, unpack_trace
 from .stats import (
     AccessCounts,
     access_counts,
@@ -21,10 +22,22 @@ __all__ = [
     "Burst",
     "Epoch",
     "Trace",
+    "PackedEpoch",
+    "PackedTrace",
+    "pack_epoch",
+    "pack_trace",
+    "unpack_trace",
     "TraceBuilder",
+    "set_packed_default",
     "Layout",
+    "DecodedEpoch",
+    "DecodeMemo",
+    "decode_epoch",
+    "decode_memo",
     "save_trace",
+    "save_trace_npz",
     "load_trace",
+    "TRACE_SUFFIX",
     "page_sharers",
     "page_write_sets",
     "page_read_sets",

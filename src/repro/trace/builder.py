@@ -3,7 +3,16 @@
 Applications drive a :class:`TraceBuilder` while computing: they declare
 shared regions once, then inside each parallel phase record read/write bursts
 per simulated processor, and call :meth:`TraceBuilder.barrier` where the real
-benchmark has a barrier.  The result is a :class:`repro.trace.events.Trace`.
+benchmark has a barrier.
+
+By default the builder produces a columnar :class:`repro.trace.packed.PackedTrace`:
+recorded bursts are *staged* as raw ``(region, is_write, indices)`` tuples and
+sealed into :class:`PackedEpoch` columns at each barrier — one concatenation
+per column, after which every consumer works on zero-copy views.  Pass
+``packed=False`` (or flip :func:`set_packed_default`) to build the legacy
+burst-list :class:`repro.trace.events.Trace` instead; the benchmark suite uses
+that to measure the packed pipeline against the burst-list baseline through
+unchanged application code.
 """
 
 from __future__ import annotations
@@ -11,8 +20,19 @@ from __future__ import annotations
 import numpy as np
 
 from .events import Burst, Epoch, RegionSpec, Trace
+from .packed import PackedEpoch, PackedTrace
 
-__all__ = ["TraceBuilder"]
+__all__ = ["TraceBuilder", "set_packed_default"]
+
+_PACKED_DEFAULT = True
+
+
+def set_packed_default(value: bool) -> bool:
+    """Set whether new builders produce packed traces; returns the old value."""
+    global _PACKED_DEFAULT
+    previous = _PACKED_DEFAULT
+    _PACKED_DEFAULT = bool(value)
+    return previous
 
 
 class TraceBuilder:
@@ -24,13 +44,23 @@ class TraceBuilder:
         Number of simulated processors.
     label:
         Label for the first epoch (see :meth:`barrier` for later ones).
+    packed:
+        ``True`` to seal epochs into columnar :class:`PackedEpoch` storage
+        (the default), ``False`` for legacy burst lists, ``None`` to follow
+        :func:`set_packed_default`.
     """
 
-    def __init__(self, nprocs: int, label: str = ""):
+    def __init__(self, nprocs: int, label: str = "", packed: bool | None = None):
         if nprocs <= 0:
             raise ValueError("nprocs must be positive")
-        self._trace = Trace(nprocs=nprocs)
-        self._current = Epoch(nprocs=nprocs, label=label)
+        self._packed = _PACKED_DEFAULT if packed is None else bool(packed)
+        self._trace = PackedTrace(nprocs=nprocs) if self._packed else Trace(nprocs=nprocs)
+        self._label = label
+        self._staged: list[list[tuple[int, bool, np.ndarray]]] = [
+            [] for _ in range(nprocs)
+        ]
+        self._work = np.zeros(nprocs, dtype=np.float64)
+        self._locks = np.zeros(nprocs, dtype=np.int64)
         self._finished = False
 
     @property
@@ -50,19 +80,23 @@ class TraceBuilder:
         if self._finished:
             raise RuntimeError("trace already finished")
 
+    def _record(self, proc: int, region: int, indices: np.ndarray, write: bool) -> None:
+        # The single dtype conversion of the pipeline: downstream code
+        # (Burst.__post_init__, PackedEpoch.seal) asserts/keeps int64 and
+        # never copies again.
+        idx = np.ascontiguousarray(indices, dtype=np.int64).ravel()
+        if idx.size:
+            self._staged[proc].append((region, write, idx))
+
     def read(self, proc: int, region: int, indices: np.ndarray) -> None:
         """Record a read burst by ``proc`` over ``indices`` of ``region``."""
         self._check_proc(proc)
-        idx = np.ascontiguousarray(indices, dtype=np.int64).ravel()
-        if idx.size:
-            self._current.bursts[proc].append(Burst(region, idx, is_write=False))
+        self._record(proc, region, indices, write=False)
 
     def write(self, proc: int, region: int, indices: np.ndarray) -> None:
         """Record a write burst by ``proc`` over ``indices`` of ``region``."""
         self._check_proc(proc)
-        idx = np.ascontiguousarray(indices, dtype=np.int64).ravel()
-        if idx.size:
-            self._current.bursts[proc].append(Burst(region, idx, is_write=True))
+        self._record(proc, region, indices, write=True)
 
     def update(self, proc: int, region: int, indices: np.ndarray) -> None:
         """Read-modify-write burst (a read burst followed by a write burst)."""
@@ -72,28 +106,51 @@ class TraceBuilder:
     def work(self, proc: int, units: float) -> None:
         """Charge abstract compute units to ``proc`` in the current epoch."""
         self._check_proc(proc)
-        self._current.work[proc] += units
+        self._work[proc] += units
 
     def lock(self, proc: int, acquires: int = 1) -> None:
         """Record lock acquisitions by ``proc`` in the current epoch."""
         self._check_proc(proc)
-        self._current.lock_acquires[proc] += acquires
+        self._locks[proc] += acquires
+
+    def _seal_epoch(self):
+        n = self.nprocs
+        if self._packed:
+            epoch = PackedEpoch.seal(n, self._label, self._staged, self._work, self._locks)
+        else:
+            epoch = Epoch(nprocs=n, label=self._label)
+            for p in range(n):
+                epoch.bursts[p] = [
+                    Burst(region, idx, is_write=write)
+                    for region, write, idx in self._staged[p]
+                ]
+            epoch.work = self._work
+            epoch.lock_acquires = self._locks
+        self._staged = [[] for _ in range(n)]
+        self._work = np.zeros(n, dtype=np.float64)
+        self._locks = np.zeros(n, dtype=np.int64)
+        return epoch
+
+    def _current_nonempty(self) -> bool:
+        return (
+            any(self._staged[p] for p in range(self.nprocs))
+            or self._work.any()
+            or self._locks.any()
+        )
 
     def barrier(self, next_label: str = "") -> None:
         """Close the current epoch (a barrier) and open the next one."""
         if self._finished:
             raise RuntimeError("trace already finished")
-        self._trace.epochs.append(self._current)
-        self._current = Epoch(nprocs=self.nprocs, label=next_label)
+        self._trace.epochs.append(self._seal_epoch())
+        self._label = next_label
 
     def finish(self) -> Trace:
         """Close the trailing epoch (if non-empty) and return the trace."""
         if self._finished:
             raise RuntimeError("trace already finished")
-        if any(self._current.bursts[p] for p in range(self.nprocs)) or (
-            self._current.work.any() or self._current.lock_acquires.any()
-        ):
-            self._trace.epochs.append(self._current)
+        if self._current_nonempty():
+            self._trace.epochs.append(self._seal_epoch())
         self._finished = True
         self._trace.validate()
         return self._trace

@@ -72,8 +72,17 @@ class Burst:
     is_write: bool
 
     def __post_init__(self) -> None:
-        idx = np.ascontiguousarray(self.indices, dtype=np.int64)
-        object.__setattr__(self, "indices", idx)
+        idx = self.indices
+        # Callers on the hot path (TraceBuilder, the packed compatibility
+        # view) hand in already-contiguous int64 arrays; converting again
+        # here would copy every burst twice.  Only normalize when needed.
+        if not (
+            isinstance(idx, np.ndarray)
+            and idx.dtype == np.int64
+            and idx.flags["C_CONTIGUOUS"]
+        ):
+            idx = np.ascontiguousarray(idx, dtype=np.int64)
+            object.__setattr__(self, "indices", idx)
         if idx.ndim != 1:
             raise ValueError("burst indices must be 1-D")
 
@@ -122,8 +131,11 @@ class Epoch:
         """Flatten a processor's bursts to ``(region, index, is_write)`` arrays."""
         bl = self.bursts[proc]
         if not bl:
-            e = np.empty(0, dtype=np.int64)
-            return e.copy(), e.copy(), np.empty(0, dtype=bool)
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=bool),
+            )
         regions = np.concatenate(
             [np.full(len(b), b.region, dtype=np.int64) for b in bl]
         )
@@ -147,10 +159,17 @@ class Trace:
     epochs: list[Epoch] = field(default_factory=list)
 
     def region_id(self, name: str) -> int:
-        for i, r in enumerate(self.regions):
-            if r.name == name:
-                return i
-        raise KeyError(f"no region named {name!r}")
+        # Called inside per-epoch loops (trace.stats, experiments); a linear
+        # scan per call is O(regions) each time.  Memoize the name -> id map
+        # and rebuild it if regions were appended since it was built.
+        ids = self.__dict__.get("_region_ids")
+        if ids is None or len(ids) != len(self.regions):
+            ids = {r.name: i for i, r in enumerate(self.regions)}
+            self.__dict__["_region_ids"] = ids
+        try:
+            return ids[name]
+        except KeyError:
+            raise KeyError(f"no region named {name!r}") from None
 
     @property
     def total_accesses(self) -> int:

@@ -1,4 +1,4 @@
-"""Trace serialization (numpy ``.npz``).
+"""Trace serialization: packed mmap bundles (``.npt``) + legacy ``.npz``.
 
 Trace generation is the expensive half of every experiment (the apps run
 real physics); the machine models are cheap pure functions.  Saving traces
@@ -9,25 +9,56 @@ module, which imposes two robustness requirements:
 
 * **writes are atomic** — :func:`save_trace` writes to a temporary file in
   the destination directory and ``os.replace``-s it into place, so an
-  interrupt mid-write can never leave a half-written ``.npz`` behind;
+  interrupt mid-write can never leave a half-written file behind;
 * **reads fail structurally** — :func:`load_trace` raises
   :class:`repro.errors.TraceCorruptError` (a ``ValueError`` subclass) for
   *any* unreadable, truncated, or garbled file, and
   :class:`repro.errors.TraceVersionError` for a format-version mismatch,
   so callers can quarantine-and-regenerate instead of crashing.
 
-Format: one compressed ``.npz`` holding a small JSON header (processor
-count, regions, epoch labels/work/locks) plus three flat arrays per
-(epoch, processor) concatenation — burst region ids, burst lengths and
-burst write flags, and the concatenated indices — so files stay compact
-and loading is allocation-light.
+Packed format (version 2, the default)
+--------------------------------------
+A single raw binary bundle designed for ``np.memmap``::
+
+    8 bytes   magic  b"REPROTRC"
+    8 bytes   header length (little-endian uint64)
+    N bytes   JSON header: version, nprocs, regions, epoch labels, and an
+              array directory {name: {dtype, shape, offset}} with offsets
+              relative to the 64-byte-aligned data section
+    ...       raw C-order array bytes, each segment 64-byte aligned
+
+The arrays are the columns of a :class:`repro.trace.packed.PackedTrace`
+concatenated across epochs (offset tables, burst columns, work/lock
+matrices), minus two deliberate omissions that keep the bundle small —
+writing bytes is the dominant save cost:
+
+* the expanded per-access ``region`` and ``is_write`` columns are *not*
+  stored; they are exactly ``np.repeat(burst_region, burst_length)`` /
+  ``np.repeat(burst_write, burst_length)`` and are rebuilt in one pass at
+  load time;
+* the access ``index`` column is stored at the narrowest safe integer
+  width (``int32`` whenever every index fits, which object indices always
+  do in practice) and widened back to ``int64`` on load.
+
+Loading with ``mmap=True`` (the default for on-disk files) maps each
+stored segment with ``np.memmap``: no decompression, no per-burst object
+construction.  Columns stored at their in-memory width are zero-copy
+views into the mapping, faulted in lazily as the simulators touch them;
+the reconstructed/widened columns are materialized once at load.
+
+Legacy format (version 1) is the compressed ``.npz`` of earlier releases;
+:func:`load_trace` sniffs the magic and still reads it (eagerly), and
+:func:`save_trace_npz` still writes it — the pipeline benchmark uses that
+as its burst-list baseline.
 """
 
 from __future__ import annotations
 
 import contextlib
+import io as _io
 import json
 import os
+import struct
 import tempfile
 import zipfile
 import zlib
@@ -36,19 +67,35 @@ import numpy as np
 
 from ..errors import TraceCorruptError, TraceVersionError
 from .events import Burst, Epoch, RegionSpec, Trace
+from .packed import PackedEpoch, PackedTrace, pack_trace
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "save_trace_npz", "load_trace", "TRACE_SUFFIX"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_LEGACY_NPZ_VERSION = 1
+_MAGIC = b"REPROTRC"
+_ALIGN = 64
+#: Canonical file suffix for packed trace bundles.
+TRACE_SUFFIX = ".npt"
+
+#: dtypes a packed bundle may declare; anything else is corruption.
+_ALLOWED_DTYPES = {
+    "<i8": np.int64,
+    "<i4": np.int32,
+    "|b1": np.bool_,
+    "<f8": np.float64,
+}
 
 #: Everything that can plausibly escape ``np.load``/``json``/array slicing
 #: on a damaged file.  Anything else is a programming error and propagates.
 _CORRUPTION_ERRORS = (
     ValueError,
     KeyError,
+    TypeError,
     IndexError,
     EOFError,
     OSError,
+    struct.error,
     zipfile.BadZipFile,
     zlib.error,
     json.JSONDecodeError,
@@ -56,9 +103,293 @@ _CORRUPTION_ERRORS = (
 )
 
 
-def _serialize(trace: Trace) -> dict[str, np.ndarray]:
+def _align_up(n: int) -> int:
+    return -(-n // _ALIGN) * _ALIGN
+
+
+# --------------------------------------------------------------------------
+# Packed (version 2) writer
+# --------------------------------------------------------------------------
+
+
+def _pack_arrays(trace: PackedTrace) -> dict[str, np.ndarray]:
+    """Concatenate the per-epoch columns into the bundle's array set."""
+    epochs = trace.epochs
+    E = len(epochs)
+    P = trace.nprocs
+
+    def cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+    def stack(parts: list[np.ndarray], width: int, dtype) -> np.ndarray:
+        return np.stack(parts) if parts else np.zeros((0, width), dtype=dtype)
+
+    epoch_access_starts = np.zeros(E + 1, dtype=np.int64)
+    epoch_burst_starts = np.zeros(E + 1, dtype=np.int64)
+    for ei, e in enumerate(epochs):
+        epoch_access_starts[ei + 1] = epoch_access_starts[ei] + e.offsets[-1]
+        epoch_burst_starts[ei + 1] = epoch_burst_starts[ei] + e.burst_offsets[-1]
+
+    index = cat([e.index for e in epochs], np.int64)
+    if index.size:
+        info = np.iinfo(np.int32)
+        lo, hi = int(index.min()), int(index.max())
+        if info.min <= lo and hi <= info.max:
+            index = index.astype(np.int32)
+
+    return {
+        "index": index,
+        "access_offsets": stack([e.offsets for e in epochs], P + 1, np.int64),
+        "burst_region": cat([e.burst_region for e in epochs], np.int64),
+        "burst_write": cat([e.burst_write for e in epochs], np.bool_),
+        "burst_length": cat([e.burst_length for e in epochs], np.int64),
+        "burst_offsets": stack([e.burst_offsets for e in epochs], P + 1, np.int64),
+        "epoch_access_starts": epoch_access_starts,
+        "epoch_burst_starts": epoch_burst_starts,
+        "work": stack([e.work for e in epochs], P, np.float64),
+        "locks": stack([e.lock_acquires for e in epochs], P, np.int64),
+    }
+
+
+def _write_packed(fh, trace: PackedTrace) -> None:
+    arrays = _pack_arrays(trace)
+    directory: dict[str, dict] = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = _align_up(offset)
+        directory[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+        }
+        offset += arr.nbytes
     header = {
         "version": _FORMAT_VERSION,
+        "nprocs": trace.nprocs,
+        "regions": [
+            {"name": r.name, "num_objects": r.num_objects, "object_size": r.object_size}
+            for r in trace.regions
+        ],
+        "labels": [e.label for e in trace.epochs],
+        "arrays": directory,
+        "data_bytes": offset,
+    }
+    hbytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    fh.write(_MAGIC)
+    fh.write(struct.pack("<Q", len(hbytes)))
+    fh.write(hbytes)
+    pos = len(_MAGIC) + 8 + len(hbytes)
+    fh.write(b"\0" * (_align_up(pos) - pos))
+    written = 0
+    for name, arr in arrays.items():
+        pad = directory[name]["offset"] - written
+        if pad:
+            fh.write(b"\0" * pad)
+            written += pad
+        data = np.ascontiguousarray(arr).tobytes()
+        fh.write(data)
+        written += len(data)
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write ``trace`` to ``path`` as a packed bundle, atomically.
+
+    Burst-list traces are packed first (:func:`repro.trace.packed.pack_trace`);
+    packed traces serialize without copying their columns.  The bytes go to
+    a temporary sibling file which is fsynced and then ``os.replace``-d
+    over ``path``: readers either see the old file or the complete new one,
+    never a prefix.  File-like destinations are written directly (no
+    atomicity to offer there).  By convention packed bundles use the
+    ``.npt`` suffix, but no suffix is imposed.
+    """
+    packed = pack_trace(trace)
+    if not isinstance(path, (str, os.PathLike)):
+        _write_packed(path, packed)
+        return
+    dest = os.fspath(path)
+    dirpath = os.path.dirname(dest) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=dirpath, prefix=os.path.basename(dest) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            _write_packed(fh, packed)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+# --------------------------------------------------------------------------
+# Packed (version 2) reader
+# --------------------------------------------------------------------------
+
+
+def _parse_packed_header(blob: bytes) -> tuple[dict, int]:
+    """Validate magic + header; returns (header, data_start)."""
+    if len(blob) < len(_MAGIC) + 8:
+        raise TraceCorruptError("packed trace file shorter than its preamble")
+    (hlen,) = struct.unpack_from("<Q", blob, len(_MAGIC))
+    start = len(_MAGIC) + 8
+    if hlen > len(blob) - start:
+        raise TraceCorruptError("packed trace header extends past end of file")
+    header = json.loads(blob[start : start + hlen].decode("utf-8"))
+    if not isinstance(header, dict):
+        raise TraceCorruptError("packed trace header is not a JSON object")
+    version = header.get("version")
+    if version != _FORMAT_VERSION:
+        raise TraceVersionError(
+            f"unsupported trace format version {version!r}"
+            f" (expected {_FORMAT_VERSION})"
+        )
+    return header, _align_up(start + hlen)
+
+
+def _packed_array(header: dict, name: str, getter, file_bytes: int, data_start: int):
+    """One array from the bundle directory, shape/dtype/bounds checked."""
+    spec = header["arrays"][name]
+    dtype = np.dtype(str(spec["dtype"]))
+    if str(spec["dtype"]) not in _ALLOWED_DTYPES:
+        raise TraceCorruptError(f"packed trace array {name!r} has dtype {spec['dtype']!r}")
+    shape = tuple(int(s) for s in spec["shape"])
+    if any(s < 0 for s in shape):
+        raise TraceCorruptError(f"packed trace array {name!r} has negative shape")
+    count = int(np.prod(shape)) if shape else 1
+    offset = int(spec["offset"])
+    if offset < 0 or data_start + offset + count * dtype.itemsize > file_bytes:
+        raise TraceCorruptError(f"packed trace array {name!r} extends past end of file")
+    if count == 0:
+        return np.empty(shape, dtype=dtype)
+    return getter(dtype, shape, data_start + offset, count)
+
+
+def _assemble_packed(header: dict, fetch) -> PackedTrace:
+    """Build a :class:`PackedTrace` of views over the fetched arrays."""
+    nprocs = int(header["nprocs"])
+    labels = header["labels"]
+    if not isinstance(labels, list):
+        raise TraceCorruptError("packed trace header has no epoch label list")
+    E = len(labels)
+
+    index = fetch("index")
+    if index.dtype != np.int64:
+        index = index.astype(np.int64)
+    access_offsets = fetch("access_offsets")
+    burst_region = fetch("burst_region")
+    burst_write = fetch("burst_write")
+    burst_length = fetch("burst_length")
+    burst_offsets = fetch("burst_offsets")
+    eas = fetch("epoch_access_starts")
+    ebs = fetch("epoch_burst_starts")
+    work = fetch("work")
+    locks = fetch("locks")
+
+    if access_offsets.shape != (E, nprocs + 1) or burst_offsets.shape != (E, nprocs + 1):
+        raise TraceCorruptError("packed trace offset tables have wrong shape")
+    # The per-access region/write columns are not stored: rebuild them from
+    # the burst metadata (each burst's attributes repeated over its length).
+    blen = np.asarray(burst_length, dtype=np.int64)
+    if blen.size and int(blen.min()) < 0:
+        raise TraceCorruptError("packed trace has negative burst lengths")
+    if int(blen.sum()) != index.shape[0]:
+        raise TraceCorruptError(
+            "packed trace burst lengths do not tile the access columns"
+        )
+    region = np.repeat(np.asarray(burst_region, dtype=np.int64), blen)
+    is_write = np.repeat(np.asarray(burst_write, dtype=np.bool_), blen)
+    if work.shape != (E, nprocs) or locks.shape != (E, nprocs):
+        raise TraceCorruptError("packed trace work/lock tables have wrong shape")
+    for name, starts, col in (
+        ("epoch_access_starts", eas, index),
+        ("epoch_burst_starts", ebs, burst_region),
+    ):
+        if starts.shape != (E + 1,):
+            raise TraceCorruptError(f"packed trace {name} has wrong shape")
+        if E >= 0 and (
+            (starts.shape[0] and starts[0] != 0)
+            or (np.diff(starts) < 0).any()
+            or (starts.shape[0] and int(starts[-1]) != col.shape[0])
+        ):
+            raise TraceCorruptError(f"packed trace {name} do not tile the columns")
+
+    trace = PackedTrace(nprocs=nprocs)
+    for r in header["regions"]:
+        trace.regions.append(
+            RegionSpec(str(r["name"]), int(r["num_objects"]), int(r["object_size"]))
+        )
+    for ei in range(E):
+        lo, hi = int(eas[ei]), int(eas[ei + 1])
+        blo, bhi = int(ebs[ei]), int(ebs[ei + 1])
+        trace.epochs.append(
+            PackedEpoch(
+                nprocs=nprocs,
+                label=str(labels[ei]),
+                offsets=access_offsets[ei],
+                region=region[lo:hi],
+                index=index[lo:hi],
+                is_write=is_write[lo:hi],
+                burst_offsets=burst_offsets[ei],
+                burst_region=burst_region[blo:bhi],
+                burst_write=burst_write[blo:bhi],
+                burst_length=burst_length[blo:bhi],
+                work=work[ei],
+                lock_acquires=locks[ei],
+            )
+        )
+    return trace
+
+
+def _load_packed_path(path: str, mmap: bool) -> PackedTrace:
+    file_bytes = os.path.getsize(path)
+    with open(path, "rb") as fh:
+        preamble = fh.read(len(_MAGIC) + 8)
+        if len(preamble) < len(_MAGIC) + 8:
+            raise TraceCorruptError("packed trace file shorter than its preamble")
+        (hlen,) = struct.unpack_from("<Q", preamble, len(_MAGIC))
+        if hlen > file_bytes:
+            raise TraceCorruptError("packed trace header extends past end of file")
+        blob = preamble + fh.read(hlen)
+    header, data_start = _parse_packed_header(blob)
+
+    if mmap:
+        def getter(dtype, shape, abs_offset, count):
+            return np.memmap(path, dtype=dtype, mode="r", offset=abs_offset, shape=shape)
+    else:
+        def getter(dtype, shape, abs_offset, count):
+            with open(path, "rb") as fh:
+                fh.seek(abs_offset)
+                arr = np.fromfile(fh, dtype=dtype, count=count)
+            if arr.shape[0] != count:
+                raise TraceCorruptError("packed trace array truncated")
+            return arr.reshape(shape)
+
+    fetch = lambda name: _packed_array(header, name, getter, file_bytes, data_start)  # noqa: E731
+    return _assemble_packed(header, fetch)
+
+
+def _load_packed_buffer(blob: bytes) -> PackedTrace:
+    header, data_start = _parse_packed_header(blob)
+
+    def getter(dtype, shape, abs_offset, count):
+        return np.frombuffer(blob, dtype=dtype, count=count, offset=abs_offset).reshape(
+            shape
+        )
+
+    fetch = lambda name: _packed_array(header, name, getter, len(blob), data_start)  # noqa: E731
+    return _assemble_packed(header, fetch)
+
+
+# --------------------------------------------------------------------------
+# Legacy (version 1) compressed-npz format
+# --------------------------------------------------------------------------
+
+
+def _serialize(trace: Trace) -> dict[str, np.ndarray]:
+    header = {
+        "version": _LEGACY_NPZ_VERSION,
         "nprocs": trace.nprocs,
         "regions": [
             {"name": r.name, "num_objects": r.num_objects, "object_size": r.object_size}
@@ -67,8 +398,8 @@ def _serialize(trace: Trace) -> dict[str, np.ndarray]:
         "epochs": [
             {
                 "label": e.label,
-                "work": e.work.tolist(),
-                "locks": e.lock_acquires.tolist(),
+                "work": np.asarray(e.work).tolist(),
+                "locks": np.asarray(e.lock_acquires).tolist(),
             }
             for e in trace.epochs
         ],
@@ -100,13 +431,12 @@ def _serialize(trace: Trace) -> dict[str, np.ndarray]:
     return arrays
 
 
-def save_trace(trace: Trace, path) -> None:
-    """Write ``trace`` to ``path`` (``.npz``, compressed) atomically.
+def save_trace_npz(trace: Trace, path) -> None:
+    """Write ``trace`` in the legacy compressed ``.npz`` format, atomically.
 
-    The bytes are written to a temporary sibling file which is fsynced and
-    then ``os.replace``-d over ``path``: readers either see the old file or
-    the complete new one, never a prefix.  File-like destinations are
-    written directly (no atomicity to offer there).
+    Kept for interoperability with files produced before the packed format
+    (and as the measurable baseline in the pipeline benchmark).  Appends a
+    ``.npz`` suffix when missing, matching ``np.savez_compressed``.
     """
     arrays = _serialize(trace)
     if not isinstance(path, (str, os.PathLike)):
@@ -133,10 +463,10 @@ def save_trace(trace: Trace, path) -> None:
 
 def _deserialize(data) -> Trace:
     header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
-    if header.get("version") != _FORMAT_VERSION:
+    if header.get("version") != _LEGACY_NPZ_VERSION:
         raise TraceVersionError(
             f"unsupported trace format version {header.get('version')!r}"
-            f" (expected {_FORMAT_VERSION})"
+            f" (expected {_LEGACY_NPZ_VERSION})"
         )
     trace = Trace(nprocs=int(header["nprocs"]))
     for r in header["regions"]:
@@ -165,25 +495,50 @@ def _deserialize(data) -> Trace:
                     )
                 )
         trace.epochs.append(epoch)
-    trace.validate()
     return trace
 
 
-def load_trace(path) -> Trace:
-    """Read a trace written by :func:`save_trace`.
+# --------------------------------------------------------------------------
+# Loader (sniffs the format)
+# --------------------------------------------------------------------------
+
+
+def load_trace(path, mmap: bool = True, validate: bool = True) -> Trace:
+    """Read a trace written by :func:`save_trace` (or the legacy writer).
+
+    The format is sniffed from the file magic: packed bundles load as
+    zero-copy :class:`PackedTrace` views — mmap-backed when ``mmap=True``
+    and ``path`` names a file on disk — while legacy ``.npz`` archives
+    deserialize eagerly into burst lists.  ``validate=False`` skips the
+    content check (index ranges) but never the structural one.
 
     Raises :class:`repro.errors.TraceCorruptError` if the file cannot be
-    parsed back into a valid trace (truncated archive, garbled bytes, bad
+    parsed back into a valid trace (truncated file, garbled bytes, bad
     header, out-of-range indices...), and its subclass
     :class:`repro.errors.TraceVersionError` on a format-version mismatch.
     A missing file still raises ``FileNotFoundError``.
     """
     try:
-        with np.load(path) as data:
-            return _deserialize(data)
-    except TraceCorruptError:
-        raise
-    except FileNotFoundError:
+        if isinstance(path, (str, os.PathLike)):
+            fspath = os.fspath(path)
+            with open(fspath, "rb") as fh:
+                magic = fh.read(len(_MAGIC))
+            if magic == _MAGIC:
+                trace = _load_packed_path(fspath, mmap=mmap)
+            else:
+                with np.load(fspath) as data:
+                    trace = _deserialize(data)
+        else:
+            blob = path.read()
+            if blob[: len(_MAGIC)] == _MAGIC:
+                trace = _load_packed_buffer(blob)
+            else:
+                with np.load(_io.BytesIO(blob)) as data:
+                    trace = _deserialize(data)
+        if validate:
+            trace.validate()
+        return trace
+    except (TraceCorruptError, FileNotFoundError):
         raise
     except _CORRUPTION_ERRORS as exc:
         raise TraceCorruptError(

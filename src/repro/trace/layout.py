@@ -20,7 +20,7 @@ import numpy as np
 
 from .events import RegionSpec, Trace
 
-__all__ = ["Layout"]
+__all__ = ["Layout", "DecodedEpoch", "DecodeMemo", "decode_epoch", "decode_memo"]
 
 
 def _is_pow2(x: int) -> bool:
@@ -155,3 +155,124 @@ class Layout:
         first = base // page_size
         last = (base + max(spec.nbytes, 1) - 1) // page_size
         return np.arange(first, last + 1, dtype=np.int64)
+
+
+# --------------------------------------------------------------------------
+# Per-trace decode memo
+# --------------------------------------------------------------------------
+#
+# Decoding object accesses into consistency-unit streams (``units_batch``)
+# is the shared front end of every consumer: the hardware simulator decodes
+# into cache lines, the DSM interval builder into pages, ``trace.stats``
+# into whatever unit the caller asks.  A sweep over page sizes, or simply
+# running all three platforms on one trace, used to re-decode the same
+# epochs once per call.  The memo below caches decodings *per trace*, keyed
+# by the decode geometry — the region table, region placement, alignment,
+# and unit size — so total decoding work is O(distinct geometries), not
+# O(simulator calls).  The ``decodes``/``hits`` counters make that property
+# testable.
+
+
+@dataclass
+class DecodedEpoch:
+    """One epoch decoded to per-proc consistency-unit streams.
+
+    ``units[p]`` is the expanded unit-id stream for processor ``p``;
+    ``counts[p]`` is how many units each original access expanded to
+    (``None`` when no object straddled a unit boundary, i.e. the stream is
+    access-aligned).  :meth:`expand` propagates per-access metadata (write
+    flags, say) onto the expanded stream.
+    """
+
+    units: list[np.ndarray]
+    counts: list[np.ndarray | None]
+
+    def expand(self, proc: int, values: np.ndarray) -> np.ndarray:
+        c = self.counts[proc]
+        return values if c is None else np.repeat(values, c)
+
+
+def decode_epoch(epoch, layout: Layout, unit: int) -> DecodedEpoch:
+    """Decode every processor's access stream of one epoch to unit ids."""
+    units: list[np.ndarray] = []
+    counts: list[np.ndarray | None] = []
+    for p in range(epoch.nprocs):
+        regs, idx, _writes = epoch.flat(p)
+        if idx.shape[0] == 0:
+            units.append(np.empty(0, dtype=np.int64))
+            counts.append(None)
+            continue
+        u, c = layout.units_batch(regs, idx, unit, return_counts=True)
+        units.append(u)
+        # All-ones counts mean the stream is access-aligned; storing None
+        # lets ``expand`` skip the np.repeat copy entirely.
+        counts.append(None if u.shape[0] == idx.shape[0] else c)
+    return DecodedEpoch(units=units, counts=counts)
+
+
+class DecodeMemo:
+    """Per-trace cache of epoch decodings, keyed by decode geometry.
+
+    Geometry = ``(layout.regions, layout.bases, layout.align, unit)``.  Two
+    simulator calls that agree on all four share every decoded stream; a
+    page-size sweep pays one decode per distinct page size.
+
+    ``derived(key, build)`` additionally caches arbitrary per-geometry
+    derived products (the DSM interval builder stores its per-epoch page
+    summaries there, so TreadMarks and HLRC share one interval build).
+
+    Counters: ``decodes`` = epoch decodings actually performed, ``hits`` =
+    requests served from cache; ``distinct_geometries`` = geometry keys
+    seen.  Traces are sealed after construction, so entries never go
+    stale; if you do mutate a trace in place, call :meth:`clear`.
+    """
+
+    def __init__(self, trace: Trace):
+        self._trace = trace
+        self._geometries: dict[tuple, dict[int, DecodedEpoch]] = {}
+        self._derived: dict[tuple, object] = {}
+        self.decodes = 0
+        self.hits = 0
+
+    @property
+    def distinct_geometries(self) -> int:
+        return len(self._geometries)
+
+    @staticmethod
+    def geometry_key(layout: Layout, unit: int) -> tuple:
+        return (layout.regions, layout.bases, layout.align, unit)
+
+    def epoch(self, layout: Layout, unit: int, index: int) -> DecodedEpoch:
+        """Decoded streams for ``trace.epochs[index]`` under this geometry."""
+        per_geometry = self._geometries.setdefault(self.geometry_key(layout, unit), {})
+        decoded = per_geometry.get(index)
+        if decoded is None:
+            self.decodes += 1
+            decoded = decode_epoch(self._trace.epochs[index], layout, unit)
+            per_geometry[index] = decoded
+        else:
+            self.hits += 1
+        return decoded
+
+    def derived(self, key: tuple, build):
+        """Get-or-build an arbitrary derived product cached on this trace."""
+        try:
+            value = self._derived[key]
+        except KeyError:
+            value = self._derived[key] = build()
+        else:
+            self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._geometries.clear()
+        self._derived.clear()
+
+
+def decode_memo(trace: Trace) -> DecodeMemo:
+    """The decode memo attached to ``trace`` (created on first use)."""
+    memo = getattr(trace, "_decode_memo", None)
+    if memo is None:
+        memo = DecodeMemo(trace)
+        trace._decode_memo = memo
+    return memo

@@ -1,0 +1,316 @@
+"""Columnar (packed) trace representation.
+
+:class:`repro.trace.events.Epoch` stores accesses as Python lists of
+:class:`Burst` objects — convenient to build, expensive to consume: every
+``flat()`` call re-concatenates the burst arrays, every simulator pass
+walks Python objects, and serialization has to reassemble thousands of
+small arrays.  This module is the columnar counterpart:
+
+* a :class:`PackedEpoch` holds one epoch as CSR-style *columns* — three
+  per-access arrays (``region``, ``index``, ``is_write``) plus a
+  ``(nprocs + 1)`` offset table — so ``flat(proc)`` is an O(1) slice
+  returning zero-copy views, and ``accesses(proc)`` is a subtraction;
+* a :class:`PackedTrace` is a :class:`Trace` whose epochs are packed; its
+  ``validate()`` is a vectorized per-region min/max over the columns and
+  its ``total_accesses`` reads the offset tables.
+
+Burst boundaries are preserved in side columns (``burst_region``,
+``burst_write``, ``burst_length``) so the classic ``epoch.bursts[p]``
+list-of-:class:`Burst` API keeps working as a lazily built compatibility
+view; the Burst ``indices`` are views into the packed ``index`` column,
+not copies.
+
+Packed epochs are *sealed*: the columns are built once (at
+:meth:`repro.trace.builder.TraceBuilder.barrier` time or by
+:func:`pack_trace`) and never mutated afterwards.  That immutability is
+what makes the zero-copy pipeline safe — simulators, the decode memo
+(:mod:`repro.trace.layout`), and mmap-loaded traces
+(:mod:`repro.trace.io`) all share the same buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import Burst, Epoch, RegionSpec, Trace
+
+__all__ = ["PackedEpoch", "PackedTrace", "pack_epoch", "pack_trace", "unpack_trace"]
+
+
+class PackedEpoch:
+    """One barrier-separated epoch in columnar form.
+
+    Attributes
+    ----------
+    offsets:
+        ``(nprocs + 1,)`` int64; processor ``p``'s accesses occupy
+        ``[offsets[p], offsets[p + 1])`` of the access columns.
+    region, index, is_write:
+        Per-access columns (int64, int64, bool), all of length
+        ``offsets[-1]``, in program order per processor.
+    burst_offsets:
+        ``(nprocs + 1,)`` int64 into the burst columns.
+    burst_region, burst_write, burst_length:
+        Per-burst columns (the original burst structure, kept for the
+        ``bursts`` compatibility view and for serialization).
+    work, lock_acquires, label, nprocs:
+        As on :class:`Epoch`.
+    """
+
+    __slots__ = (
+        "nprocs",
+        "label",
+        "offsets",
+        "region",
+        "index",
+        "is_write",
+        "burst_offsets",
+        "burst_region",
+        "burst_write",
+        "burst_length",
+        "work",
+        "lock_acquires",
+        "_bursts",
+    )
+
+    def __init__(
+        self,
+        nprocs: int,
+        label: str,
+        offsets: np.ndarray,
+        region: np.ndarray,
+        index: np.ndarray,
+        is_write: np.ndarray,
+        burst_offsets: np.ndarray,
+        burst_region: np.ndarray,
+        burst_write: np.ndarray,
+        burst_length: np.ndarray,
+        work: np.ndarray,
+        lock_acquires: np.ndarray,
+    ):
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        self.nprocs = nprocs
+        self.label = label
+        self.offsets = offsets
+        self.region = region
+        self.index = index
+        self.is_write = is_write
+        self.burst_offsets = burst_offsets
+        self.burst_region = burst_region
+        self.burst_write = burst_write
+        self.burst_length = burst_length
+        self.work = work
+        self.lock_acquires = lock_acquires
+        self._bursts = None
+
+    # ---- construction ----------------------------------------------------
+    @classmethod
+    def seal(
+        cls,
+        nprocs: int,
+        label: str,
+        staged: list[list[tuple[int, bool, np.ndarray]]],
+        work: np.ndarray,
+        lock_acquires: np.ndarray,
+    ) -> "PackedEpoch":
+        """Build the columns from per-proc ``(region, is_write, indices)``
+        burst lists.  One concatenation per column — this is the single
+        copy the whole downstream pipeline works from."""
+        burst_region: list[int] = []
+        burst_write: list[bool] = []
+        burst_length: list[int] = []
+        chunks: list[np.ndarray] = []
+        offsets = np.zeros(nprocs + 1, dtype=np.int64)
+        burst_offsets = np.zeros(nprocs + 1, dtype=np.int64)
+        for p in range(nprocs):
+            total = 0
+            for region, write, idx in staged[p]:
+                burst_region.append(region)
+                burst_write.append(write)
+                burst_length.append(idx.shape[0])
+                chunks.append(idx)
+                total += idx.shape[0]
+            offsets[p + 1] = offsets[p] + total
+            burst_offsets[p + 1] = len(burst_region)
+        nbursts = len(burst_region)
+        breg = np.array(burst_region, dtype=np.int64)
+        bwri = np.array(burst_write, dtype=np.bool_)
+        blen = np.array(burst_length, dtype=np.int64)
+        if nbursts:
+            index = np.concatenate(chunks)
+            region_col = np.repeat(breg, blen)
+            write_col = np.repeat(bwri, blen)
+        else:
+            index = np.empty(0, dtype=np.int64)
+            region_col = np.empty(0, dtype=np.int64)
+            write_col = np.empty(0, dtype=np.bool_)
+        return cls(
+            nprocs=nprocs,
+            label=label,
+            offsets=offsets,
+            region=region_col,
+            index=index,
+            is_write=write_col,
+            burst_offsets=burst_offsets,
+            burst_region=breg,
+            burst_write=bwri,
+            burst_length=blen,
+            work=work,
+            lock_acquires=lock_acquires,
+        )
+
+    # ---- Epoch-compatible API --------------------------------------------
+    def accesses(self, proc: int) -> int:
+        """Total object accesses by processor ``proc`` — O(1)."""
+        return int(self.offsets[proc + 1] - self.offsets[proc])
+
+    def flat(self, proc: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(region, index, is_write)`` views for ``proc`` — O(1), no copy."""
+        lo = self.offsets[proc]
+        hi = self.offsets[proc + 1]
+        return self.region[lo:hi], self.index[lo:hi], self.is_write[lo:hi]
+
+    @property
+    def total_accesses(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def bursts(self) -> list[list[Burst]]:
+        """Compatibility view: per-proc :class:`Burst` lists.
+
+        Built lazily on first use; the Burst ``indices`` are slices of the
+        packed ``index`` column (no copies).  Code on the hot path should
+        use :meth:`flat` instead.
+        """
+        if self._bursts is None:
+            out: list[list[Burst]] = []
+            for p in range(self.nprocs):
+                b0 = int(self.burst_offsets[p])
+                b1 = int(self.burst_offsets[p + 1])
+                lens = self.burst_length[b0:b1]
+                starts = int(self.offsets[p]) + np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(lens, dtype=np.int64)]
+                )
+                out.append(
+                    [
+                        Burst(
+                            int(self.burst_region[b0 + j]),
+                            self.index[starts[j] : starts[j + 1]],
+                            bool(self.burst_write[b0 + j]),
+                        )
+                        for j in range(b1 - b0)
+                    ]
+                )
+            self._bursts = out
+        return self._bursts
+
+    def check_structure(self) -> None:
+        """Raise ``ValueError`` if the columns are internally inconsistent."""
+        n = self.nprocs
+        if self.offsets.shape != (n + 1,) or self.burst_offsets.shape != (n + 1,):
+            raise ValueError("packed epoch offset tables have wrong shape")
+        if self.offsets[0] != 0 or self.burst_offsets[0] != 0:
+            raise ValueError("packed epoch offsets must start at zero")
+        if (np.diff(self.offsets) < 0).any() or (np.diff(self.burst_offsets) < 0).any():
+            raise ValueError("packed epoch offsets must be non-decreasing")
+        total = int(self.offsets[-1])
+        for name in ("region", "index", "is_write"):
+            col = getattr(self, name)
+            if col.ndim != 1 or col.shape[0] != total:
+                raise ValueError(f"packed epoch column {name!r} has wrong length")
+        nbursts = int(self.burst_offsets[-1])
+        for name in ("burst_region", "burst_write", "burst_length"):
+            col = getattr(self, name)
+            if col.ndim != 1 or col.shape[0] != nbursts:
+                raise ValueError(f"packed epoch column {name!r} has wrong length")
+        if nbursts and int(self.burst_length.sum()) != total:
+            raise ValueError("packed epoch burst lengths do not cover the accesses")
+        if self.work.shape != (n,) or self.lock_acquires.shape != (n,):
+            raise ValueError("packed epoch work/lock arrays have wrong shape")
+
+
+class PackedTrace(Trace):
+    """A :class:`Trace` whose epochs are :class:`PackedEpoch` columns.
+
+    Drop-in for every consumer of :class:`Trace` (the ``bursts`` view keeps
+    legacy code working); simulators and statistics detect the packed form
+    and take zero-copy vectorized paths, sharing decodings through the
+    per-trace memo in :mod:`repro.trace.layout`.
+    """
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(e.total_accesses for e in self.epochs)
+
+    def validate(self) -> None:
+        """Vectorized consistency check over the packed columns."""
+        nregions = len(self.regions)
+        limits = np.fromiter(
+            (r.num_objects for r in self.regions), dtype=np.int64, count=nregions
+        )
+        for e in self.epochs:
+            if e.nprocs != self.nprocs:
+                raise ValueError("epoch/trace processor count mismatch")
+            e.check_structure()
+            if e.region.shape[0] == 0:
+                continue
+            rmin = int(e.region.min())
+            rmax = int(e.region.max())
+            if rmin < 0 or rmax >= nregions:
+                raise ValueError(
+                    f"burst references unknown region {rmin if rmin < 0 else rmax}"
+                )
+            bad = (e.index < 0) | (e.index >= limits[e.region])
+            if bad.any():
+                spec = self.regions[int(e.region[int(np.argmax(bad))])]
+                raise ValueError(
+                    f"burst indices out of range for region {spec.name!r}"
+                )
+
+
+def pack_epoch(epoch: Epoch) -> PackedEpoch:
+    """Seal a burst-list :class:`Epoch` into a :class:`PackedEpoch`."""
+    staged = [
+        [(b.region, b.is_write, b.indices) for b in epoch.bursts[p]]
+        for p in range(epoch.nprocs)
+    ]
+    return PackedEpoch.seal(
+        epoch.nprocs,
+        epoch.label,
+        staged,
+        np.asarray(epoch.work, dtype=np.float64).copy(),
+        np.asarray(epoch.lock_acquires, dtype=np.int64).copy(),
+    )
+
+
+def pack_trace(trace: Trace) -> PackedTrace:
+    """Columnar copy of ``trace`` (no-op views if it is already packed)."""
+    if isinstance(trace, PackedTrace):
+        return trace
+    packed = PackedTrace(nprocs=trace.nprocs)
+    packed.regions = list(trace.regions)
+    packed.epochs = [pack_epoch(e) for e in trace.epochs]
+    return packed
+
+
+def unpack_trace(trace: Trace) -> Trace:
+    """Burst-list copy of a (possibly packed) trace.
+
+    Used by equivalence tests and the pipeline benchmark's burst-list
+    baseline; the Burst index arrays are fresh copies, so the result has
+    no aliasing with the packed columns (or an underlying mmap).
+    """
+    out = Trace(nprocs=trace.nprocs)
+    out.regions = list(trace.regions)
+    for e in trace.epochs:
+        epoch = Epoch(nprocs=e.nprocs, label=e.label)
+        epoch.work = np.asarray(e.work, dtype=np.float64).copy()
+        epoch.lock_acquires = np.asarray(e.lock_acquires, dtype=np.int64).copy()
+        for p in range(e.nprocs):
+            epoch.bursts[p] = [
+                Burst(b.region, np.array(b.indices, dtype=np.int64), b.is_write)
+                for b in e.bursts[p]
+            ]
+        out.epochs.append(epoch)
+    return out

@@ -8,6 +8,11 @@ These implement the paper's diagnostic figures directly:
   page of the particle array, before and after reordering;
 
 plus generic helpers reused by the machine models.
+
+All helpers consume traces through ``epoch.flat(proc)`` — an O(1) view on
+packed traces — and the trace-level accumulators share decoded unit
+streams with the simulators through the per-trace decode memo
+(:func:`repro.trace.layout.decode_memo`).
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .events import Epoch, Trace
-from .layout import Layout
+from .layout import Layout, decode_memo
+from .packed import PackedTrace
 
 __all__ = [
     "page_write_sets",
@@ -47,15 +53,13 @@ def proc_unit_sets(
         raise ValueError("writes_only and reads_only are mutually exclusive")
     out: list[np.ndarray] = []
     for p in range(epoch.nprocs):
-        chunks = []
-        for b in epoch.bursts[p]:
-            if writes_only and not b.is_write:
-                continue
-            if reads_only and b.is_write:
-                continue
-            chunks.append(layout.units(b.region, b.indices, unit))
-        if chunks:
-            out.append(np.unique(np.concatenate(chunks)))
+        regs, idx, writes = epoch.flat(p)
+        if writes_only or reads_only:
+            sel = writes if writes_only else ~writes
+            regs = regs[sel]
+            idx = idx[sel]
+        if idx.shape[0]:
+            out.append(np.unique(layout.units_batch(regs, idx, unit)))
         else:
             out.append(np.empty(0, dtype=np.int64))
     return out
@@ -64,9 +68,25 @@ def proc_unit_sets(
 def _accumulate_sharers(
     trace: Trace, layout: Layout, page_size: int, writes_only: bool
 ) -> dict[int, set[int]]:
+    # Packed traces reuse the memoized full-stream decode (shared with the
+    # simulators) and filter writes on the expanded stream; burst-list
+    # traces fall back to per-epoch decoding.
+    memo = decode_memo(trace) if isinstance(trace, PackedTrace) else None
     sharers: dict[int, set[int]] = {}
-    for epoch in trace.epochs:
-        sets = proc_unit_sets(epoch, layout, page_size, writes_only=writes_only)
+    for ei, epoch in enumerate(trace.epochs):
+        if memo is None:
+            sets = proc_unit_sets(epoch, layout, page_size, writes_only=writes_only)
+        else:
+            decoded = memo.epoch(layout, page_size, ei)
+            sets = []
+            for p in range(trace.nprocs):
+                units = decoded.units[p]
+                if writes_only and units.shape[0]:
+                    _regs, _idx, writes = epoch.flat(p)
+                    units = units[decoded.expand(p, writes)]
+                sets.append(
+                    np.unique(units) if units.shape[0] else np.empty(0, dtype=np.int64)
+                )
         for p, pages in enumerate(sets):
             for pg in pages.tolist():
                 sharers.setdefault(pg, set()).add(p)
@@ -126,10 +146,12 @@ def update_map(
     n = trace.regions[region].num_objects
     owner = np.full(n, -1, dtype=np.int64)
     for epoch in trace.epochs:
+        # Descending processor order so the lowest-numbered writer wins.
         for p in range(trace.nprocs - 1, -1, -1):
-            for b in epoch.bursts[p]:
-                if b.is_write and b.region == region:
-                    owner[b.indices] = p
+            regs, idx, writes = epoch.flat(p)
+            sel = writes & (regs == region)
+            if sel.any():
+                owner[idx[sel]] = p
     return owner
 
 
@@ -137,13 +159,16 @@ def footprint(
     trace: Trace, layout: Layout, unit: int, proc: int | None = None
 ) -> int:
     """Number of distinct consistency units touched (by one proc or all)."""
-    seen: set[int] = set()
+    chunks: list[np.ndarray] = []
     for epoch in trace.epochs:
         procs = range(trace.nprocs) if proc is None else [proc]
         for p in procs:
-            for b in epoch.bursts[p]:
-                seen.update(layout.units(b.region, b.indices, unit).tolist())
-    return len(seen)
+            regs, idx, _writes = epoch.flat(p)
+            if idx.shape[0]:
+                chunks.append(np.unique(layout.units_batch(regs, idx, unit)))
+    if not chunks:
+        return 0
+    return int(np.unique(np.concatenate(chunks)).shape[0])
 
 
 @dataclass(frozen=True)
@@ -164,9 +189,8 @@ def access_counts(trace: Trace) -> AccessCounts:
     writes = np.zeros(trace.nprocs, dtype=np.int64)
     for epoch in trace.epochs:
         for p in range(trace.nprocs):
-            for b in epoch.bursts[p]:
-                if b.is_write:
-                    writes[p] += len(b)
-                else:
-                    reads[p] += len(b)
+            _regs, _idx, wflags = epoch.flat(p)
+            w = int(np.count_nonzero(wflags))
+            writes[p] += w
+            reads[p] += wflags.shape[0] - w
     return AccessCounts(reads=reads, writes=writes)

@@ -29,7 +29,7 @@ def make_trace(nprocs=2, n=64):
 
 @pytest.fixture
 def saved(tmp_path):
-    path = tmp_path / "t.npz"
+    path = tmp_path / "t.npt"
     save_trace(make_trace(), path)
     return path
 
@@ -62,7 +62,7 @@ class TestFileFaults:
             load_trace(path)
 
     def test_faults_are_deterministic(self, tmp_path):
-        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        a, b = tmp_path / "a.npt", tmp_path / "b.npt"
         save_trace(make_trace(), a)
         save_trace(make_trace(), b)
         garble_file(a, seed=3)

@@ -63,7 +63,7 @@ class TestResumeAfterInterrupt:
             with pytest.raises(KeyboardInterrupt):
                 prefetch_traces(apps=APPS, scale=scale)
         clear_cache()
-        cached = list(ctx.cache.root.glob("*.npz"))
+        cached = list(ctx.cache.root.glob("*.npt"))
         assert len(cached) == 2  # exactly the completed cells persist
 
         # Resumed run: completes from cell 3 and matches the cold run.
@@ -107,7 +107,7 @@ class TestCorruptionDegradesGracefully:
         clear_cache()
 
         # Garble every cached trace: a disk gone bad under the cache.
-        for path in ctx.cache.root.glob("*.npz"):
+        for path in ctx.cache.root.glob("*.npt"):
             garble_file(path, seed=11, nbytes=512)
 
         ctx2 = runtime(tmp_path)
@@ -115,13 +115,13 @@ class TestCorruptionDegradesGracefully:
             second = record_fingerprint(run_suite(apps=APPS, scale=scale))
         assert second == first
         assert ctx2.cache.quarantined == 4
-        assert list(ctx2.cache.quarantine_dir.glob("*.npz"))
+        assert list(ctx2.cache.quarantine_dir.glob("*.npt"))
 
     def test_quarantined_entries_replaced_on_disk(self, tmp_path, scale):
         ctx = runtime(tmp_path)
         with use_runtime(ctx):
             run_suite(apps=APPS, scale=scale)
-        for path in ctx.cache.root.glob("*.npz"):
+        for path in ctx.cache.root.glob("*.npt"):
             garble_file(path, seed=5)
         clear_cache()
         ctx2 = runtime(tmp_path)

@@ -65,7 +65,7 @@ class TestQuarantine:
         assert cache.load(KEY) is None
         assert cache.quarantined == 1
         assert not cache.path(KEY).exists()
-        assert list(cache.quarantine_dir.glob("*.npz"))
+        assert list(cache.quarantine_dir.glob("*.npt"))
         assert list(cache.quarantine_dir.glob("*.reason.txt"))
 
     def test_garbled_entry_quarantined(self, cache):
@@ -109,7 +109,7 @@ class TestQuarantine:
             cache.store(KEY, make_trace())
             truncate_file(cache.path(KEY), keep_fraction=0.2)
             assert cache.load(KEY) is None
-        assert len(list(cache.quarantine_dir.glob("*.npz"))) == 2
+        assert len(list(cache.quarantine_dir.glob("*.npt"))) == 2
 
 
 class TestKey:

@@ -88,7 +88,7 @@ class TestResilienceFlags:
             "run", "moldyn", "--version", "hilbert",
         )
         assert code == 0
-        entries = list(cache.glob("*.npz"))
+        entries = list(cache.glob("*.npt"))
         assert entries  # traces landed on disk
 
     def test_second_run_hits_cache(self, capsys, tmp_path):
@@ -134,7 +134,7 @@ class TestResilienceFlags:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         code, _, _ = run_cli(capsys, "--n", "256", "run", "moldyn")
         assert code == 0
-        assert list((tmp_path / "envcache").glob("*.npz"))
+        assert list((tmp_path / "envcache").glob("*.npt"))
 
 
 def test_all_artifact_names_have_handlers():

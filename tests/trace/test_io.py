@@ -1,16 +1,17 @@
-"""Tests for trace serialization."""
+"""Tests for trace serialization (packed ``.npt`` bundles + legacy ``.npz``)."""
 
 import numpy as np
 import pytest
 
 from repro.trace.builder import TraceBuilder
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import load_trace, save_trace, save_trace_npz
+from repro.trace.packed import PackedTrace
 
 
-def roundtrip(trace, tmp_path):
-    path = tmp_path / "t.npz"
+def roundtrip(trace, tmp_path, mmap=True):
+    path = tmp_path / "t.npt"
     save_trace(trace, path)
-    return load_trace(path)
+    return load_trace(path, mmap=mmap)
 
 
 def make_trace():
@@ -35,6 +36,13 @@ class TestRoundtrip:
         assert t2.nprocs == t.nprocs
         assert [r.name for r in t2.regions] == ["bodies", "cells"]
         assert [e.label for e in t2.epochs] == ["a", "b"]
+
+    def test_loads_as_packed_views(self, tmp_path):
+        t2 = roundtrip(make_trace(), tmp_path)
+        assert isinstance(t2, PackedTrace)
+        # flat() is a view into the mapped columns, not a copy.
+        regs, idx, writes = t2.epochs[0].flat(0)
+        assert np.shares_memory(idx, t2.epochs[0].index)
 
     def test_bursts_identical(self, tmp_path):
         t = make_trace()
@@ -66,6 +74,13 @@ class TestRoundtrip:
         c, d = simulate_hlrc(t), simulate_hlrc(t2)
         assert c.messages == d.messages and c.time == d.time
 
+    def test_mmap_false_loads_in_memory(self, tmp_path):
+        t = make_trace()
+        t2 = roundtrip(t, tmp_path, mmap=False)
+        assert isinstance(t2, PackedTrace)
+        assert not isinstance(t2.epochs[0].index, np.memmap)
+        assert t2.total_accesses == t.total_accesses
+
     def test_empty_trace(self, tmp_path):
         tb = TraceBuilder(2)
         tb.add_region("o", 4, 8)
@@ -90,47 +105,84 @@ class TestRoundtrip:
         t2.validate()
 
 
+class TestLegacyNpz:
+    """The legacy compressed format stays readable (and writable)."""
+
+    def test_roundtrip_via_legacy_writer(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "t.npz"
+        save_trace_npz(t, path)
+        t2 = load_trace(path)
+        assert not isinstance(t2, PackedTrace)  # eager burst lists
+        assert t2.nprocs == t.nprocs
+        assert t2.total_accesses == t.total_accesses
+        for e, e2 in zip(t.epochs, t2.epochs):
+            for p in range(t.nprocs):
+                for b, b2 in zip(e.bursts[p], e2.bursts[p]):
+                    assert b.region == b2.region
+                    assert b.is_write == b2.is_write
+                    assert np.array_equal(b.indices, b2.indices)
+
+    def test_appends_npz_suffix_like_numpy(self, tmp_path):
+        save_trace_npz(make_trace(), tmp_path / "bare")
+        assert (tmp_path / "bare.npz").exists()
+        load_trace(tmp_path / "bare.npz").validate()
+
+
 class TestAtomicity:
     def test_no_temp_files_left_behind(self, tmp_path):
-        save_trace(make_trace(), tmp_path / "t.npz")
-        assert [p.name for p in tmp_path.iterdir()] == ["t.npz"]
+        save_trace(make_trace(), tmp_path / "t.npt")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.npt"]
 
     def test_failed_write_preserves_old_file(self, tmp_path, monkeypatch):
         """An exception mid-write never clobbers the existing trace."""
-        path = tmp_path / "t.npz"
+        import repro.trace.io as trace_io
+
+        path = tmp_path / "t.npt"
         save_trace(make_trace(), path)
         good = path.read_bytes()
 
-        def exploding_savez(fh, **arrays):
+        def exploding_writer(fh, trace):
             fh.write(b"partial garbage")
             raise RuntimeError("disk full")
 
-        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        monkeypatch.setattr(trace_io, "_write_packed", exploding_writer)
         with pytest.raises(RuntimeError, match="disk full"):
             save_trace(make_trace(), path)
         assert path.read_bytes() == good  # old file untouched
-        assert [p.name for p in tmp_path.iterdir()] == ["t.npz"]  # no debris
+        assert [p.name for p in tmp_path.iterdir()] == ["t.npt"]  # no debris
 
-    def test_appends_npz_suffix_like_numpy(self, tmp_path):
+    def test_exact_destination_path(self, tmp_path):
+        """save_trace writes exactly where asked — no suffix munging."""
         save_trace(make_trace(), tmp_path / "bare")
-        assert (tmp_path / "bare.npz").exists()
-        load_trace(tmp_path / "bare.npz").validate()
+        assert (tmp_path / "bare").exists()
+        load_trace(tmp_path / "bare").validate()
 
 
 class TestCorruption:
     def test_truncated_file_is_structured_error(self, tmp_path):
         from repro.errors import TraceCorruptError
 
-        path = tmp_path / "t.npz"
+        path = tmp_path / "t.npt"
         save_trace(make_trace(), path)
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2])
         with pytest.raises(TraceCorruptError):
             load_trace(path)
 
-    def test_corruption_error_is_value_error(self, tmp_path):
+    def test_truncated_legacy_npz(self, tmp_path):
+        from repro.errors import TraceCorruptError
+
         path = tmp_path / "t.npz"
-        path.write_bytes(b"this is not a zip archive at all")
+        save_trace_npz(make_trace(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceCorruptError):
+            load_trace(path)
+
+    def test_corruption_error_is_value_error(self, tmp_path):
+        path = tmp_path / "t.npt"
+        path.write_bytes(b"this is not a trace file at all")
         with pytest.raises(ValueError):
             load_trace(path)
 
@@ -149,7 +201,7 @@ class TestCorruption:
 
     def test_missing_file_stays_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError):
-            load_trace(tmp_path / "absent.npz")
+            load_trace(tmp_path / "absent.npt")
 
     def test_out_of_range_indices_are_corruption(self, tmp_path):
         """A structurally valid file whose payload violates the trace
@@ -157,13 +209,34 @@ class TestCorruption:
         from repro.errors import TraceCorruptError
 
         path = tmp_path / "t.npz"
-        save_trace(make_trace(), path)
+        save_trace_npz(make_trace(), path)
         with np.load(path) as data:
             arrays = {k: data[k] for k in data.files}
         # Point some burst indices far outside every region.
         for k in arrays:
             if k.endswith("_indices"):
                 arrays[k] = arrays[k] + 10_000_000
-        np.savez_compressed(str(path), **arrays)
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(TraceCorruptError):
+            load_trace(path)
+
+    def test_out_of_range_indices_packed(self, tmp_path):
+        """Same invariant check on a packed bundle: scribble the index
+        column with huge values, keep the structure intact."""
+        from repro.errors import TraceCorruptError
+        from repro.trace.io import _MAGIC, _parse_packed_header
+
+        path = tmp_path / "t.npt"
+        save_trace(make_trace(), path)
+        blob = bytearray(path.read_bytes())
+        header, data_start = _parse_packed_header(bytes(blob))
+        spec = header["arrays"]["index"]
+        off = data_start + spec["offset"]
+        bad = np.full(
+            spec["shape"][0], 10_000_000, dtype=np.dtype(spec["dtype"])
+        ).tobytes()
+        blob[off : off + len(bad)] = bad
+        path.write_bytes(bytes(blob))
         with pytest.raises(TraceCorruptError):
             load_trace(path)

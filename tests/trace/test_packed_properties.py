@@ -1,0 +1,212 @@
+"""Property tests: packed-vs-burst equivalence and decode-memo behaviour.
+
+The packed representation, the mmap loader, and the simulators' packed
+fast paths must be *invisible*: every counter a simulator or statistic
+produces on a packed trace must equal, byte for byte, what the burst-list
+path produces on the equivalent burst trace — across randomized traces
+with locks, work, empty processors and empty epochs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import simulate_hardware, simulate_hlrc, simulate_treadmarks
+from repro.machines.params import cluster_scaled, origin2000_scaled
+from repro.trace import stats
+from repro.trace.builder import TraceBuilder
+from repro.trace.io import load_trace, save_trace
+from repro.trace.layout import Layout, decode_memo
+from repro.trace.packed import PackedTrace
+
+
+@st.composite
+def trace_ops(draw):
+    """A random trace as a replayable op list: (nprocs, regions, epochs)."""
+    nprocs = draw(st.integers(min_value=1, max_value=4))
+    nregions = draw(st.integers(min_value=1, max_value=3))
+    regions = [
+        (f"r{i}", draw(st.integers(min_value=1, max_value=60)),
+         draw(st.sampled_from([8, 72, 104, 680])))
+        for i in range(nregions)
+    ]
+    epochs = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        bursts = []
+        for p in range(nprocs):
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                region = draw(st.integers(min_value=0, max_value=nregions - 1))
+                limit = regions[region][1]
+                idx = draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=limit - 1),
+                        min_size=0,
+                        max_size=8,
+                    )
+                )
+                write = draw(st.booleans())
+                bursts.append((p, region, write, idx))
+        work = [draw(st.floats(min_value=0, max_value=5)) for _ in range(nprocs)]
+        locks = [draw(st.integers(min_value=0, max_value=3)) for _ in range(nprocs)]
+        epochs.append((bursts, work, locks))
+    return nprocs, regions, epochs
+
+
+def build_pair(ops):
+    """Replay one op list through a packed and a burst-list builder."""
+    nprocs, regions, epochs = ops
+    traces = []
+    for packed in (True, False):
+        tb = TraceBuilder(nprocs, label="e0", packed=packed)
+        for name, count, size in regions:
+            tb.add_region(name, count, size)
+        for ei, (bursts, work, locks) in enumerate(epochs):
+            for p, region, write, idx in bursts:
+                (tb.write if write else tb.read)(p, region, idx)
+            for p in range(nprocs):
+                if work[p]:
+                    tb.work(p, work[p])
+                if locks[p]:
+                    tb.lock(p, locks[p])
+            if ei < len(epochs) - 1:
+                tb.barrier(f"e{ei + 1}")
+        traces.append(tb.finish())
+    return traces  # [packed, burst]
+
+
+@given(trace_ops())
+@settings(max_examples=100, deadline=None)
+def test_structural_equivalence(ops):
+    packed, burst = build_pair(ops)
+    assert isinstance(packed, PackedTrace)
+    assert packed.total_accesses == burst.total_accesses
+    assert len(packed.epochs) == len(burst.epochs)
+    for pe, be in zip(packed.epochs, burst.epochs):
+        assert pe.label == be.label
+        np.testing.assert_array_equal(pe.work, be.work)
+        np.testing.assert_array_equal(pe.lock_acquires, be.lock_acquires)
+        for p in range(packed.nprocs):
+            assert pe.accesses(p) == be.accesses(p)
+            for a, b in zip(pe.flat(p), be.flat(p)):
+                np.testing.assert_array_equal(a, b)
+            assert len(pe.bursts[p]) == len(be.bursts[p])
+            for ba, bb in zip(pe.bursts[p], be.bursts[p]):
+                assert ba.region == bb.region and ba.is_write == bb.is_write
+                np.testing.assert_array_equal(ba.indices, bb.indices)
+
+
+def assert_simulators_agree(a, b):
+    """Identical miss/message/byte counters across two traces."""
+    ha = simulate_hardware(a, origin2000_scaled(64, a.nprocs))
+    hb = simulate_hardware(b, origin2000_scaled(64, b.nprocs))
+    np.testing.assert_array_equal(ha.l2_misses, hb.l2_misses)
+    np.testing.assert_array_equal(ha.tlb_misses, hb.tlb_misses)
+    np.testing.assert_array_equal(ha.invalidations, hb.invalidations)
+    np.testing.assert_array_equal(ha.cold_misses, hb.cold_misses)
+    np.testing.assert_array_equal(ha.coherence_misses, hb.coherence_misses)
+    assert ha.time == hb.time
+    for sim in (simulate_treadmarks, simulate_hlrc):
+        ra = sim(a, cluster_scaled(nprocs=a.nprocs))
+        rb = sim(b, cluster_scaled(nprocs=b.nprocs))
+        np.testing.assert_array_equal(ra.messages, rb.messages)
+        np.testing.assert_array_equal(ra.data_bytes, rb.data_bytes)
+        np.testing.assert_array_equal(ra.page_fetches, rb.page_fetches)
+        np.testing.assert_array_equal(ra.time, rb.time)
+
+
+@given(trace_ops())
+@settings(max_examples=25, deadline=None)
+def test_simulator_equivalence(ops):
+    packed, burst = build_pair(ops)
+    assert_simulators_agree(packed, burst)
+
+
+@given(trace_ops())
+@settings(max_examples=25, deadline=None)
+def test_stats_equivalence(ops):
+    packed, burst = build_pair(ops)
+    layout_p = Layout.for_trace(packed)
+    layout_b = Layout.for_trace(burst)
+    ws_p = stats.page_write_sets(packed, layout_p, 4096)
+    ws_b = stats.page_write_sets(burst, layout_b, 4096)
+    assert ws_p == ws_b
+    assert stats.page_read_sets(packed, layout_p, 4096) == stats.page_read_sets(
+        burst, layout_b, 4096
+    )
+    np.testing.assert_array_equal(
+        stats.update_map(packed, layout_p, 0), stats.update_map(burst, layout_b, 0)
+    )
+    assert stats.footprint(packed, layout_p, 128) == stats.footprint(
+        burst, layout_b, 128
+    )
+    ca, cb = stats.access_counts(packed), stats.access_counts(burst)
+    np.testing.assert_array_equal(ca.reads, cb.reads)
+    np.testing.assert_array_equal(ca.writes, cb.writes)
+
+
+@given(ops=trace_ops())
+@settings(max_examples=10, deadline=None)
+def test_mmap_equivalence(ops, tmp_path_factory):
+    """A mmap-loaded trace produces identical results to the in-memory one."""
+    packed, _ = build_pair(ops)
+    path = tmp_path_factory.mktemp("mmap") / "t.npt"
+    save_trace(packed, path)
+    mapped = load_trace(path, mmap=True)
+    assert_simulators_agree(mapped, packed)
+    in_memory = load_trace(path, mmap=False)
+    assert_simulators_agree(in_memory, packed)
+
+
+class TestDecodeMemo:
+    def make_trace(self):
+        from repro.apps import AppConfig, Moldyn
+
+        return Moldyn(AppConfig(n=256, nprocs=4, iterations=2, seed=3)).run()
+
+    def test_platforms_share_one_decode(self):
+        """TreadMarks then HLRC at the same page size: the HLRC run adds no
+        decoding work (intervals come from the derived cache)."""
+        trace = self.make_trace()
+        memo = decode_memo(trace)
+        simulate_treadmarks(trace, cluster_scaled(nprocs=4))
+        decodes_after_tmk = memo.decodes
+        assert decodes_after_tmk == len(trace.epochs)
+        assert memo.distinct_geometries == 1
+        simulate_hlrc(trace, cluster_scaled(nprocs=4))
+        assert memo.decodes == decodes_after_tmk
+        assert memo.hits > 0
+
+    def test_sweep_decodes_once_per_geometry(self):
+        """A page-size sweep decodes O(distinct geometries), not O(points)."""
+        trace = self.make_trace()
+        memo = decode_memo(trace)
+        sizes = (1024, 4096, 16384)
+        for page in sizes:
+            simulate_treadmarks(trace, cluster_scaled(nprocs=4, page_size=page))
+        assert memo.distinct_geometries == len(sizes)
+        assert memo.decodes == len(sizes) * len(trace.epochs)
+        # Re-running the whole sweep performs zero additional decodes.
+        before = memo.decodes
+        for page in sizes:
+            simulate_treadmarks(trace, cluster_scaled(nprocs=4, page_size=page))
+            simulate_hlrc(trace, cluster_scaled(nprocs=4, page_size=page))
+        assert memo.decodes == before
+
+    def test_hardware_uses_memo(self):
+        trace = self.make_trace()
+        memo = decode_memo(trace)
+        params = origin2000_scaled(64, 4)
+        simulate_hardware(trace, params)
+        decodes = memo.decodes
+        assert decodes == len(trace.epochs)
+        simulate_hardware(trace, params)
+        assert memo.decodes == decodes  # second run: all hits
+        assert memo.hits > 0
+
+    def test_memo_clear(self):
+        trace = self.make_trace()
+        memo = decode_memo(trace)
+        simulate_treadmarks(trace)
+        assert memo.distinct_geometries == 1
+        memo.clear()
+        assert memo.distinct_geometries == 0
