@@ -6,6 +6,7 @@ Usage::
     python -m repro reproduce fig7 table2 --n 2048
     python -m repro reproduce all --paper-scale
     python -m repro run barnes-hut --version hilbert --platform treadmarks
+    python -m repro sweep barnes-hut --grid l2=256K,1M --grid line_size=64,128
 
 Resilience flags (accepted before or after the subcommand)::
 
@@ -34,6 +35,8 @@ from .apps import APP_REGISTRY
 from .errors import ReproError
 from .experiments import (
     Scale,
+    SweepGrid,
+    SweepPlan,
     curve_quality,
     fig1_fig4,
     fig2_fig5,
@@ -43,6 +46,7 @@ from .experiments import (
     fig8_fig9,
     object_size_sweep,
     page_size_sweep,
+    parse_grid,
     run_one,
     sequential_locality,
     table1,
@@ -366,6 +370,35 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments.sweep import ROW_KEYS
+
+    scale = _scale(args)
+    axes = parse_grid(args.grid)
+    grid = SweepGrid(
+        apps=tuple(args.app),
+        versions=tuple(args.versions) if args.versions else None,
+        platforms=tuple(args.sweep_platforms or ("origin",)),
+        **axes,
+    )
+    rows = SweepPlan(grid, scale).run()
+    cols = [k for k in ROW_KEYS if any(k in r for r in rows)]
+    body = []
+    for r in rows:
+        cells = []
+        for k in cols:
+            v = r.get(k, "")
+            cells.append(round(v, 4) if isinstance(v, float) else v)
+        body.append(cells)
+    npoints = len(rows)
+    ngroups = len(SweepPlan(grid, scale).groups())
+    print(render_table(
+        cols, body,
+        title=f"Sweep: {npoints} point(s) from {ngroups} batched group(s)",
+    ))
+    return 0
+
+
 def _cmd_diagnose(args) -> int:
     from .experiments.analysis import diagnose
     from .experiments.runner import make_app
@@ -413,6 +446,25 @@ def main(argv: list[str] | None = None) -> int:
                      choices=["origin", "treadmarks", "hlrc"])
     _add_common(run)
 
+    swp = sub.add_parser(
+        "sweep",
+        help="batched parameter-grid sweep (one trace replay per geometry"
+             " family, not per point)",
+    )
+    swp.add_argument("app", nargs="+", choices=sorted(APP_REGISTRY))
+    swp.add_argument("--version", action="append", dest="versions",
+                     choices=["original", "hilbert", "morton", "column", "row"],
+                     help="data ordering; repeatable (default: the paper's"
+                          " orderings per app)")
+    swp.add_argument("--platform", action="append", dest="sweep_platforms",
+                     choices=["origin", "treadmarks", "hlrc"],
+                     help="platform; repeatable (default: origin)")
+    swp.add_argument("--grid", action="append", default=[],
+                     metavar="AXIS=V1,V2,...",
+                     help="sweep axis (l2_bytes, line_size, page_size);"
+                          " sizes accept K/M suffixes; repeatable")
+    _add_common(swp)
+
     diag = sub.add_parser(
         "diagnose", help="full layout diagnosis of one app run"
     )
@@ -426,6 +478,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "reproduce": _cmd_reproduce,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "diagnose": _cmd_diagnose,
     }
     previous = None

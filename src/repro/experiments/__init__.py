@@ -24,6 +24,7 @@ from .message_passing import (
     ideal_message_passing,
 )
 from .scaling import ScalingPoint, scaling_curve
+from .sweep import SweepGrid, SweepPlan, parse_grid
 from .tables import table1, table2, table3, table4
 
 __all__ = [
@@ -51,6 +52,9 @@ __all__ = [
     "sequential_locality",
     "scaling_curve",
     "ScalingPoint",
+    "SweepGrid",
+    "SweepPlan",
+    "parse_grid",
     "ideal_message_passing",
     "dsm_overhead",
     "MessagePassingResult",

@@ -14,16 +14,19 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..apps import AppConfig
 from ..apps.moldyn import Moldyn
 from ..apps.barnes_hut import BarnesHut
-from ..machines.cache import LRUCache, collapse_runs
-from ..machines.dsm import simulate_treadmarks
+from ..machines.cache import LRUCache
+from ..machines.dsm import simulate_treadmarks_sweep
 from ..machines.params import cluster_scaled
+from ..runtime.context import get_runtime
+from .runner import Scale
+from .sweep import SweepGrid, SweepPlan
 
 __all__ = [
     "page_size_sweep",
@@ -46,18 +49,56 @@ def page_size_sweep(
     The paper's crossover: with large units column ordering beats Hilbert
     (slab boundaries land on few pages); with cache-line-sized units the
     slab's larger surface loses to the Hilbert cube.
+
+    Each ordering's trace is replayed once: interval summaries are built
+    at the finest page size and folded up the 2x ladder, so adding sweep
+    points costs protocol replay only.  With a runtime installed the two
+    orderings run as parallel :class:`repro.experiments.sweep.SweepPlan`
+    groups; per-point numbers are identical either way.
     """
-    traces = {}
-    for version in ("column", "hilbert"):
+    versions = ("column", "hilbert")
+    sizes = tuple(int(p) for p in page_sizes)
+    rt = get_runtime()
+    if rt is not None and rt.cache is not None:
+        # Sweep-planner path: one batched (trace, page-ladder) group per
+        # ordering, dispatched through the executor with checkpointing.
+        base = Scale()
+        scale = replace(
+            base,
+            n={**base.n, "moldyn": n},
+            iterations={**base.iterations, "moldyn": iterations},
+            nprocs=nprocs,
+            seed=seed,
+        )
+        grid = SweepGrid(
+            apps=("moldyn",), versions=versions,
+            platforms=("treadmarks",), page_sizes=sizes,
+        )
+        cells = {
+            (r["version"], r["page_size"]): r
+            for r in SweepPlan(grid, scale).run()
+        }
+        rows = []
+        for page in sizes:
+            row = {"page_size": page}
+            for version in versions:
+                row[f"{version}_messages"] = cells[(version, page)]["messages"]
+                row[f"{version}_mbytes"] = cells[(version, page)]["data_mbytes"]
+            rows.append(row)
+        return rows
+    # No runtime installed: build the two traces in-process; one folded
+    # interval ladder per ordering still serves every page size.
+    params = cluster_scaled(nprocs=nprocs)
+    sweeps = {}
+    for version in versions:
         app = Moldyn(AppConfig(n=n, nprocs=nprocs, iterations=iterations, seed=seed))
         app.reorder(version)
-        traces[version] = app.run()
+        sweeps[version] = simulate_treadmarks_sweep(app.run(), params, sizes)
     rows = []
-    for page in page_sizes:
-        params = cluster_scaled(nprocs=nprocs, page_size=page)
+    for page in sizes:
         row = {"page_size": page}
-        for version, tr in traces.items():
-            res = simulate_treadmarks(tr, params)
+        for version in versions:
+            res = sweeps[version][page]
             row[f"{version}_messages"] = res.messages
             row[f"{version}_mbytes"] = res.data_mbytes
         rows.append(row)
@@ -89,11 +130,13 @@ def object_size_sweep(
                 n, nprocs, seed=seed, version=version, object_size=osize, page_size=line_size
             )
             nlines = int(line.max()) + 1
-            shared = 0
-            for lg in range(nlines):
-                if np.unique(owner[line == lg]).shape[0] > 1:
-                    shared += 1
-            row[f"{version}_shared_lines"] = shared
+            # A line is falsely shared when >1 distinct owner writes it:
+            # dedup (line, owner) pairs in one pass and count lines with
+            # more than one surviving pair.
+            span = np.int64(owner.max()) + 1
+            pairs = np.unique(line.astype(np.int64) * span + owner)
+            per_line = np.bincount(pairs // span, minlength=nlines)
+            row[f"{version}_shared_lines"] = int(np.count_nonzero(per_line > 1))
             row[f"{version}_lines"] = nlines
         rows.append(row)
     return rows
@@ -164,9 +207,33 @@ def sequential_locality(
         misses = 0
         accesses = 0
         for epoch in trace.epochs:
-            for b in epoch.bursts[0]:
-                pages = collapse_runs(layout.units(b.region, b.indices, page_size))
-                misses += tlb.access_stream(pages)
-                accesses += pages.shape[0]
+            # One batched unit conversion per epoch (packed traces hand
+            # over their columns view-only); runs are collapsed within
+            # each burst exactly as the per-burst loop did, so the
+            # access count is unchanged.
+            regs, idx, _ = epoch.flat(0)
+            if regs.shape[0] == 0:
+                continue
+            if hasattr(epoch, "burst_length"):
+                b0, b1 = int(epoch.burst_offsets[0]), int(epoch.burst_offsets[1])
+                lens = np.asarray(epoch.burst_length[b0:b1], dtype=np.int64)
+            else:
+                lens = np.fromiter(
+                    (len(b) for b in epoch.bursts[0]),
+                    dtype=np.int64,
+                    count=len(epoch.bursts[0]),
+                )
+            pages, counts = layout.units_batch(
+                regs, idx, page_size, return_counts=True
+            )
+            bid = np.repeat(np.repeat(np.arange(lens.shape[0]), lens), counts)
+            keep = np.empty(pages.shape[0], dtype=bool)
+            keep[0] = True
+            np.logical_or(
+                pages[1:] != pages[:-1], bid[1:] != bid[:-1], out=keep[1:]
+            )
+            collapsed = pages[keep]
+            misses += tlb.access_stream(collapsed)
+            accesses += collapsed.shape[0]
         out[version] = {"tlb_misses": misses, "accesses": accesses}
     return out

@@ -290,6 +290,48 @@ def _seq_time(name: str, platform: str, scale: Scale) -> float:
     return _cache[key]
 
 
+def _cell_record(
+    name: str, version: str, platform: str, scale: Scale, trace, seq_time: float
+) -> RunRecord:
+    """Build one cell's record from an already-materialized trace.
+
+    Pure function of its inputs — :func:`run_one` calls it with the
+    memoized trace and baseline, executor workers
+    (:func:`run_matrix_cell`) with cache-loaded ones; both paths produce
+    identical records.
+    """
+    if platform == "origin":
+        params = scale.hardware()
+        res = simulate_hardware(trace, params)
+        return RunRecord(
+            app=name,
+            version=version,
+            platform=platform,
+            nprocs=scale.nprocs,
+            time=res.time,
+            reorder_time=_reorder_time(name, version, scale, params.cycle_time),
+            seq_time=seq_time,
+            l2_misses=res.total_l2_misses,
+            tlb_misses=res.total_tlb_misses,
+            phase_times=dict(res.phase_times),
+        )
+    params = scale.cluster()
+    sim = simulate_treadmarks if platform == "treadmarks" else simulate_hlrc
+    res = sim(trace, params)
+    return RunRecord(
+        app=name,
+        version=version,
+        platform=platform,
+        nprocs=scale.nprocs,
+        time=res.time,
+        reorder_time=_reorder_time(name, version, scale, params.cycle_time),
+        seq_time=seq_time,
+        messages=res.messages,
+        data_mbytes=res.data_mbytes,
+        phase_times=dict(res.phase_times),
+    )
+
+
 def run_one(
     name: str, version: str, platform: str, scale: Scale
 ) -> RunRecord:
@@ -303,39 +345,9 @@ def run_one(
         return _cache[key]
     started = time.perf_counter()
     trace = _trace_for(name, version, scale, scale.nprocs)
-    if platform == "origin":
-        params = scale.hardware()
-        res = simulate_hardware(trace, params)
-        reorder_time = _reorder_time(name, version, scale, params.cycle_time)
-        rec = RunRecord(
-            app=name,
-            version=version,
-            platform=platform,
-            nprocs=scale.nprocs,
-            time=res.time,
-            reorder_time=reorder_time,
-            seq_time=_seq_time(name, platform, scale),
-            l2_misses=res.total_l2_misses,
-            tlb_misses=res.total_tlb_misses,
-            phase_times=dict(res.phase_times),
-        )
-    else:
-        params = scale.cluster()
-        sim = simulate_treadmarks if platform == "treadmarks" else simulate_hlrc
-        res = sim(trace, params)
-        reorder_time = _reorder_time(name, version, scale, params.cycle_time)
-        rec = RunRecord(
-            app=name,
-            version=version,
-            platform=platform,
-            nprocs=scale.nprocs,
-            time=res.time,
-            reorder_time=reorder_time,
-            seq_time=_seq_time(name, platform, scale),
-            messages=res.messages,
-            data_mbytes=res.data_mbytes,
-            phase_times=dict(res.phase_times),
-        )
+    rec = _cell_record(
+        name, version, platform, scale, trace, _seq_time(name, platform, scale)
+    )
     _cache[key] = rec
     log.info(
         "cell %s/%s/%s p=%d: done in %.2fs",
@@ -422,6 +434,123 @@ def prefetch_traces(
     return len(tasks)
 
 
+def run_matrix_cell(
+    cache_root: str,
+    name: str,
+    version: str,
+    platforms: tuple[str, ...],
+    scale: Scale,
+    seq_times: dict[str, float],
+) -> tuple[list[RunRecord], tuple[int, int]]:
+    """Executor worker: every platform cell for one (app, version) trace.
+
+    The trace is mmap-loaded from the persistent ``.npt`` cache (falling
+    back to in-place generation if prefetch was skipped); the sequential
+    baselines arrive precomputed from the parent, which memoizes them
+    across versions.  Returns records aligned with ``platforms``, plus
+    the worker-side cache (hits, misses) so the parent can fold them
+    into its own counters — the load happens in this process, invisible
+    to the parent's ``TraceCache`` otherwise.
+    """
+    from ..runtime.cache import TraceCache
+
+    cache = TraceCache(cache_root)
+    ck = _cache_key_for(name, version, scale, scale.nprocs)
+    trace = cache.load(ck)
+    if trace is None:
+        app = make_app(name, scale.config(name), version)
+        trace = app.run()
+        cache.store(ck, trace)
+    records = [
+        _cell_record(name, version, p, scale, trace, seq_times[p])
+        for p in platforms
+    ]
+    return records, (cache.hits, cache.misses)
+
+
+def _run_cells_parallel(
+    cells: list[tuple[str, str, str, Scale]]
+) -> list[RunRecord]:
+    """Run (app, version, platform, scale) cells through the executor.
+
+    This is the sweep planner's cell-batch path: cells are grouped by
+    trace — one task per (app, version, scale), covering all its
+    platforms — so independent traces run in parallel while each trace
+    is still decoded once per group.  Requires an installed runtime with
+    a cache.  Memoized cells are returned directly and never
+    re-dispatched; fresh records land in the same memo ``run_one`` uses,
+    with identical contents (same simulators, same parameters).
+    """
+    rt = get_runtime()
+    records: dict[int, RunRecord] = {}
+    groups: dict[tuple, dict] = {}
+    for i, (name, version, platform, scale) in enumerate(cells):
+        if platform not in PLATFORMS:
+            raise UnknownPlatformError(
+                f"unknown platform {platform!r}; expected one of {PLATFORMS}"
+            )
+        key = ("run", name, version, platform, scale.n[name],
+               scale.iterations[name], scale.nprocs, scale.seed, scale.hw_scale)
+        if key in _cache:
+            records[i] = _cache[key]
+            continue
+        gkey = key[1:3] + key[4:]  # drop platform: one group per trace
+        g = groups.setdefault(
+            gkey, {"name": name, "version": version, "scale": scale, "cells": []}
+        )
+        g["cells"].append((i, platform, key))
+
+    if groups:
+        # Fan out the distinct traces first (matrix cells and their
+        # 1-processor baselines), then one batched task per group.
+        tasks, seen = [], set()
+        for g in groups.values():
+            name, scale = g["name"], g["scale"]
+            for version, nprocs in ((g["version"], scale.nprocs), ("original", 1)):
+                ck = _cache_key_for(name, version, scale, nprocs)
+                fn = ck.filename()
+                if fn in seen or (rt.resume and rt.cache.contains(ck)):
+                    continue
+                seen.add(fn)
+                tasks.append(Task(
+                    key=fn,
+                    fn=generate_trace_into_cache,
+                    args=(str(rt.cache.root), name, version, scale.n[name],
+                          scale.iterations[name], nprocs, scale.seed),
+                ))
+        if tasks:
+            log.info("prefetch: generating %d trace(s) with %d job(s)",
+                     len(tasks), rt.executor.jobs)
+            run_tasks(tasks, rt.executor, fault_plan=rt.fault_plan)
+
+        tasks = []
+        for gkey, g in groups.items():
+            name, scale = g["name"], g["scale"]
+            platforms = tuple(dict.fromkeys(p for _, p, _ in g["cells"]))
+            seq_times = {p: _seq_time(name, p, scale) for p in platforms}
+            g["platforms"] = platforms
+            g["task_key"] = f"cells_{name}_{g['version']}_p{scale.nprocs}_n{scale.n[name]}"
+            tasks.append(Task(
+                key=g["task_key"],
+                fn=run_matrix_cell,
+                args=(str(rt.cache.root), name, g["version"], platforms,
+                      scale, seq_times),
+            ))
+        log.info("matrix: %d cell group(s) with %d job(s)",
+                 len(tasks), rt.executor.jobs)
+        results = run_tasks(tasks, rt.executor, fault_plan=rt.fault_plan)
+        for g in groups.values():
+            recs, (hits, misses) = results[g["task_key"]]
+            rt.cache.hits += hits
+            rt.cache.misses += misses
+            by_platform = dict(zip(g["platforms"], recs))
+            for i, platform, key in g["cells"]:
+                rec = by_platform[platform]
+                _cache[key] = rec
+                records[i] = rec
+    return [records[i] for i in range(len(cells))]
+
+
 def run_suite(
     apps: tuple[str, ...] | None = None,
     platforms: tuple[str, ...] = PLATFORMS,
@@ -429,18 +558,21 @@ def run_suite(
 ) -> list[RunRecord]:
     """Run the full evaluation matrix; returns one record per cell.
 
-    With a runtime installed (cache + ``jobs > 1``), the distinct traces
-    are prefetched in parallel first; the machine models — cheap pure
-    functions of the traces — then run serially in-process.
+    With a runtime installed (cache + ``jobs > 1``), the matrix routes
+    through the sweep planner's cell-batch path: distinct traces are
+    prefetched in parallel, then the machine models for independent
+    traces run concurrently (one batched task per trace, all platforms).
+    Serial and parallel paths produce identical records.
     """
     scale = scale or Scale()
     apps = tuple(APP_REGISTRY) if apps is None else apps
+    cells = [
+        (name, version, platform, scale)
+        for name in apps
+        for version in versions_for(name)
+        for platform in platforms
+    ]
     rt = get_runtime()
     if rt is not None and rt.cache is not None and rt.executor.jobs > 1:
-        prefetch_traces(apps, scale)
-    out = []
-    for name in apps:
-        for version in versions_for(name):
-            for platform in platforms:
-                out.append(run_one(name, version, platform, scale))
-    return out
+        return _run_cells_parallel(cells)
+    return [run_one(*cell) for cell in cells]

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .runner import Scale, run_one
+from ..runtime.context import get_runtime
+from .runner import Scale, _run_cells_parallel, run_one
 
 __all__ = ["ScalingPoint", "scaling_curve"]
 
@@ -34,10 +35,13 @@ def scaling_curve(
     """Speedup of each version at each processor count.
 
     All speedups are relative to the single-processor original run, as in
-    the paper.
+    the paper.  Every (nprocs, version) point is an independent trace, so
+    with a parallel runtime installed the whole curve is dispatched
+    through the sweep planner's cell-batch path and the points run
+    concurrently; results are identical to the serial loop.
     """
     base = scale or Scale()
-    out: list[ScalingPoint] = []
+    cells = []
     for p in procs:
         s = Scale(
             n=base.n,
@@ -47,15 +51,19 @@ def scaling_curve(
             hw_scale=base.hw_scale,
         )
         for version in versions:
-            if p == 1 and version != "original":
-                # The paper's baseline is the 1-proc original; reordered
-                # single-proc runs exist (Table 2) but are not curve
-                # baselines.  Still record them for completeness.
-                pass
-            rec = run_one(app, version, platform, s)
-            out.append(
-                ScalingPoint(
-                    nprocs=p, version=version, time=rec.time, speedup=rec.speedup
-                )
-            )
-    return out
+            # The paper's baseline is the 1-proc original; reordered
+            # single-proc runs exist (Table 2) but are not curve
+            # baselines.  Still record them for completeness.
+            cells.append((app, version, platform, s))
+    rt = get_runtime()
+    if rt is not None and rt.cache is not None and rt.executor.jobs > 1:
+        records = _run_cells_parallel(cells)
+    else:
+        records = [run_one(*cell) for cell in cells]
+    return [
+        ScalingPoint(
+            nprocs=cell[3].nprocs, version=cell[1],
+            time=rec.time, speedup=rec.speedup,
+        )
+        for cell, rec in zip(cells, records)
+    ]

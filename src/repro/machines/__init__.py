@@ -10,9 +10,24 @@
 
 from .cache import LRUCache, SetAssocCache, collapse_runs
 from .coherence import MESIResult, simulate_mesi
-from .kernels import StreamResult, lru_kernel, reuse_distances, setassoc_kernel
-from .dsm import DSMResult, simulate_hlrc, simulate_treadmarks
-from .hardware import HardwareResult, simulate_hardware
+from .kernels import (
+    SetAssocSweep,
+    StreamResult,
+    lru_kernel,
+    miss_curve,
+    reuse_distances,
+    setassoc_kernel,
+    stack_distance_histogram,
+)
+from .dsm import (
+    DSMResult,
+    simulate_dsm_sweep,
+    simulate_hlrc,
+    simulate_hlrc_sweep,
+    simulate_treadmarks,
+    simulate_treadmarks_sweep,
+)
+from .hardware import HardwareResult, simulate_hardware, simulate_hardware_sweep
 from .params import (
     CLUSTER_16,
     ORIGIN2000,
@@ -30,6 +45,10 @@ __all__ = [
     "lru_kernel",
     "setassoc_kernel",
     "reuse_distances",
+    "stack_distance_histogram",
+    "miss_curve",
+    "SetAssocSweep",
+    "simulate_hardware_sweep",
     "HardwareParams",
     "ClusterParams",
     "ORIGIN2000",
@@ -42,5 +61,8 @@ __all__ = [
     "MESIResult",
     "simulate_treadmarks",
     "simulate_hlrc",
+    "simulate_dsm_sweep",
+    "simulate_treadmarks_sweep",
+    "simulate_hlrc_sweep",
     "DSMResult",
 ]

@@ -81,30 +81,32 @@ class _Cache:
 def _interleave(epoch, layout: Layout, line_size: int, nprocs: int):
     """Round-robin interleaving of the epoch's per-processor line streams.
 
-    Yields (proc, line, is_write) tuples.
+    Returns an iterator of (proc, line, is_write) tuples.  Each
+    processor's stream decodes with one batched unit conversion
+    (:meth:`Layout.units_batch`), and the round-robin order — position
+    ``i`` of every live stream, processors in index order — is exactly a
+    stable sort by (stream position, processor), materialized with one
+    ``lexsort`` instead of a per-access cursor walk.
     """
-    streams = []
+    lines, writes, procs, pos = [], [], [], []
     for p in range(nprocs):
-        chunks = []
-        for b in epoch.bursts[p]:
-            lines = layout.units(b.region, b.indices, line_size)
-            w = np.full(lines.shape[0], b.is_write)
-            chunks.append(np.stack([lines, w.astype(np.int64)], axis=1))
-        if chunks:
-            streams.append((p, np.concatenate(chunks)))
-    cursors = [0] * len(streams)
-    live = list(range(len(streams)))
-    while live:
-        nxt = []
-        for si in live:
-            p, arr = streams[si]
-            c = cursors[si]
-            if c < arr.shape[0]:
-                yield p, int(arr[c, 0]), bool(arr[c, 1])
-                cursors[si] = c + 1
-                if cursors[si] < arr.shape[0]:
-                    nxt.append(si)
-        live = nxt
+        regs, idx, wflags = epoch.flat(p)
+        if regs.shape[0] == 0:
+            continue
+        u, counts = layout.units_batch(regs, idx, line_size, return_counts=True)
+        lines.append(u)
+        writes.append(np.repeat(wflags, counts))
+        procs.append(np.full(u.shape[0], p, dtype=np.int64))
+        pos.append(np.arange(u.shape[0], dtype=np.int64))
+    if not lines:
+        return iter(())
+    procs = np.concatenate(procs)
+    order = np.lexsort((procs, np.concatenate(pos)))
+    return zip(
+        procs[order].tolist(),
+        np.concatenate(lines)[order].tolist(),
+        np.concatenate(writes)[order].tolist(),
+    )
 
 
 def simulate_mesi(

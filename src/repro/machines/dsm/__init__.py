@@ -2,15 +2,25 @@
 
 from .common import DSMResult
 from .hlrc import block_homes, simulate_hlrc
-from .intervals import EpochPageInfo, build_intervals, total_pages
+from .intervals import (
+    EpochPageInfo,
+    build_interval_ladder,
+    build_intervals,
+    total_pages,
+)
+from .sweep import simulate_dsm_sweep, simulate_hlrc_sweep, simulate_treadmarks_sweep
 from .treadmarks import simulate_treadmarks
 
 __all__ = [
     "DSMResult",
     "simulate_treadmarks",
     "simulate_hlrc",
+    "simulate_dsm_sweep",
+    "simulate_treadmarks_sweep",
+    "simulate_hlrc_sweep",
     "block_homes",
     "build_intervals",
+    "build_interval_ladder",
     "EpochPageInfo",
     "total_pages",
 ]

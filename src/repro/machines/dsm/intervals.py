@@ -21,7 +21,12 @@ from ...trace.events import Epoch, Trace
 from ...trace.layout import DecodeMemo, Layout, decode_memo
 from ...trace.packed import PackedTrace
 
-__all__ = ["EpochPageInfo", "build_intervals", "total_pages"]
+__all__ = [
+    "EpochPageInfo",
+    "build_intervals",
+    "build_interval_ladder",
+    "total_pages",
+]
 
 
 @dataclass
@@ -201,3 +206,178 @@ def build_intervals(
 
         return memo.derived(key, _build), layout
     return [_epoch_info(e, layout, page_size) for e in trace.epochs], layout
+
+
+# ---------------------------------------------------------------------------
+# Page-size ladders: intervals at every size from one finest-level pass
+# ---------------------------------------------------------------------------
+#
+# Pages at size ``2s`` are pairs of size-``s`` pages, so every per-epoch
+# summary folds upward instead of being rebuilt per sweep point:
+#
+# * access / write page sets:  ``unique(pages >> 1)``;
+# * dirty bytes: the capped ``write_bytes`` of :class:`EpochPageInfo` do
+#   NOT fold (an object straddling the sibling boundary is counted in
+#   both children, and ``min(., s)`` is applied at the wrong level), so
+#   the ladder carries two *uncapped* columns per written page: ``ub``,
+#   the full distinct-object byte sum, and ``cross``, the bytes of
+#   written objects whose span crosses the page's left boundary.  Then
+#
+#       ub2[P]    = ub[2P] + ub[2P+1] - cross[2P+1]
+#       cross2[P] = cross[2P]
+#
+#   (inclusion–exclusion over the sibling boundary: an object touches
+#   both children iff it crosses it; objects are contiguous byte runs,
+#   so crossing the left boundary of ``2P+1`` is exactly "touches both").
+#   The page-size cap is applied only when a level is materialized.
+
+
+def _epoch_ladder_packed(
+    epoch, decoded, layout: Layout, page_size: int
+) -> tuple[list, list, list, list]:
+    """Finest-level ladder columns: (accesses, writes, ub, cross) per proc."""
+    shift = page_size.bit_length() - 1
+    bases = np.asarray(layout.bases, dtype=np.int64)
+    osizes = np.fromiter(
+        (r.object_size for r in layout.regions),
+        dtype=np.int64,
+        count=len(layout.regions),
+    )
+    empty = np.empty(0, np.int64)
+    acc: list[np.ndarray] = []
+    wr: list[np.ndarray] = []
+    ub: list[np.ndarray] = []
+    cross: list[np.ndarray] = []
+    for p in range(epoch.nprocs):
+        units = decoded.units[p]
+        acc.append(np.unique(units) if units.shape[0] else empty)
+        regs, idx, wflags = epoch.flat(p)
+        if not wflags.any():
+            wr.append(empty)
+            ub.append(empty)
+            cross.append(empty)
+            continue
+        wregs = regs[wflags]
+        widx = idx[wflags]
+        sizes = osizes[wregs]
+        start = bases[wregs] + widx * sizes
+        first = start >> shift
+        counts = ((start + sizes - 1) >> shift) - first + 1
+        pages_e = np.repeat(first, counts)
+        run_start = np.repeat(np.cumsum(counts) - counts, counts)
+        pages_e += np.arange(pages_e.shape[0], dtype=np.int64) - run_start
+        regs_e = np.repeat(wregs, counts)
+        objs_e = np.repeat(widx, counts)
+        order = np.lexsort((objs_e, regs_e, pages_e))
+        pg, rg, ob = pages_e[order], regs_e[order], objs_e[order]
+        fresh = np.empty(pg.shape[0], dtype=bool)
+        fresh[0] = True
+        fresh[1:] = (pg[1:] != pg[:-1]) | (rg[1:] != rg[:-1]) | (ob[1:] != ob[:-1])
+        pg, rg, ob = pg[fresh], rg[fresh], ob[fresh]
+        wpages, inverse = np.unique(pg, return_inverse=True)
+        sz = osizes[rg]
+        wb = np.bincount(inverse, weights=sz).astype(np.int64)
+        crossing = ((bases[rg] + ob * sz) >> shift) < pg
+        cx = np.bincount(
+            inverse[crossing], weights=sz[crossing], minlength=wpages.shape[0]
+        ).astype(np.int64)
+        wr.append(wpages)
+        ub.append(wb)
+        cross.append(cx)
+    return acc, wr, ub, cross
+
+
+def _fold_ladder(
+    acc: list, wr: list, ub: list, cross: list
+) -> tuple[list, list, list, list]:
+    """One 2x fold of per-proc ladder columns (size s -> 2s)."""
+    acc2 = [np.unique(a >> 1) if a.shape[0] else a for a in acc]
+    wr2: list[np.ndarray] = []
+    ub2: list[np.ndarray] = []
+    cx2: list[np.ndarray] = []
+    for wp, b, cx in zip(wr, ub, cross):
+        if wp.shape[0] == 0:
+            wr2.append(wp)
+            ub2.append(b)
+            cx2.append(cx)
+            continue
+        u2, inverse = np.unique(wp >> 1, return_inverse=True)
+        odd = (wp & 1).astype(bool)
+        adj = b - np.where(odd, cx, 0)
+        nb = np.bincount(inverse, weights=adj, minlength=u2.shape[0]).astype(
+            np.int64
+        )
+        ncx = np.zeros(u2.shape[0], dtype=np.int64)
+        even = ~odd
+        ncx[inverse[even]] = cx[even]
+        wr2.append(u2)
+        ub2.append(nb)
+        cx2.append(ncx)
+    return acc2, wr2, ub2, cx2
+
+
+def build_interval_ladder(
+    trace: Trace,
+    page_sizes,
+    layout: Layout | None = None,
+) -> tuple[dict[int, list[EpochPageInfo]], Layout]:
+    """Summaries for every page size in ``page_sizes`` from one pass.
+
+    ``page_sizes`` must be powers of two; the trace is summarized once at
+    the finest size and folded upward through the 2x hierarchy, emitting
+    an :func:`build_intervals`-identical list at each requested size.
+    All sizes share one :class:`Layout` (aligned to the largest size —
+    region bases are then aligned at *every* swept size, so per-page
+    counters match what a per-size default layout would produce).  Each
+    materialized level is registered in the trace's decode memo under the
+    same key :func:`build_intervals` uses, so later per-size calls with
+    this layout are cache hits.
+
+    Non-packed traces fall back to per-size :func:`build_intervals` on
+    the shared layout (correct, no sharing).
+    """
+    sizes = sorted({int(s) for s in page_sizes})
+    if not sizes:
+        raise ValueError("page_sizes must be non-empty")
+    for s in sizes:
+        if s < 1 or s & (s - 1):
+            raise ValueError(f"page sizes must be powers of two, got {s}")
+    if layout is None:
+        layout = Layout.for_trace(trace, align=sizes[-1])
+    if not isinstance(trace, PackedTrace):
+        return {s: build_intervals(trace, layout, s)[0] for s in sizes}, layout
+
+    memo = decode_memo(trace)
+    finest = sizes[0]
+    levels = [
+        _epoch_ladder_packed(epoch, memo.epoch(layout, finest, ei), layout, finest)
+        for ei, epoch in enumerate(trace.epochs)
+    ]
+    out: dict[int, list[EpochPageInfo]] = {}
+    size = finest
+    while True:
+        if size in sizes:
+            cap = size
+
+            def _materialize(levels=levels, cap=cap) -> list[EpochPageInfo]:
+                return [
+                    EpochPageInfo(
+                        accesses=acc,
+                        writes=wr,
+                        write_bytes=[np.minimum(b, cap) for b in ub],
+                        label=epoch.label,
+                        work=np.asarray(epoch.work, dtype=np.float64).copy(),
+                        lock_acquires=np.asarray(
+                            epoch.lock_acquires, dtype=np.int64
+                        ).copy(),
+                    )
+                    for epoch, (acc, wr, ub, _cx) in zip(trace.epochs, levels)
+                ]
+
+            key = ("intervals", DecodeMemo.geometry_key(layout, size))
+            out[size] = memo.derived(key, _materialize)
+        if size >= sizes[-1]:
+            break
+        levels = [_fold_ladder(*lvl) for lvl in levels]
+        size *= 2
+    return out, layout

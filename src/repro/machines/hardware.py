@@ -32,7 +32,7 @@ not; this reproduces the paper's Table 2 single-processor TLB contrast
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -41,9 +41,10 @@ from ..trace.events import Trace
 from ..trace.layout import DecodedEpoch, Layout, decode_memo
 from ..trace.packed import PackedTrace
 from .cache import LRUCache, SetAssocCache
+from .kernels import SetAssocSweep
 from .params import HardwareParams
 
-__all__ = ["HardwareResult", "simulate_hardware"]
+__all__ = ["HardwareResult", "simulate_hardware", "simulate_hardware_sweep"]
 
 
 @dataclass
@@ -308,3 +309,214 @@ def simulate_hardware(
         capacity_misses=residual,
         classification_overcount=overcount,
     )
+
+
+def _sweep_line_family(
+    trace: Trace,
+    base: HardwareParams,
+    line_size: int,
+    l2_list: list[int],
+    layout: Layout,
+    memo,
+) -> list[HardwareResult]:
+    """Sweep L2 capacities at one line size with a single replay.
+
+    Holding ``line_size`` fixed pins the set count to the base cache's
+    geometry (``base.l2_bytes / (line_size * base.l2_assoc)`` sets), so
+    the capacity points differ only in associativity — a stack family:
+    one :class:`SetAssocSweep` pass yields the exact per-epoch miss
+    counts of every point, and the invalidation/coherence/cold counters
+    come from capacity thresholds accumulated alongside.  The TLB is
+    keyed by page, not line, so one replay serves the whole family too.
+    """
+    span = line_size * base.l2_assoc
+    if base.l2_bytes % span:
+        raise SimulationInputError(
+            f"line_size={line_size} does not divide the base geometry:"
+            f" l2_bytes={base.l2_bytes} is not a multiple of"
+            f" line_size*assoc={span}"
+        )
+    nsets = base.l2_bytes // span
+    if nsets & (nsets - 1):
+        raise SimulationInputError(
+            f"line_size={line_size} gives a non-power-of-two set count"
+            f" {nsets} for the base geometry"
+        )
+    set_span = nsets * line_size
+    assocs = []
+    for nbytes in l2_list:
+        if nbytes < set_span or nbytes % set_span:
+            raise SimulationInputError(
+                f"l2_bytes={nbytes} is not a positive multiple of the"
+                f" family's set span {set_span} (line_size={line_size},"
+                f" {nsets} sets)"
+            )
+        assocs.append(nbytes // set_span)
+    cmax = max(assocs)
+    nprocs = trace.nprocs
+    nepochs = len(trace.epochs)
+    shift = line_size.bit_length() - 1
+    nlines = (layout.total_bytes >> shift) + 1
+
+    sweeps = [SetAssocSweep(nsets, cmax) for _ in range(nprocs)]
+    tlbs = [LRUCache(base.tlb_entries) for _ in range(nprocs)]
+    g_hists = np.zeros((nepochs, nprocs, cmax + 1), dtype=np.int64)
+    tlb_epoch = np.zeros((nepochs, nprocs), dtype=np.int64)
+    inval_hist = np.zeros((nprocs, cmax), dtype=np.int64)
+    coh_hist = np.zeros((nprocs, cmax), dtype=np.int64)
+    cold = np.zeros(nprocs, dtype=np.int64)
+    seen = np.zeros((nprocs, nlines), dtype=bool)
+    # pend_thr[p, line] < a: the line is awaiting a coherence re-miss at
+    # associativity ``a`` (it was resident there when invalidated); the
+    # sentinel ``cmax`` means no pending invalidation at any capacity.
+    pend_thr = np.full((nprocs, nlines), cmax, dtype=np.int64)
+    touched = np.zeros(nlines, dtype=bool)
+    works = np.zeros((nepochs, nprocs), dtype=np.float64)
+    locks_e = np.zeros((nepochs, nprocs), dtype=np.int64)
+    labels: list[str] = []
+
+    for ei, epoch in enumerate(trace.epochs):
+        decoded = None if memo is None else memo.epoch(layout, line_size, ei)
+        epoch_written: list[np.ndarray] = []
+        for p in range(nprocs):
+            if decoded is not None:
+                lines, pages, written = _proc_streams_packed(
+                    epoch, decoded, p, line_size, base.page_size, nlines
+                )
+            else:
+                lines, pages, written = _proc_streams(
+                    epoch, layout, line_size, base.page_size, p, nlines
+                )
+            epoch_written.append(written)
+            if lines.shape[0]:
+                g_hists[ei, p] = sweeps[p].access_stream(lines)
+                tlb_epoch[ei, p] = tlbs[p].access_stream(pages)
+                touched[lines] = True
+                fresh = touched & ~seen[p]
+                cold[p] += int(np.count_nonzero(fresh))
+                seen[p] |= fresh
+                tl = np.flatnonzero(touched)
+                thr = pend_thr[p, tl]
+                pend = thr < cmax
+                if pend.any():
+                    coh_hist[p] += np.bincount(thr[pend], minlength=cmax)
+                    pend_thr[p, tl[pend]] = cmax
+                touched.fill(False)
+        for p in range(nprocs):
+            others = [
+                epoch_written[q]
+                for q in range(nprocs)
+                if q != p and epoch_written[q].shape[0]
+            ]
+            if not others:
+                continue
+            w = others[0] if len(others) == 1 else np.unique(np.concatenate(others))
+            removed, thr = sweeps[p].invalidate_present(w, assume_unique=True)
+            if thr.shape[0]:
+                inval_hist[p] += np.bincount(thr, minlength=cmax)
+                pend_thr[p, removed] = thr
+        works[ei] = epoch.work
+        locks_e[ei] = epoch.lock_acquires
+        labels.append(epoch.label)
+
+    results = []
+    tlb_misses = tlb_epoch.sum(axis=0)
+    barrier = base.barrier_time if nprocs > 1 else 0.0
+    for nbytes, assoc in zip(l2_list, assocs):
+        params = replace(base, line_size=line_size, l2_bytes=nbytes, l2_assoc=assoc)
+        epoch_l2 = g_hists[:, :, assoc:].sum(axis=2)
+        l2_misses = epoch_l2.sum(axis=0)
+        coherence = coh_hist[:, :assoc].sum(axis=1)
+        proc_time = (
+            works * (params.work_cycles * params.cycle_time)
+            + epoch_l2 * params.l2_miss_time()
+            + tlb_epoch * params.tlb_miss_time
+            + locks_e * params.lock_time
+        )
+        epoch_times = (
+            proc_time.max(axis=1) + barrier
+            if nepochs
+            else np.zeros(0, dtype=np.float64)
+        )
+        phase_times: dict[str, float] = {}
+        for lbl, t in zip(labels, epoch_times):
+            if lbl:
+                phase_times[lbl] = phase_times.get(lbl, 0.0) + float(t)
+        residual = l2_misses - cold - coherence
+        overcount = np.maximum(-residual, 0)
+        if overcount.any():
+            warnings.warn(
+                "miss classification drift: cold + coherence exceed total L2"
+                f" misses by {overcount.tolist()} per processor (total"
+                f" {int(overcount.sum())}); capacity_misses carries the exact"
+                " (negative) residual and classification_overcount the excess",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        results.append(
+            HardwareResult(
+                params=params,
+                nprocs=nprocs,
+                l2_misses=l2_misses,
+                tlb_misses=tlb_misses.copy(),
+                invalidations=inval_hist[:, :assoc].sum(axis=1),
+                work=works.sum(axis=0),
+                lock_acquires=locks_e.sum(axis=0, dtype=np.int64),
+                barriers=nepochs,
+                time=float(sum(epoch_times.tolist())),
+                phase_times=phase_times,
+                cold_misses=cold.copy(),
+                coherence_misses=coherence,
+                capacity_misses=residual,
+                classification_overcount=overcount,
+            )
+        )
+    return results
+
+
+def simulate_hardware_sweep(
+    trace: Trace,
+    base: HardwareParams = HardwareParams(),
+    l2_bytes: "list[int] | None" = None,
+    line_sizes: "list[int] | None" = None,
+    layout: Layout | None = None,
+) -> list[HardwareResult]:
+    """Sweep L2 capacity (and line size) in one replay per line size.
+
+    Returns one :class:`HardwareResult` per grid point, row-major over
+    ``line_sizes x l2_bytes``, each byte-for-byte identical to
+    ``simulate_hardware(trace, point_params)`` for::
+
+        point_params = replace(base, line_size=s, l2_bytes=b,
+                               l2_assoc=b // (nsets * s))
+
+    where ``nsets = base.l2_bytes // (s * base.l2_assoc)`` — the set
+    count is pinned per line size so capacity points form an LRU stack
+    family (capacity grows by adding ways), which is what makes the
+    one-pass miss curve exact; see ``DESIGN.md``.  The base point
+    ``(base.line_size, base.l2_bytes)`` reproduces ``base`` itself.
+
+    Each distinct line size decodes the packed trace once through the
+    shared :class:`repro.trace.layout.DecodeMemo`; every ``l2_bytes``
+    point at that line size is then read off the stack-distance curve
+    instead of re-replaying.
+    """
+    if not isinstance(trace, Trace):
+        raise SimulationInputError(
+            f"simulate_hardware_sweep expects a Trace, got {type(trace).__name__}"
+        )
+    l2_list = [base.l2_bytes] if l2_bytes is None else [int(b) for b in l2_bytes]
+    line_list = (
+        [base.line_size] if line_sizes is None else [int(s) for s in line_sizes]
+    )
+    if not l2_list or not line_list:
+        raise SimulationInputError("sweep axes must be non-empty")
+    if layout is None:
+        layout = Layout.for_trace(trace, align=base.page_size)
+    memo = decode_memo(trace) if isinstance(trace, PackedTrace) else None
+    results: list[HardwareResult] = []
+    for line_size in line_list:
+        results.extend(
+            _sweep_line_family(trace, base, line_size, l2_list, layout, memo)
+        )
+    return results

@@ -63,6 +63,9 @@ __all__ = [
     "reuse_distances",
     "lru_kernel",
     "setassoc_kernel",
+    "stack_distance_histogram",
+    "miss_curve",
+    "SetAssocSweep",
 ]
 
 _COLD = np.iinfo(np.int64).max  # reuse distance of a first-ever occurrence
@@ -123,6 +126,42 @@ def count_left_le(vals: np.ndarray) -> np.ndarray:
         counts[pos[real]] += hits[real]
         width *= 2
     return counts
+
+
+def _count_left_le_at(vals: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """:func:`count_left_le` evaluated only at query positions ``idx``.
+
+    ``idx`` must be sorted ascending.  Offline block decomposition:
+    ``vals`` is cut into fixed-size blocks, each sorted once; query ``i``
+    sums a vectorized ``searchsorted`` count over every full block left
+    of ``i`` plus a direct scan of its own partial block.  Costs
+    O(n log s + nb*m + m*s) for ``m`` queries against the full pass's
+    O(n log^2 n) — the win when ``m << n``.
+    """
+    n = vals.shape[0]
+    m = idx.shape[0]
+    out = np.zeros(m, dtype=np.int64)
+    if m == 0:
+        return out
+    thr = vals[idx]
+    s = 2048
+    nb = int(idx[-1]) // s
+    if nb:
+        blocks = np.sort(vals[: nb * s].reshape(nb, s), axis=1)
+        # idx ascending => queries needing block b (those with i >= (b+1)*s)
+        # form a suffix; starts[b] is where that suffix begins.
+        starts = np.searchsorted(idx // s, np.arange(nb), side="right")
+        for b in range(nb):
+            lo = starts[b]
+            if lo < m:
+                out[lo:] += np.searchsorted(blocks[b], thr[lo:], side="right")
+    base = (idx // s) * s
+    for q in range(m):
+        i = int(idx[q])
+        lo = int(base[q])
+        if i > lo:
+            out[q] += int(np.count_nonzero(vals[lo:i] <= thr[q]))
+    return out
 
 
 def _narrow(keys: np.ndarray) -> np.ndarray:
@@ -406,3 +445,313 @@ def lru_kernel(
 ) -> StreamResult:
     """Fully-associative LRU replay: one set of ``capacity`` ways."""
     return setassoc_kernel(keys, 1, capacity, resident)
+
+
+# ---------------------------------------------------------------------------
+# Multi-capacity sweeps: miss curves from stack distances
+# ---------------------------------------------------------------------------
+
+
+def _group_by_set(keys: np.ndarray, nsets: int) -> tuple[np.ndarray, np.ndarray]:
+    """Group a stream by set index (stable), returning (grouped, bounds)."""
+    if nsets <= 1:
+        return keys, np.array([0, keys.shape[0]], dtype=np.int64)
+    sets = keys & (nsets - 1)
+    order = np.argsort(sets, kind="stable")
+    counts = np.bincount(sets, minlength=nsets)
+    bounds = np.concatenate([[0], np.cumsum(counts[counts > 0])])
+    return keys[order], bounds
+
+
+def stack_distance_histogram(
+    keys: np.ndarray, nsets: int = 1
+) -> tuple[np.ndarray, int]:
+    """Exact stack-distance histogram of a cold LRU replay.
+
+    Returns ``(hist, cold)`` where ``hist[d]`` counts accesses at finite
+    reuse distance ``d`` — distinct keys referenced since the previous
+    occurrence, within the key's set when ``nsets > 1`` — and ``cold``
+    counts first-ever occurrences.  By Mattson's stack-algorithm
+    inclusion property an access hits a ``nsets x a`` LRU iff its
+    distance is ``< a``, so the miss count at *every* associativity
+    falls out of this one replay: ``cold + hist[a:].sum()``.
+
+    Consecutive duplicate accesses contribute to ``hist[0]`` (distance
+    zero); they are hits at any capacity, so miss counts derived from
+    the histogram are collapse-invariant.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    n = keys.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    grouped, _ = _group_by_set(keys, nsets)
+    prev = _prev_occurrence(grouped)
+    dist = count_left_le(prev) - (prev + 1)
+    d = dist[prev >= 0]
+    hist = np.bincount(d).astype(np.int64) if d.size else np.zeros(0, np.int64)
+    return hist, int(n - d.size)
+
+
+def miss_curve(
+    keys: np.ndarray, capacities: np.ndarray, nsets: int = 1
+) -> np.ndarray:
+    """Exact LRU miss counts for every capacity from one cold replay.
+
+    ``capacities`` are ways per set (associativities) when ``nsets > 1``
+    and plain capacities in the fully-associative ``nsets == 1`` case.
+    Equivalent to replaying ``SetAssocCache(nsets, c).access_stream(keys)``
+    once per capacity, but costs a single dominance-count pass for the
+    whole curve.
+    """
+    caps = np.asarray(capacities, dtype=np.int64)
+    hist, cold = stack_distance_histogram(keys, nsets)
+    tail = np.concatenate([np.cumsum(hist[::-1])[::-1], [0]])
+    return cold + tail[np.minimum(caps, hist.shape[0])]
+
+
+def _clamped_distances(
+    prev: np.ndarray, seg_end: np.ndarray, cmax: int
+) -> np.ndarray:
+    """Exact reuse distance per position, clamped at ``cmax``.
+
+    Returns ``min(dist, cmax)`` with cold positions (``prev < 0``) at
+    ``cmax``.  Same windowed-liveness trick as :func:`_miss_mask`, but
+    keeping the accumulator *value* where the window fits the lookback
+    (exact distance) instead of only the ``>= capacity`` verdict; far
+    positions whose lookback already holds ``cmax`` distinct live keys
+    are certain to clamp, and only the remaining sliver pays an exact
+    dominance count — per-query via :func:`_count_left_le_at` when the
+    sliver is small, the full O(n log^2 n) pass otherwise.
+    """
+    n = prev.shape[0]
+    out = np.full(n, cmax, dtype=np.int64)
+    if n == 0 or cmax <= 0:
+        return out
+    cold = prev < 0
+    if cmax >= n:
+        dist = count_left_le(prev) - (prev + 1)
+        np.minimum(dist, cmax, out=dist)
+        dist[cold] = cmax
+        return dist
+    iota = np.arange(n, dtype=np.int32)
+    gap = iota - prev.astype(np.int32)
+    has_next = prev >= 0
+    rem = np.empty(n, dtype=np.int32)
+    rem[:] = seg_end - 1
+    rem[prev[has_next]] = iota[has_next]
+    rem -= iota
+    W = int(min(max(cmax + cmax // 2, 8), 64, n - 1))
+    acc = np.zeros(n, dtype=np.uint8 if W <= 255 else np.int32)
+    buf = np.empty(n, dtype=bool)
+    win = np.empty(n, dtype=bool)
+    for k in range(1, W + 1):
+        a = np.greater_equal(rem[: n - k], k, out=buf[: n - k])
+        a &= np.greater(gap[k:], k, out=win[: n - k])
+        acc[k:] += a
+    near = (gap <= W + 1) & ~cold
+    out[near] = np.minimum(acc[near], cmax)
+    undec = np.flatnonzero(~cold & ~near & (acc < cmax))
+    if undec.size:
+        if undec.size * 64 > n:
+            dist = count_left_le(prev) - (prev + 1)
+            out[undec] = np.minimum(dist[undec], cmax)
+        else:
+            dist = _count_left_le_at(prev, undec) - (prev[undec] + 1)
+            out[undec] = np.minimum(dist, cmax)
+    return out
+
+
+class SetAssocSweep:
+    """Multi-capacity set-associative LRU replay: one pass, all capacities.
+
+    Holds the set count fixed and answers every associativity ``1 ..
+    max_assoc`` simultaneously, including across epoch boundaries and
+    interleaved invalidations — the configuration family swept by
+    :func:`repro.machines.hardware.simulate_hardware_sweep`.
+
+    The carried state is one ``(key, mdepth)`` pair per tracked key,
+    where ``mdepth`` is the maximum LRU stack depth the key has reached
+    in its set *since its last access*.  Because LRU eviction is
+    monotone in capacity and permanent (a key that ever reached depth
+    ``d`` has been evicted from every cache with fewer than ``d+1``
+    ways, and cannot re-enter until its next access), a key is resident
+    at associativity ``a`` iff it is tracked and ``mdepth < a``.  An
+    access's *generalized* stack distance is then::
+
+        g = max(mdepth, depth rebuilt from the valid-prefix replay)
+
+    and the access misses at associativity ``a`` iff ``g >= a`` — exact
+    at every capacity at once.  (A plain stack distance over the
+    surviving keys is *not* enough: deleting an invalidated key above a
+    previously-evicted one would let the latter slide back under the
+    capacity line; ``mdepth`` pins the historical maximum.)
+
+    :meth:`access_stream` returns the histogram of ``g`` clamped at
+    ``max_assoc``; miss counts are its suffix sums (:meth:`curve`).
+    :meth:`invalidate_present` drops keys and returns their ``mdepth``
+    thresholds: the key was resident — hence actually invalidated — at
+    associativity ``a`` iff its threshold is ``< a``.  Equality with
+    per-capacity :class:`repro.machines.cache.SetAssocCache` replays is
+    asserted in ``tests/machines/test_sweep_kernels.py``.
+    """
+
+    def __init__(self, nsets: int, max_assoc: int) -> None:
+        if nsets < 1 or nsets & (nsets - 1):
+            raise ValueError(f"nsets must be a positive power of two, got {nsets}")
+        if max_assoc < 1:
+            raise ValueError(f"max_assoc must be >= 1, got {max_assoc}")
+        self.nsets = nsets
+        self.max_assoc = max_assoc
+        # Tracked keys grouped by ascending set, mdepth-ascending
+        # (MRU-first) within each set; mdepth strictly increasing within
+        # a set mirrors the recency order of the valid keys.
+        self._keys = np.empty(0, dtype=np.int64)
+        self._mdepth = np.empty(0, dtype=np.int64)
+
+    @staticmethod
+    def curve(hist: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+        """Miss counts per associativity from an accumulated g-histogram."""
+        caps = np.asarray(capacities, dtype=np.int64)
+        tail = np.concatenate([np.cumsum(hist[::-1])[::-1], [0]])
+        return tail[np.minimum(caps, hist.shape[0])]
+
+    def access_stream(self, keys: np.ndarray) -> np.ndarray:
+        """Replay one epoch's accesses; return the clamped-g histogram.
+
+        ``hist[v]`` counts (run-collapsed) accesses with
+        ``min(g, max_assoc) == v``; the miss count at associativity
+        ``a <= max_assoc`` is ``hist[a:].sum()``, matching
+        ``SetAssocCache(nsets, a).access_stream(keys)``.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        cmax = self.max_assoc
+        n = keys.shape[0]
+        if n == 0:
+            return np.zeros(cmax + 1, dtype=np.int64)
+        if n > 1:  # collapse duplicate runs: distance-0 hits at any capacity
+            keep = np.empty(n, dtype=bool)
+            keep[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+            keys = keys[keep]
+            n = keys.shape[0]
+        nsets = self.nsets
+        skeys, smd = self._keys, self._mdepth
+        m = skeys.shape[0]
+
+        # Build the combined stream: per set, the valid keys LRU-first
+        # (an uncharged prefix reconstructing the recency order) followed
+        # by the epoch's accesses in program order.
+        if nsets > 1:
+            mask = nsets - 1
+            stream_sets = keys & mask
+            state_sets = skeys & mask
+        else:
+            stream_sets = np.zeros(n, dtype=np.int64)
+            state_sets = np.zeros(m, dtype=np.int64)
+        mcounts = np.bincount(state_sets, minlength=nsets)
+        ncounts = np.bincount(stream_sets, minlength=nsets)
+        seg_sizes = mcounts + ncounts
+        seg_cum = np.cumsum(seg_sizes)
+        seg_start = seg_cum - seg_sizes
+        # State is stored MRU-first per set; reverse into LRU-first slots.
+        m_local = np.arange(m, dtype=np.int64) - np.repeat(
+            np.cumsum(mcounts) - mcounts, mcounts
+        )
+        pdst = seg_start[state_sets] + (mcounts[state_sets] - 1 - m_local)
+        sorder = (
+            np.argsort(_narrow(stream_sets), kind="stable")
+            if nsets > 1
+            else np.arange(n, dtype=np.int64)
+        )
+        s_local = np.arange(n, dtype=np.int64) - np.repeat(
+            np.cumsum(ncounts) - ncounts, ncounts
+        )
+        ssets = stream_sets[sorder]
+        sdst = seg_start[ssets] + mcounts[ssets] + s_local
+        N = m + n
+        combined = np.empty(N, dtype=np.int64)
+        combined[pdst] = skeys
+        combined[sdst] = keys[sorder]
+        is_stream = np.ones(N, dtype=bool)
+        is_stream[pdst] = False
+        md_at = np.zeros(N, dtype=np.int64)
+        md_at[pdst] = smd
+        seg_id = np.repeat(np.arange(nsets, dtype=np.int64), seg_sizes)
+        seg_end = np.repeat(seg_cum, seg_sizes)
+        prefix_end = np.repeat(seg_start + mcounts, seg_sizes)
+
+        prev = _prev_occurrence(combined)
+        dist = _clamped_distances(prev, seg_end, cmax)
+        cold = prev < 0
+        # prev lies inside the same segment, so "prefix hit" is just
+        # prev < the segment's prefix end.
+        phit = ~cold & (prev < prefix_end)
+        g = np.where(phit, np.maximum(md_at[np.maximum(prev, 0)], dist), dist)
+        g[cold] = cmax
+        hist = np.bincount(g[is_stream], minlength=cmax + 1).astype(np.int64)
+
+        # --- new state ---------------------------------------------------
+        is_last = np.ones(N, dtype=bool)
+        has_next = prev >= 0
+        is_last[prev[has_next]] = False
+        # Keys accessed this epoch: their stream last occurrences, in
+        # position order = LRU-first; new mdepth = #later last occurrences.
+        sl = np.flatnonzero(is_last & is_stream)
+        sl_sets = seg_id[sl]
+        acc_counts = np.bincount(sl_sets, minlength=nsets)
+        a_local = np.arange(sl.shape[0], dtype=np.int64) - np.repeat(
+            np.cumsum(acc_counts) - acc_counts, acc_counts
+        )
+        md_accessed = acc_counts[sl_sets] - 1 - a_local
+        # Un-accessed valid keys: depth only grows within an epoch, so
+        # the epoch max is the end depth — every distinct stream key is
+        # now above, plus the un-accessed prefix slots that were already
+        # above (accessed ones are part of the stream-key count).
+        unacc = np.flatnonzero(~is_stream & is_last)
+        acc_flag = (~is_stream & ~is_last).astype(np.int64)
+        accs = np.cumsum(acc_flag)
+        acc_after = accs[prefix_end[unacc] - 1] - accs[unacc]
+        slots_after = prefix_end[unacc] - 1 - unacc
+        end_depth = slots_after - acc_after + acc_counts[seg_id[unacc]]
+        md_unacc = np.maximum(md_at[unacc], end_depth)
+
+        all_keys = np.concatenate([combined[sl], combined[unacc]])
+        all_md = np.concatenate([md_accessed, md_unacc])
+        all_sets = np.concatenate([sl_sets, seg_id[unacc]])
+        keep = all_md < cmax
+        if not keep.all():
+            all_keys, all_md, all_sets = (
+                all_keys[keep],
+                all_md[keep],
+                all_sets[keep],
+            )
+        order2 = np.lexsort((all_md, all_sets))
+        self._keys = all_keys[order2]
+        self._mdepth = all_md[order2]
+        return hist
+
+    def invalidate_present(
+        self, keys: np.ndarray, assume_unique: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drop tracked keys in ``keys``; return ``(removed, thresholds)``.
+
+        A dropped key was resident — and therefore counted as an
+        invalidation by the per-capacity simulator — at associativity
+        ``a`` iff its returned threshold is ``< a``; at smaller
+        capacities it had already been evicted, so the invalidation was
+        a no-op there.  Keys absent from the state are not returned.
+        """
+        w = np.asarray(keys, dtype=np.int64)
+        if not assume_unique:
+            w = np.unique(w)
+        empty = np.empty(0, dtype=np.int64)
+        if self._keys.shape[0] == 0 or w.shape[0] == 0:
+            return empty, empty
+        hit = np.isin(self._keys, w, assume_unique=True)
+        removed = self._keys[hit]
+        thr = self._mdepth[hit]
+        if thr.shape[0]:
+            keep = ~hit
+            self._keys = self._keys[keep]
+            self._mdepth = self._mdepth[keep]
+        return removed, thr

@@ -1,0 +1,186 @@
+"""Sweep planner: grouping, grid parsing, executor dispatch, resume.
+
+The planner must return the same rows whether groups run serially
+in-process or as batched executor tasks against the persistent trace
+cache, and its per-point rows must match direct per-point simulator
+calls.  Resume must reuse on-disk group checkpoints.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, UnknownAppError, UnknownPlatformError
+from repro.experiments import (
+    Scale,
+    SweepGrid,
+    SweepPlan,
+    clear_cache,
+    parse_grid,
+    run_suite,
+    scaling_curve,
+)
+from repro.experiments.runner import make_app
+from repro.machines import simulate_hardware, simulate_treadmarks
+from repro.machines.params import cluster_scaled
+from repro.runtime import (
+    ExecutorConfig,
+    RuntimeContext,
+    TraceCache,
+    set_runtime,
+)
+
+SCALE = Scale(
+    n={k: 512 for k in Scale().n},
+    iterations={k: 2 for k in Scale().n},
+    nprocs=4,
+    hw_scale=128.0,
+)
+
+GRID = SweepGrid(
+    apps=("moldyn",),
+    versions=("original", "hilbert"),
+    platforms=("origin", "treadmarks"),
+    l2_bytes=(32768, 131072),
+    page_sizes=(1024, 4096),
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+    set_runtime(None)
+
+
+class TestGridValidation:
+    def test_unknown_app(self):
+        with pytest.raises(UnknownAppError):
+            SweepGrid(apps=("nonesuch",))
+
+    def test_unknown_platform(self):
+        with pytest.raises(UnknownPlatformError):
+            SweepGrid(platforms=("cray",))
+
+    def test_bad_axis(self):
+        with pytest.raises(ConfigError):
+            SweepGrid(l2_bytes=(0,))
+
+    def test_groups_split_by_trace_and_family(self):
+        groups = SweepPlan(GRID, SCALE).groups()
+        # 2 versions x 2 platforms; the origin group covers both L2 points.
+        assert len(groups) == 4
+        assert sum(g.points() for g in groups) == 8
+
+
+class TestParseGrid:
+    def test_axes_and_suffixes(self):
+        axes = parse_grid(["l2=32K,1M", "page_size=1024,8K", "line_size=64"])
+        assert axes == {
+            "l2_bytes": (32768, 1048576),
+            "page_sizes": (1024, 8192),
+            "line_sizes": (64,),
+        }
+
+    @pytest.mark.parametrize("spec", ["l2", "volts=3", "l2=12Q", "l2=;"])
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(ConfigError):
+            parse_grid([spec])
+
+
+class TestSerialRows:
+    def test_rows_match_per_point_simulators(self):
+        rows = SweepPlan(GRID, SCALE).run()
+        assert len(rows) == 8
+        by = {
+            (r["version"], r["platform"], r.get("l2_bytes"), r.get("page_size")): r
+            for r in rows
+        }
+        # Spot-check one origin and one DSM point against direct runs.
+        app = make_app("moldyn", SCALE.config("moldyn"), "hilbert")
+        trace = app.run()
+        from dataclasses import replace
+
+        base = SCALE.hardware()
+        nsets = base.l2_bytes // (base.line_size * base.l2_assoc)
+        params = replace(
+            base, l2_bytes=131072, l2_assoc=131072 // (nsets * base.line_size)
+        )
+        ref = simulate_hardware(trace, params)
+        row = by[("hilbert", "origin", 131072, None)]
+        assert row["l2_misses"] == ref.total_l2_misses
+        assert row["tlb_misses"] == ref.total_tlb_misses
+        assert row["time"] == ref.time
+
+        ref = simulate_treadmarks(
+            trace, cluster_scaled(nprocs=SCALE.nprocs, page_size=4096)
+        )
+        row = by[("hilbert", "treadmarks", None, 4096)]
+        assert row["messages"] == ref.messages
+        assert row["time"] == ref.time
+
+
+class TestExecutorDispatchAndResume:
+    def test_parallel_equals_serial_and_resumes(self, tmp_path):
+        serial = SweepPlan(GRID, SCALE).run()
+
+        set_runtime(RuntimeContext(
+            cache=TraceCache(tmp_path),
+            executor=ExecutorConfig(jobs=2),
+            resume=True,
+        ))
+        clear_cache()
+        parallel = SweepPlan(GRID, SCALE).run()
+        assert parallel == serial
+
+        ckpts = sorted((tmp_path / "sweeps").glob("*.json"))
+        assert len(ckpts) == 4
+        # Poison one checkpoint's rows: resume must read it back verbatim
+        # (proof the planner trusts checkpoints instead of recomputing).
+        rows = json.loads(ckpts[0].read_text())
+        rows[0]["time"] = -1.0
+        ckpts[0].write_text(json.dumps(rows))
+        clear_cache()
+        resumed = SweepPlan(GRID, SCALE).run()
+        assert any(r["time"] == -1.0 for r in resumed)
+        assert len(resumed) == len(serial)
+
+
+class TestMatrixThroughPlanner:
+    def test_run_suite_parallel_equals_serial(self, tmp_path):
+        serial = run_suite(apps=("moldyn",), scale=SCALE)
+        set_runtime(RuntimeContext(
+            cache=TraceCache(tmp_path),
+            executor=ExecutorConfig(jobs=2),
+            resume=True,
+        ))
+        clear_cache()
+        parallel = run_suite(apps=("moldyn",), scale=SCALE)
+        assert parallel == serial
+
+    def test_scaling_curve_parallel_equals_serial(self, tmp_path):
+        serial = scaling_curve(
+            "moldyn", "treadmarks", procs=(1, 2, 4), scale=SCALE
+        )
+        set_runtime(RuntimeContext(
+            cache=TraceCache(tmp_path),
+            executor=ExecutorConfig(jobs=2),
+            resume=True,
+        ))
+        clear_cache()
+        parallel = scaling_curve(
+            "moldyn", "treadmarks", procs=(1, 2, 4), scale=SCALE
+        )
+        assert parallel == serial
+
+    def test_memoized_cells_not_redispatched(self, tmp_path):
+        set_runtime(RuntimeContext(
+            cache=TraceCache(tmp_path),
+            executor=ExecutorConfig(jobs=2),
+            resume=True,
+        ))
+        first = run_suite(apps=("moldyn",), scale=SCALE)
+        second = run_suite(apps=("moldyn",), scale=SCALE)
+        assert first == second
