@@ -23,6 +23,8 @@ of the opening criterion (see ``tests/apps/test_barnes_hut.py``).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..core.reorder import Reordering
@@ -144,6 +146,52 @@ class BarnesHut(Application):
                 stack.extend(int(k) for k in tree.children[c] if k >= 0)
         return parts, np.array(sorted(visited), dtype=np.int64)
 
+    # -- trace emission ----------------------------------------------------
+
+    def _emit_forces(self, tb, csr, parts, cost, bodies, cells, max_cells) -> None:
+        """Stage the force-phase access pattern (loop or ragged mode).
+
+        Both modes consume the same rank-sorted CSR interaction streams:
+        row ``j`` of the CSR covers the body at in-order position ``j``, so
+        each processor's bursts are a contiguous slice.  The loop mode is
+        the original per-object staging — four builder calls per body; the
+        ragged mode stages the same four lanes (cell reads, direct-body
+        reads, self read, self write) of a whole partition in one call and
+        produces a byte-identical trace.
+        """
+        P = self.nprocs
+        ci, cbounds, do, dbounds = csr
+        sizes = np.array([parts[p].shape[0] for p in range(P)], dtype=np.int64)
+        pb = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum(sizes, out=pb[1:])
+        if self.emit_mode == "loop":
+            for p in range(P):
+                for j, b in zip(range(pb[p], pb[p + 1]), parts[p].tolist()):
+                    cs, ce = cbounds[j], cbounds[j + 1]
+                    ds, de = dbounds[j], dbounds[j + 1]
+                    if ce > cs:
+                        tb.read(p, cells, np.minimum(ci[cs:ce], max_cells - 1))
+                    if de > ds:
+                        tb.read(p, bodies, do[ds:de])
+                    tb.read(p, bodies, np.array([b]))
+                    tb.write(p, bodies, np.array([b]))
+                tb.work(p, float(cost[parts[p]].sum()))
+            return
+        ci = np.minimum(ci, max_cells - 1)
+        for p in range(P):
+            lo, hi = pb[p], pb[p + 1]
+            c0, d0 = cbounds[lo], dbounds[lo]
+            tb.emit_ragged(
+                p,
+                [
+                    (cells, False, ci[c0 : cbounds[hi]], cbounds[lo : hi + 1] - c0),
+                    (bodies, False, do[d0 : dbounds[hi]], dbounds[lo : hi + 1] - d0),
+                    (bodies, False, parts[p], 1),
+                    (bodies, True, parts[p], 1),
+                ],
+            )
+            tb.work(p, float(cost[parts[p]].sum()))
+
     # -- execution ---------------------------------------------------------
 
     def run(self) -> Trace:
@@ -160,6 +208,8 @@ class BarnesHut(Application):
             if self._prev_cost is not None
             else np.ones(n, dtype=np.float64)
         )
+        emit = self.emit_mode != "none"
+        self.emit_seconds = 0.0
         for _ in range(cfg.iterations):
             tree = build_octree(
                 self.pos, self.mass, leaf_capacity=self.leaf_capacity
@@ -167,52 +217,53 @@ class BarnesHut(Application):
             nc = min(tree.ncells, max_cells)
             # 1. Sequential tree build: proc 0 reads every particle in
             # array order and writes the cell array in creation order.
-            tb.read(0, bodies, np.arange(n))
-            tb.write(0, cells, np.arange(nc))
-            tb.work(0, n + tree.ncells)
-            tb.barrier("partition")
+            if emit:
+                t0 = perf_counter()
+                tb.read(0, bodies, np.arange(n))
+                tb.write(0, cells, np.arange(nc))
+                tb.work(0, n + tree.ncells)
+                tb.barrier("partition")
+                self.emit_seconds += perf_counter() - t0
 
             # 2. In-order traversal partition; every processor walks the
             # boundary cells of the costzone split (read-only).
             parts, visited = self._partition(tree, cost)
-            visited = np.minimum(visited, max_cells - 1)
-            for p in range(P):
-                tb.read(p, cells, visited)
-                tb.work(p, visited.shape[0])
-            tb.barrier("forces")
+            if emit:
+                t0 = perf_counter()
+                visited = np.minimum(visited, max_cells - 1)
+                for p in range(P):
+                    tb.read(p, cells, visited)
+                    tb.work(p, visited.shape[0])
+                tb.barrier("forces")
+                self.emit_seconds += perf_counter() - t0
 
-            # 3. Force evaluation.
+            # 3. Force evaluation.  The per-body CSR interaction streams
+            # are the access pattern itself — every emit mode computes
+            # them; the modes differ only in how they are staged.
             wr = walk(tree, self.pos, self.theta)
             acc = self._forces(tree, wr)
             cost = wr.interactions_per_body(n).astype(np.float64)
-            c_order, d_order = wr.per_body_order()
-            cb = wr.cell_body[c_order]
-            ci = wr.cell_id[c_order]
-            db = wr.direct_body[d_order]
-            do = wr.direct_other[d_order]
-            c_bounds = np.searchsorted(cb, np.arange(n + 1))
-            d_bounds = np.searchsorted(db, np.arange(n + 1))
-            for p in range(P):
-                for b in parts[p].tolist():
-                    cs, ce = c_bounds[b], c_bounds[b + 1]
-                    ds, de = d_bounds[b], d_bounds[b + 1]
-                    if ce > cs:
-                        tb.read(p, cells, np.minimum(ci[cs:ce], max_cells - 1))
-                    if de > ds:
-                        tb.read(p, bodies, do[ds:de])
-                    tb.read(p, bodies, np.array([b]))
-                    tb.write(p, bodies, np.array([b]))
-                tb.work(p, float(cost[parts[p]].sum()))
-            tb.barrier("update")
+            order = np.concatenate(parts) if P > 1 else parts[0]
+            csr = wr.per_body_csr(n, order=order)
+            if emit:
+                t0 = perf_counter()
+                self._emit_forces(tb, csr, parts, cost, bodies, cells, max_cells)
+                tb.barrier("update")
+                self.emit_seconds += perf_counter() - t0
 
             # 4. Leapfrog update of owned particles, in partition order.
             self.acc = acc
             self.vel += self.dt * acc
             self.pos += self.dt * self.vel
-            for p in range(P):
-                tb.read(p, bodies, parts[p])
-                tb.write(p, bodies, parts[p])
-                tb.work(p, parts[p].shape[0])
-            tb.barrier("build_tree")
+            if emit:
+                t0 = perf_counter()
+                for p in range(P):
+                    tb.read(p, bodies, parts[p])
+                    tb.write(p, bodies, parts[p])
+                    tb.work(p, parts[p].shape[0])
+                tb.barrier("build_tree")
+                self.emit_seconds += perf_counter() - t0
         self._prev_cost = cost
-        return tb.finish()
+        trace = tb.finish()
+        self.seal_seconds = tb.seal_seconds
+        return trace

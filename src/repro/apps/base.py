@@ -28,10 +28,114 @@ from ..trace.events import Trace
 __all__ = [
     "AppConfig",
     "Application",
+    "EMIT_MODES",
+    "HALF_STENCIL",
     "block_partition",
+    "counts_to_offsets",
+    "half_stencil_neighbors",
+    "ragged_cross",
+    "ragged_take",
     "reorder_cycles",
     "reorder_work_units",
 ]
+
+#: Trace emission modes an application accepts via ``config.extra["emit"]``:
+#: ``"ragged"`` (default) builds CSR columns and stages them through
+#: ``TraceBuilder.emit_ragged``; ``"loop"`` keeps the per-object emit loops
+#: (the reference the ragged path must match byte-for-byte); ``"none"``
+#: skips trace emission entirely — physics only, which is how the
+#: generation benchmark isolates emission cost.
+EMIT_MODES = ("ragged", "loop", "none")
+
+#: The 13 "positive" half-stencil cell offsets shared by the Moldyn
+#: interaction-list build and Water-Spatial's neighbour sweep, in the
+#: canonical enumeration order (dx major, then dy, then dz; offsets whose
+#: mirror image was already enumerated are skipped so each cell pair
+#: appears exactly once).
+HALF_STENCIL = np.array(
+    [
+        (dx, dy, dz)
+        for dx in (0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if (dx, dy, dz) != (0, 0, 0)
+        and not (dx == 0 and (dy < 0 or (dy == 0 and dz < 0)))
+    ],
+    dtype=np.int64,
+)
+
+
+def counts_to_offsets(counts: np.ndarray) -> np.ndarray:
+    """CSR offsets (``k + 1`` entries, leading 0) from per-row counts."""
+    out = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def ragged_take(data: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``data[starts[j] : starts[j] + counts[j]]`` over all ``j``.
+
+    The vectorized form of the ``np.concatenate([data[s:e] for ...])``
+    member-gather loops: one gather instead of ``k`` slices.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype)
+    offs = counts_to_offsets(counts)
+    gather = np.repeat(np.asarray(starts, dtype=np.int64) - offs[:-1], counts)
+    gather += np.arange(total, dtype=np.int64)
+    return data[gather]
+
+
+def half_stencil_neighbors(
+    side: int, cells: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """In-bounds half-stencil neighbours of ``cells``, CSR-style.
+
+    ``cells`` holds cell ids under the ``(x * side + y) * side + z``
+    encoding; returns ``(neighbors, offsets)`` where row ``j`` lists cell
+    ``cells[j]``'s in-bounds neighbours in :data:`HALF_STENCIL` order —
+    exactly the per-cell enumeration the scalar loops produced.
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    cx = cells // (side * side)
+    cy = (cells // side) % side
+    cz = cells % side
+    nx = cx[:, None] + HALF_STENCIL[None, :, 0]
+    ny = cy[:, None] + HALF_STENCIL[None, :, 1]
+    nz = cz[:, None] + HALF_STENCIL[None, :, 2]
+    ok = (
+        (nx >= 0) & (nx < side)
+        & (ny >= 0) & (ny < side)
+        & (nz >= 0) & (nz < side)
+    )
+    neighbors = ((nx * side + ny) * side + nz)[ok]
+    return neighbors, counts_to_offsets(ok.sum(axis=1))
+
+
+def ragged_cross(
+    counts_a: np.ndarray, counts_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group cross-product enumeration.
+
+    For each group ``g`` with ``counts_a[g]`` left and ``counts_b[g]``
+    right elements, enumerates all ``counts_a[g] * counts_b[g]`` pairs in
+    left-major order — the order of ``np.repeat(a, len(b))`` /
+    ``np.tile(b, len(a))``.  Returns ``(group, ai, bi)`` with the group id
+    and the within-group left/right element positions of every pair.
+    """
+    ca = np.asarray(counts_a, dtype=np.int64)
+    cb = np.asarray(counts_b, dtype=np.int64)
+    tot = ca * cb
+    offs = counts_to_offsets(tot)
+    total = int(offs[-1])
+    group = np.repeat(np.arange(ca.shape[0], dtype=np.int64), tot)
+    t = np.arange(total, dtype=np.int64) - np.repeat(offs[:-1], tot)
+    cbg = cb[group]
+    ai = t // cbg
+    bi = t - ai * cbg
+    return group, ai, bi
 
 
 @dataclass(frozen=True)
@@ -107,6 +211,20 @@ class Application(ABC):
         self.config = config
         self.reordered_by: str | None = None
         self._rng = np.random.default_rng(config.seed)
+        self.emit_mode = str(config.extra.get("emit", "ragged"))
+        if self.emit_mode not in EMIT_MODES:
+            raise ValueError(
+                f"unknown emit mode {self.emit_mode!r}; expected one of {EMIT_MODES}"
+            )
+        #: Seconds the last :meth:`run` spent staging and sealing trace
+        #: events (builder calls + barriers), excluding the physics.  Apps
+        #: accumulate it around their emission blocks; the generation
+        #: benchmark compares it across emit modes.  ``seal_seconds`` is
+        #: the portion spent inside epoch sealing (copied from the
+        #: builder), so ``emit_seconds - seal_seconds`` is the pure staging
+        #: cost of the emit path.
+        self.emit_seconds = 0.0
+        self.seal_seconds = 0.0
 
     # ---- spatial data ------------------------------------------------
     @abstractmethod

@@ -33,17 +33,26 @@ Phase structure per iteration, matching the paper's Table 4 breakdown:
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..core.reorder import Reordering
 from ..core.sfc.morton import morton_key_from_axes
 from ..trace.builder import TraceBuilder
 from ..trace.events import Trace
-from .base import AppConfig, Application
+from .base import AppConfig, Application, counts_to_offsets, ragged_take
 from .distributions import two_plummer
 from . import fmm_math as fm
 
 __all__ = ["FMM"]
+
+#: The 8 neighbouring-leaf offsets of the near-field P2P sweep, in the
+#: sweep's enumeration order (dx major, then dy).
+_P2P_STENCIL = np.array(
+    [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1) if (dx, dy) != (0, 0)],
+    dtype=np.int64,
+)
 
 #: Bytes per cell record (two order-p complex expansions plus geometry).
 CELL_BYTES = 320
@@ -102,6 +111,13 @@ class FMM(Application):
             rank = np.empty(side * side, dtype=np.int64)
             rank[np.argsort(keys, kind="stable")] = np.arange(side * side)
             self._morton_rank.append(rank)
+        # V-list offsets by cell parity — always 27 per cell, so they pack
+        # into a dense (2, 2, 27, 2) table the ragged emit path can gather
+        # for every cell at once.
+        self._v_off_table = np.array(
+            [[self._v_offsets(px, py) for py in (0, 1)] for px in (0, 1)],
+            dtype=np.int64,
+        )
 
     def positions(self) -> np.ndarray:
         return self.pos
@@ -177,6 +193,9 @@ class FMM(Application):
         particles = tb.add_region("particles", n, self.object_size)
         cells_r = tb.add_region("cells", self.ncells, CELL_BYTES)
         binom = self._binom
+        emit = self.emit_mode != "none"
+        ragged = self.emit_mode == "ragged"
+        self.emit_seconds = 0.0
 
         for _ in range(cfg.iterations):
             lo, w = self._bbox()
@@ -196,37 +215,48 @@ class FMM(Application):
             starts_m = np.searchsorted(
                 self._morton_rank[L][leaf_rm][sort_order], np.arange(side * side + 1)
             )
+            rank_L = self._morton_rank[L]
             members = lambda rm: sort_order[  # noqa: E731
-                starts_m[self._morton_rank[L][rm]] : starts_m[self._morton_rank[L][rm] + 1]
+                starts_m[rank_L[rm]] : starts_m[rank_L[rm] + 1]
             ]
+
+            def gather(rms: np.ndarray) -> np.ndarray:
+                """Members of the row-major leaves ``rms``, concatenated."""
+                if not ragged:
+                    return np.concatenate(
+                        [members(rm) for rm in rms.tolist()]
+                        or [np.empty(0, np.int64)]
+                    )
+                return ragged_take(sort_order, starts_m[rank_L[rms]], counts[rms])
+
             owner_rm, parts = self._partition(counts)
-            for pidx in range(P):
-                mine = np.concatenate(
-                    [members(rm) for rm in parts[pidx].tolist()]
-                    or [np.empty(0, np.int64)]
-                )
-                tb.read(pidx, particles, mine)
-                ids = self._cell_id(L, parts[pidx] % side, parts[pidx] // side)
-                tb.write(pidx, cells_r, ids)
-                tb.work(pidx, mine.shape[0] + ids.shape[0])
-            tb.barrier("partition")
+            if emit:
+                t0 = perf_counter()
+                for pidx in range(P):
+                    mine = gather(parts[pidx])
+                    tb.read(pidx, particles, mine)
+                    ids = self._cell_id(L, parts[pidx] % side, parts[pidx] // side)
+                    tb.write(pidx, cells_r, ids)
+                    tb.work(pidx, mine.shape[0] + ids.shape[0])
+                tb.barrier("partition")
 
-            # ---- partition.
-            for pidx in range(P):
-                ids = self._cell_id(
-                    L, parts[pidx] % side, parts[pidx] // side
-                )
-                tb.read(pidx, cells_r, ids)
-                tb.work(pidx, ids.shape[0])
-            tb.barrier("build_list")
+                # ---- partition.
+                for pidx in range(P):
+                    ids = self._cell_id(
+                        L, parts[pidx] % side, parts[pidx] // side
+                    )
+                    tb.read(pidx, cells_r, ids)
+                    tb.work(pidx, ids.shape[0])
+                tb.barrier("build_list")
 
-            # ---- build_list: enumerate V lists (local index math).
-            for pidx in range(P):
-                ids = self._cell_id(L, parts[pidx] % side, parts[pidx] // side)
-                tb.read(pidx, cells_r, ids)
-                tb.write(pidx, cells_r, ids)
-                tb.work(pidx, ids.shape[0] * 27)
-            tb.barrier("tree_traversal")
+                # ---- build_list: enumerate V lists (local index math).
+                for pidx in range(P):
+                    ids = self._cell_id(L, parts[pidx] % side, parts[pidx] // side)
+                    tb.read(pidx, cells_r, ids)
+                    tb.write(pidx, cells_r, ids)
+                    tb.work(pidx, ids.shape[0] * 27)
+                tb.barrier("tree_traversal")
+                self.emit_seconds += perf_counter() - t0
 
             # ---- tree_traversal: the actual FMM math.
             mult = np.zeros((self.ncells, p + 1), dtype=np.complex128)
@@ -244,9 +274,31 @@ class FMM(Application):
                         lo[1] + (rm // side + 0.5) * step,
                     )
                     mult[cid] = fm.p2m(zpos[mem], self.charge[mem], z0, p)
-                    tb.read(pidx, particles, mem)
-                    tb.write(pidx, cells_r, np.array([cid]))
-                tb.work(pidx, EXPANSION_WORK * float(counts[parts[pidx]].sum()) * (p + 1))
+            if emit:
+                t0 = perf_counter()
+                for pidx in range(P):
+                    if ragged:
+                        occ = parts[pidx][counts[parts[pidx]] > 0]
+                        if occ.shape[0]:
+                            tb.emit_ragged(
+                                pidx,
+                                [
+                                    (particles, False, gather(occ),
+                                     counts_to_offsets(counts[occ])),
+                                    (cells_r, True,
+                                     self._cell_id(L, occ % side, occ // side), 1),
+                                ],
+                            )
+                    else:
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] == 0:
+                                continue
+                            cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
+                            tb.read(pidx, particles, mem)
+                            tb.write(pidx, cells_r, np.array([cid]))
+                    tb.work(pidx, EXPANSION_WORK * float(counts[parts[pidx]].sum()) * (p + 1))
+                self.emit_seconds += perf_counter() - t0
 
             # Upward M2M, level L-1 .. 0, vectorized per child quadrant.
             owner_lvl = {L: owner_rm}
@@ -269,21 +321,24 @@ class FMM(Application):
                         t = fm.m2m_matrix(shift, p, binom)
                         mult[parent_ids] += mult[child_ids] @ t.T
                 # Trace: each parent's owner reads children, writes parent.
-                for pidx in range(P):
-                    mine = np.nonzero(owner_lvl[l] == pidx)[0]
-                    if mine.shape[0] == 0:
-                        continue
-                    mix, miy = mine % sidel, mine // sidel
-                    kid_ids = np.concatenate(
-                        [
-                            self._cell_id(l + 1, mix * 2 + qx, miy * 2 + qy)
-                            for qx in (0, 1)
-                            for qy in (0, 1)
-                        ]
-                    )
-                    tb.read(pidx, cells_r, np.sort(kid_ids))
-                    tb.write(pidx, cells_r, parent_ids[mine])
-                    tb.work(pidx, EXPANSION_WORK * mine.shape[0] * 4 * (p + 1))
+                if emit:
+                    t0 = perf_counter()
+                    for pidx in range(P):
+                        mine = np.nonzero(owner_lvl[l] == pidx)[0]
+                        if mine.shape[0] == 0:
+                            continue
+                        mix, miy = mine % sidel, mine // sidel
+                        kid_ids = np.concatenate(
+                            [
+                                self._cell_id(l + 1, mix * 2 + qx, miy * 2 + qy)
+                                for qx in (0, 1)
+                                for qy in (0, 1)
+                            ]
+                        )
+                        tb.read(pidx, cells_r, np.sort(kid_ids))
+                        tb.write(pidx, cells_r, parent_ids[mine])
+                        tb.work(pidx, EXPANSION_WORK * mine.shape[0] * 4 * (p + 1))
+                    self.emit_seconds += perf_counter() - t0
 
             # M2L per level (2..L), vectorized per (parity, offset).
             for l in range(2, L + 1):
@@ -312,28 +367,50 @@ class FMM(Application):
                         # union of V-list sources of its cells (emitted
                         # below, per cell, to keep traversal order).
                 # Emit per-cell V-list reads in Morton order per owner.
+                if not emit:
+                    continue
+                t0 = perf_counter()
                 own = owner_lvl[l]
                 for pidx in range(P):
                     mine_rm = np.nonzero(own == pidx)[0]
                     if mine_rm.shape[0] == 0:
                         continue
                     mine_rm = mine_rm[np.argsort(self._morton_rank[l][mine_rm])]
-                    for rm in mine_rm.tolist():
-                        tix, tiy = rm % sidel, rm // sidel
-                        offs = self._v_offsets(tix % 2, tiy % 2)
-                        sx = np.array([tix + dx for dx, _ in offs])
-                        sy = np.array([tiy + dy for _, dy in offs])
+                    if ragged:
+                        tix, tiy = mine_rm % sidel, mine_rm // sidel
+                        offs = self._v_off_table[tix % 2, tiy % 2]
+                        sx = tix[:, None] + offs[:, :, 0]
+                        sy = tiy[:, None] + offs[:, :, 1]
                         ok = (sx >= 0) & (sx < sidel) & (sy >= 0) & (sy < sidel)
-                        if not ok.any():
-                            continue
-                        sids = self._cell_id(l, sx[ok], sy[ok])
-                        tb.read(pidx, cells_r, sids)
-                        tb.write(
+                        vcnt = ok.sum(axis=1)
+                        kept = vcnt > 0
+                        tb.emit_ragged(
                             pidx,
-                            cells_r,
-                            self._cell_id(l, np.array([tix]), np.array([tiy])),
+                            [
+                                (cells_r, False, self._cell_id(l, sx[ok], sy[ok]),
+                                 counts_to_offsets(vcnt[kept])),
+                                (cells_r, True,
+                                 self._cell_id(l, tix[kept], tiy[kept]), 1),
+                            ],
                         )
+                    else:
+                        for rm in mine_rm.tolist():
+                            tix, tiy = rm % sidel, rm // sidel
+                            offs = self._v_offsets(tix % 2, tiy % 2)
+                            sx = np.array([tix + dx for dx, _ in offs])
+                            sy = np.array([tiy + dy for _, dy in offs])
+                            ok = (sx >= 0) & (sx < sidel) & (sy >= 0) & (sy < sidel)
+                            if not ok.any():
+                                continue
+                            sids = self._cell_id(l, sx[ok], sy[ok])
+                            tb.read(pidx, cells_r, sids)
+                            tb.write(
+                                pidx,
+                                cells_r,
+                                self._cell_id(l, np.array([tix]), np.array([tiy])),
+                            )
                     tb.work(pidx, EXPANSION_WORK * float(vcount[mine_rm].sum()) * (p + 1) ** 2 / 4.0)
+                self.emit_seconds += perf_counter() - t0
 
             # Downward L2L, levels 0..L-1 -> children.
             for l in range(0, L):
@@ -349,6 +426,9 @@ class FMM(Application):
                         )
                         t = fm.l2l_matrix(shift, p, binom)
                         local[child_ids] += local[parent_ids] @ t.T
+                if not emit:
+                    continue
+                t0 = perf_counter()
                 own_child = owner_lvl[l + 1]
                 sidec = sidel * 2
                 for pidx in range(P):
@@ -360,6 +440,7 @@ class FMM(Application):
                     tb.read(pidx, cells_r, np.sort(np.unique(par)))
                     tb.write(pidx, cells_r, self._cell_id(l + 1, cxs, cys))
                     tb.work(pidx, EXPANSION_WORK * minec.shape[0] * (p + 1))
+                self.emit_seconds += perf_counter() - t0
 
             # L2P: evaluate local expansions at owned particles.
             self.field[:] = 0.0
@@ -376,30 +457,50 @@ class FMM(Application):
                     self.field[mem] += np.conj(
                         fm.eval_local_deriv(local[cid], zpos[mem], z0)
                     )
-                    tb.read(pidx, cells_r, np.array([cid]))
-                    tb.read(pidx, particles, mem)
-                    tb.write(pidx, particles, mem)
-                tb.work(pidx, EXPANSION_WORK * float(counts[parts[pidx]].sum()) * (p + 1))
-            tb.barrier("inter_particle")
+            if emit:
+                t0 = perf_counter()
+                for pidx in range(P):
+                    if ragged:
+                        occ = parts[pidx][counts[parts[pidx]] > 0]
+                        if occ.shape[0]:
+                            moffs = counts_to_offsets(counts[occ])
+                            mem_col = gather(occ)
+                            tb.emit_ragged(
+                                pidx,
+                                [
+                                    (cells_r, False,
+                                     self._cell_id(L, occ % side, occ // side), 1),
+                                    (particles, False, mem_col, moffs),
+                                    (particles, True, mem_col, moffs),
+                                ],
+                            )
+                    else:
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] == 0:
+                                continue
+                            cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
+                            tb.read(pidx, cells_r, np.array([cid]))
+                            tb.read(pidx, particles, mem)
+                            tb.write(pidx, particles, mem)
+                    tb.work(pidx, EXPANSION_WORK * float(counts[parts[pidx]].sum()) * (p + 1))
+                tb.barrier("inter_particle")
+                self.emit_seconds += perf_counter() - t0
 
             # ---- inter_particle: P2P with the 8 neighbouring leaves.
             for pidx in range(P):
-                npairs = 0.0
                 for rm in parts[pidx].tolist():
                     mem = members(rm)
                     if mem.shape[0] == 0:
                         continue
                     tix, tiy = rm % side, rm // side
                     nb_chunks = []
-                    for dx in (-1, 0, 1):
-                        for dy in (-1, 0, 1):
-                            if dx == 0 and dy == 0:
-                                continue
-                            sx, sy = tix + dx, tiy + dy
-                            if 0 <= sx < side and 0 <= sy < side:
-                                nb = members(sy * side + sx)
-                                if nb.shape[0]:
-                                    nb_chunks.append(nb)
+                    for dx, dy in _P2P_STENCIL.tolist():
+                        sx, sy = tix + dx, tiy + dy
+                        if 0 <= sx < side and 0 <= sy < side:
+                            nb = members(sy * side + sx)
+                            if nb.shape[0]:
+                                nb_chunks.append(nb)
                     if not nb_chunks:
                         continue
                     nbs = np.concatenate(nb_chunks)
@@ -407,27 +508,87 @@ class FMM(Application):
                     self.field[mem] += np.conj(
                         (self.charge[nbs][None, :] / d).sum(axis=1)
                     )
-                    npairs += float(mem.shape[0] * nbs.shape[0])
-                    tb.read(pidx, particles, nbs)
-                    tb.write(pidx, particles, mem)
-                    # Lock per remotely-owned neighbour leaf.
-                    remote_leaves = sum(
-                        1
-                        for dx in (-1, 0, 1)
-                        for dy in (-1, 0, 1)
-                        if (dx or dy)
-                        and 0 <= tix + dx < side
-                        and 0 <= tiy + dy < side
-                        and owner_rm[(tiy + dy) * side + (tix + dx)] != pidx
-                    )
-                    if remote_leaves:
-                        tb.lock(pidx, remote_leaves)
-                tb.work(pidx, P2P_WORK * npairs)
-            tb.barrier("intra_particle")
+            if emit:
+                t0 = perf_counter()
+                if ragged:
+                    for pidx in range(P):
+                        occ = parts[pidx][counts[parts[pidx]] > 0]
+                        npairs = 0.0
+                        if occ.shape[0]:
+                            tix, tiy = occ % side, occ // side
+                            sx = tix[:, None] + _P2P_STENCIL[None, :, 0]
+                            sy = tiy[:, None] + _P2P_STENCIL[None, :, 1]
+                            ok = (sx >= 0) & (sx < side) & (sy >= 0) & (sy < side)
+                            nbr = (sy * side + sx)[ok]
+                            grp = np.repeat(
+                                np.arange(occ.shape[0], dtype=np.int64),
+                                ok.sum(axis=1),
+                            )
+                            tot = np.bincount(
+                                grp, weights=counts[nbr], minlength=occ.shape[0]
+                            ).astype(np.int64)
+                            kept = tot > 0
+                            nbo = nbr[counts[nbr] > 0]
+                            tb.emit_ragged(
+                                pidx,
+                                [
+                                    (particles, False,
+                                     ragged_take(sort_order, starts_m[rank_L[nbo]],
+                                                 counts[nbo]),
+                                     counts_to_offsets(tot[kept])),
+                                    (particles, True, gather(occ[kept]),
+                                     counts_to_offsets(counts[occ[kept]])),
+                                ],
+                            )
+                            # Lock per remotely-owned in-bounds neighbour leaf
+                            # of every leaf that emitted a unit.
+                            remote = np.bincount(
+                                grp,
+                                weights=(owner_rm[nbr] != pidx),
+                                minlength=occ.shape[0],
+                            )
+                            nlocks = int(remote[kept].sum())
+                            if nlocks:
+                                tb.lock(pidx, nlocks)
+                            npairs = float((counts[occ] * tot)[kept].sum())
+                        tb.work(pidx, P2P_WORK * npairs)
+                else:
+                    for pidx in range(P):
+                        npairs = 0.0
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] == 0:
+                                continue
+                            tix, tiy = rm % side, rm // side
+                            nb_chunks = []
+                            for dx, dy in _P2P_STENCIL.tolist():
+                                sx, sy = tix + dx, tiy + dy
+                                if 0 <= sx < side and 0 <= sy < side:
+                                    nb = members(sy * side + sx)
+                                    if nb.shape[0]:
+                                        nb_chunks.append(nb)
+                            if not nb_chunks:
+                                continue
+                            nbs = np.concatenate(nb_chunks)
+                            npairs += float(mem.shape[0] * nbs.shape[0])
+                            tb.read(pidx, particles, nbs)
+                            tb.write(pidx, particles, mem)
+                            # Lock per remotely-owned neighbour leaf.
+                            remote_leaves = sum(
+                                1
+                                for dx, dy in _P2P_STENCIL.tolist()
+                                if 0 <= tix + dx < side
+                                and 0 <= tiy + dy < side
+                                and owner_rm[(tiy + dy) * side + (tix + dx)] != pidx
+                            )
+                            if remote_leaves:
+                                tb.lock(pidx, remote_leaves)
+                        tb.work(pidx, P2P_WORK * npairs)
+                tb.barrier("intra_particle")
+                self.emit_seconds += perf_counter() - t0
 
             # ---- intra_particle: P2P within each owned leaf.
             for pidx in range(P):
-                npairs = 0.0
                 for rm in parts[pidx].tolist():
                     mem = members(rm)
                     if mem.shape[0] < 2:
@@ -437,26 +598,51 @@ class FMM(Application):
                     self.field[mem] += np.conj(
                         (self.charge[mem][None, :] / d).sum(axis=1)
                     )
-                    npairs += float(mem.shape[0] * (mem.shape[0] - 1))
-                    tb.read(pidx, particles, mem)
-                    tb.write(pidx, particles, mem)
-                tb.work(pidx, P2P_WORK * npairs)
-            tb.barrier("other")
+            if emit:
+                t0 = perf_counter()
+                for pidx in range(P):
+                    if ragged:
+                        sel = parts[pidx][counts[parts[pidx]] >= 2]
+                        if sel.shape[0]:
+                            moffs = counts_to_offsets(counts[sel])
+                            mem_col = gather(sel)
+                            tb.emit_ragged(
+                                pidx,
+                                [
+                                    (particles, False, mem_col, moffs),
+                                    (particles, True, mem_col, moffs),
+                                ],
+                            )
+                        npairs = float((counts[sel] * (counts[sel] - 1)).sum())
+                    else:
+                        npairs = 0.0
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] < 2:
+                                continue
+                            npairs += float(mem.shape[0] * (mem.shape[0] - 1))
+                            tb.read(pidx, particles, mem)
+                            tb.write(pidx, particles, mem)
+                    tb.work(pidx, P2P_WORK * npairs)
+                tb.barrier("other")
+                self.emit_seconds += perf_counter() - t0
 
             # ---- other: integrate owned particles.
             accel = np.stack([self.field.real, self.field.imag], axis=1)
             self.vel += self.dt * accel
             self.pos += self.dt * self.vel
-            for pidx in range(P):
-                mine = np.concatenate(
-                    [members(rm) for rm in parts[pidx].tolist()]
-                    or [np.empty(0, np.int64)]
-                )
-                tb.read(pidx, particles, mine)
-                tb.write(pidx, particles, mine)
-                tb.work(pidx, mine.shape[0])
-            tb.barrier("build_tree")
-        return tb.finish()
+            if emit:
+                t0 = perf_counter()
+                for pidx in range(P):
+                    mine = gather(parts[pidx])
+                    tb.read(pidx, particles, mine)
+                    tb.write(pidx, particles, mine)
+                    tb.work(pidx, mine.shape[0])
+                tb.barrier("build_tree")
+                self.emit_seconds += perf_counter() - t0
+        trace = tb.finish()
+        self.seal_seconds = tb.seal_seconds
+        return trace
 
     # -- reference ----------------------------------------------------------
 

@@ -29,12 +29,20 @@ The 72-byte molecule record (Table 1) holds position, velocity and force
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..core.reorder import Reordering
 from ..trace.builder import TraceBuilder
 from ..trace.events import Trace
-from .base import AppConfig, Application, block_partition
+from .base import (
+    AppConfig,
+    Application,
+    block_partition,
+    half_stencil_neighbors,
+    ragged_cross,
+)
 from .distributions import lattice_jittered
 
 __all__ = ["Moldyn", "build_interaction_list"]
@@ -63,44 +71,34 @@ def build_interaction_list(
     sorted_cid = cid[order]
     starts = np.searchsorted(sorted_cid, np.arange(side**3 + 1))
 
-    # Half stencil: (0,0,0) handled as intra-cell i<j; 13 strictly
-    # "positive" neighbour offsets.
-    offsets = []
-    for dx in (0, 1):
-        for dy in (-1, 0, 1):
-            for dz in (-1, 0, 1):
-                if (dx, dy, dz) == (0, 0, 0):
-                    continue
-                if dx == 0 and (dy < 0 or (dy == 0 and dz < 0)):
-                    continue
-                offsets.append((dx, dy, dz))
-
+    # Candidate pairs, fully vectorized: intra-cell crosses (keeping the
+    # i < j half) plus full crosses against the 13 half-stencil neighbour
+    # cells (shared helper).  Each unordered pair is generated exactly
+    # once, as in the scalar per-cell scan this replaces; the final
+    # distance filter and (i, j) lexsort make the output independent of
+    # generation order, so this is byte-identical to the loop version.
     pairs_i: list[np.ndarray] = []
     pairs_j: list[np.ndarray] = []
     cut2 = cutoff * cutoff
     nonempty = np.unique(sorted_cid)
-    for c in nonempty.tolist():
-        a = order[starts[c] : starts[c + 1]]
-        if a.shape[0] == 0:
-            continue
-        cx, cy, cz = c // (side * side), (c // side) % side, c % side
-        # Intra-cell: i < j.
-        if a.shape[0] > 1:
-            ii, jj = np.triu_indices(a.shape[0], k=1)
-            pairs_i.append(a[ii])
-            pairs_j.append(a[jj])
-        for dx, dy, dz in offsets:
-            nx, ny, nz = cx + dx, cy + dy, cz + dz
-            if not (0 <= nx < side and 0 <= ny < side and 0 <= nz < side):
-                continue
-            nc = (nx * side + ny) * side + nz
-            b = order[starts[nc] : starts[nc + 1]]
-            if b.shape[0] == 0:
-                continue
-            gi = np.repeat(a, b.shape[0])
-            gj = np.tile(b, a.shape[0])
-            pairs_i.append(gi)
-            pairs_j.append(gj)
+    rstart = starts[nonempty]
+    rcnt = starts[nonempty + 1] - rstart
+    g, ai, bi = ragged_cross(rcnt, rcnt)
+    upper = ai < bi
+    if upper.any():
+        base = rstart[g[upper]]
+        pairs_i.append(order[base + ai[upper]])
+        pairs_j.append(order[base + bi[upper]])
+    nbr, noffs = half_stencil_neighbors(side, nonempty)
+    ncnt = np.diff(noffs)
+    astart = np.repeat(rstart, ncnt)
+    acnt = np.repeat(rcnt, ncnt)
+    bstart = starts[nbr]
+    bcnt = starts[nbr + 1] - bstart
+    g, ai, bi = ragged_cross(acnt, bcnt)
+    if g.shape[0]:
+        pairs_i.append(order[astart[g] + ai])
+        pairs_j.append(order[bstart[g] + bi])
     if not pairs_i:
         return np.empty((0, 2), dtype=np.int64)
     pi = np.concatenate(pairs_i)
@@ -208,6 +206,9 @@ class Moldyn(Application):
         """Rebuild the interaction list and trace the per-block scan."""
         self.pairs = build_interaction_list(self.pos, self.cutoff, self.box)
         self._steps_since_rebuild = 0
+        if self.emit_mode == "none":
+            return
+        t0 = perf_counter()
         bounds = self._owned_pair_bounds()
         for p in range(self.nprocs):
             mine = self.parts[p]
@@ -215,34 +216,72 @@ class Moldyn(Application):
             tb.read(p, mol, mine)
             tb.read(p, mol, self.pairs[lo:hi, 1])
             tb.work(p, float(hi - lo) + mine.shape[0])
+        self._emit_acc += perf_counter() - t0
 
     def _emit_forces(self, tb: TraceBuilder, mol: int) -> None:
         """Force evaluation: per owned molecule, read partners via the
-        interaction list; write both partners of every pair."""
+        interaction list; write both partners of every pair.
+
+        Loop mode stages four builder calls per molecule (the original
+        path); ragged mode stages the same four lanes — self read, partner
+        reads, self write, partner writes — for a whole block at once.
+        The pair list is sorted by first endpoint and the blocks are
+        contiguous, so each block's partner stream is one slice of the
+        ``j`` column and the per-molecule offsets come straight from
+        ``bounds``; molecules without partners are dropped, exactly like
+        the loop's ``hi == lo`` skip."""
         self._lj_forces()
+        if self.emit_mode == "none":
+            return
+        t0 = perf_counter()
         bounds = self._owned_pair_bounds()
-        for p in range(self.nprocs):
-            for i in self.parts[p].tolist():
-                lo, hi = bounds[i], bounds[i + 1]
-                if hi == lo:
-                    continue
-                partners = self.pairs[lo:hi, 1]
-                tb.read(p, mol, np.array([i]))
-                tb.read(p, mol, partners)
-                tb.write(p, mol, np.array([i]))
-                tb.write(p, mol, partners)
-            tb.work(
-                p,
-                float(bounds[self.parts[p][-1] + 1] - bounds[self.parts[p][0]]),
-            )
+        if self.emit_mode == "loop":
+            for p in range(self.nprocs):
+                for i in self.parts[p].tolist():
+                    lo, hi = bounds[i], bounds[i + 1]
+                    if hi == lo:
+                        continue
+                    partners = self.pairs[lo:hi, 1]
+                    tb.read(p, mol, np.array([i]))
+                    tb.read(p, mol, partners)
+                    tb.write(p, mol, np.array([i]))
+                    tb.write(p, mol, partners)
+                tb.work(
+                    p,
+                    float(bounds[self.parts[p][-1] + 1] - bounds[self.parts[p][0]]),
+                )
+        else:
+            pj = np.ascontiguousarray(self.pairs[:, 1])
+            for p in range(self.nprocs):
+                mine = self.parts[p]
+                cnt = np.diff(bounds[mine[0] : mine[-1] + 2])
+                mols = mine[cnt > 0]
+                offs = np.zeros(mols.shape[0] + 1, dtype=np.int64)
+                np.cumsum(cnt[cnt > 0], out=offs[1:])
+                part = pj[bounds[mine[0]] : bounds[mine[-1] + 1]]
+                tb.emit_ragged(
+                    p,
+                    [
+                        (mol, False, mols, 1),
+                        (mol, False, part, offs),
+                        (mol, True, mols, 1),
+                        (mol, True, part, offs),
+                    ],
+                )
+                tb.work(p, float(part.shape[0]))
+        self._emit_acc += perf_counter() - t0
 
     def _emit_update(self, tb: TraceBuilder, mol: int) -> None:
         """Leapfrog integration of the owned block."""
         self._integrate()
+        if self.emit_mode == "none":
+            return
+        t0 = perf_counter()
         for p in range(self.nprocs):
             tb.read(p, mol, self.parts[p])
             tb.write(p, mol, self.parts[p])
             tb.work(p, self.parts[p].shape[0])
+        self._emit_acc += perf_counter() - t0
 
     def _emit_rereorder(self, tb: TraceBuilder, mol: int) -> None:
         """Sequential re-reordering of the drifted molecules (extension of
@@ -252,15 +291,21 @@ class Moldyn(Application):
 
         r = _reorder(self.reordered_by, coords=self.pos)
         self._apply_reordering(r)
+        if self.emit_mode == "none":
+            return
+        t0 = perf_counter()
         tb.read(0, mol, np.arange(self.n))
         tb.write(0, mol, np.arange(self.n))
         tb.work(0, float(self.n))
+        self._emit_acc += perf_counter() - t0
 
     def run(self) -> Trace:
         cfg = self.config
         tb = TraceBuilder(self.nprocs, label="build_list")
         mol = tb.add_region("molecules", self.n, self.object_size)
         first = True
+        emit = self.emit_mode != "none"
+        self._emit_acc = 0.0
         for _ in range(cfg.iterations):
             rereorder = (
                 self.rereorder_every
@@ -269,23 +314,30 @@ class Moldyn(Application):
                 and self._steps_total % self.rereorder_every == 0
             )
             if rereorder:
-                if not first:
+                if not first and emit:
                     tb.barrier("reorder")
                 self._emit_rereorder(tb, mol)
-                tb.barrier("build_list")
-                self._emit_build_list(tb, mol)
-                tb.barrier("forces")
-            elif first or self._steps_since_rebuild >= self.rebuild_every:
-                if not first:
+                if emit:
                     tb.barrier("build_list")
                 self._emit_build_list(tb, mol)
-                tb.barrier("forces")
-            else:
+                if emit:
+                    tb.barrier("forces")
+            elif first or self._steps_since_rebuild >= self.rebuild_every:
+                if not first and emit:
+                    tb.barrier("build_list")
+                self._emit_build_list(tb, mol)
+                if emit:
+                    tb.barrier("forces")
+            elif emit:
                 tb.barrier("forces")
             first = False
             self._steps_since_rebuild += 1
             self._steps_total += 1
             self._emit_forces(tb, mol)
-            tb.barrier("update")
+            if emit:
+                tb.barrier("update")
             self._emit_update(tb, mol)
-        return tb.finish()
+        trace = tb.finish()
+        self.seal_seconds = tb.seal_seconds
+        self.emit_seconds = self._emit_acc + tb.seal_seconds
+        return trace

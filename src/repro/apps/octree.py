@@ -94,6 +94,51 @@ class WalkResult:
         d = np.lexsort((self.direct_step, self.direct_body))
         return c, d
 
+    def per_body_csr(
+        self, n: int, order: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-body traversal streams in CSR form.
+
+        Returns ``(cell_ids, cell_bounds, direct_others, direct_bounds)``:
+        the interaction streams grouped by body with each body's
+        interactions in walk-step order (what the real per-particle
+        recursive walk touches, in order), and ``(n + 1)``-entry bounds.
+        With ``order`` (a permutation of ``range(n)``, e.g. the tree's
+        in-order body sequence), groups follow that sequence — row ``j``
+        covers body ``order[j]`` — so any contiguous run of ``order`` maps
+        to contiguous slices of the streams.
+
+        The pair lists are emitted in ascending step order, so a stable
+        sort on the body key alone reproduces the ``(body, step)``
+        lexsort.  The stable sort is done by packing ``(key, position)``
+        into one int64 and value-sorting it — measurably faster than
+        ``argsort(kind="stable")`` on multi-million-element streams — and
+        the group bounds come from a bincount instead of a searchsorted.
+        """
+        if order is None:
+            ckey, dkey = self.cell_body, self.direct_body
+        else:
+            rank = np.empty(n, dtype=np.int64)
+            rank[order] = np.arange(n, dtype=np.int64)
+            ckey, dkey = rank[self.cell_body], rank[self.direct_body]
+        out = []
+        for key, vals in ((ckey, self.cell_id), (dkey, self.direct_other)):
+            m = key.shape[0]
+            shift = max(m, 1).bit_length()
+            if n.bit_length() + shift < 63:
+                comp = key << shift
+                comp |= np.arange(m, dtype=np.int64)
+                comp.sort()
+                perm = comp
+                perm &= (1 << shift) - 1
+            else:  # pragma: no cover - needs astronomically large streams
+                perm = np.argsort(key, kind="stable")
+            out.append(vals[perm])
+            bounds = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(key, minlength=n), out=bounds[1:])
+            out.append(bounds)
+        return out[0], out[1], out[2], out[3]
+
     def interactions_per_body(self, n: int) -> np.ndarray:
         """Total interaction count per body — the load measure used by the
         benchmark's cost-zone style partitioning."""

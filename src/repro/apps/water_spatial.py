@@ -28,12 +28,21 @@ cells, writing the shared cell array).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..core.reorder import Reordering
 from ..trace.builder import TraceBuilder
 from ..trace.events import Trace
-from .base import AppConfig, Application
+from .base import (
+    HALF_STENCIL,
+    AppConfig,
+    Application,
+    counts_to_offsets,
+    half_stencil_neighbors,
+    ragged_take,
+)
 from .moldyn import build_interaction_list
 
 __all__ = ["WaterSpatial"]
@@ -150,16 +159,10 @@ class WaterSpatial(Application):
         s = self.side
         cx, cy, cz = c // (s * s), (c // s) % s, c % s
         out = []
-        for dx in (0, 1):
-            for dy in (-1, 0, 1):
-                for dz in (-1, 0, 1):
-                    if (dx, dy, dz) == (0, 0, 0):
-                        continue
-                    if dx == 0 and (dy < 0 or (dy == 0 and dz < 0)):
-                        continue
-                    nx, ny, nz = cx + dx, cy + dy, cz + dz
-                    if 0 <= nx < s and 0 <= ny < s and 0 <= nz < s:
-                        out.append((nx * s + ny) * s + nz)
+        for dx, dy, dz in HALF_STENCIL.tolist():
+            nx, ny, nz = cx + dx, cy + dy, cz + dz
+            if 0 <= nx < s and 0 <= ny < s and 0 <= nz < s:
+                out.append((nx * s + ny) * s + nz)
         return out
 
     # -- physics ---------------------------------------------------------
@@ -192,25 +195,26 @@ class WaterSpatial(Application):
         self.vel[low | high] *= -1.0
         np.clip(self.pos, 0.0, np.nextafter(self.box, 0.0), out=self.pos)
 
-    # -- execution ---------------------------------------------------------
+    # -- trace emission ----------------------------------------------------
 
-    def run(self) -> Trace:
-        cfg = self.config
-        n, P = self.n, self.nprocs
-        ncells = self.side**3
-        tb = TraceBuilder(P, label="forces")
-        mol = tb.add_region("molecules", n, self.object_size)
-        cells = tb.add_region("cells", ncells, CELL_ENTRY_BYTES)
-        for _ in range(cfg.iterations):
-            order, starts = self._bin()
+    def _emit_forces(self, tb, order, starts, own_list, mol, cells) -> None:
+        """Stage the force-phase access pattern (loop or ragged mode).
+
+        The sweep emits one *unit* per occupied own cell (cell-entry read,
+        member read, member write) followed by one unit per occupied
+        in-bounds half-stencil neighbour (entry read, neighbour read, own
+        write, neighbour write).  The loop mode is the original per-cell
+        staging; the ragged mode builds the same interleaved unit stream as
+        four CSR lanes — the intra-cell units simply carry a zero-length
+        fourth lane, which the builder drops exactly like the loop never
+        emitting it — and produces a byte-identical trace.
+        """
+        P = self.nprocs
+        if self.emit_mode == "loop":
             members = lambda c: order[starts[c] : starts[c + 1]]  # noqa: E731
-
-            # Forces: each processor sweeps its cells in grid order.
-            self._lj_forces()
             for p in range(P):
-                own_cells = np.nonzero(self.cell_owner == p)[0]
                 npairs = 0.0
-                for c in own_cells.tolist():
+                for c in own_list[p].tolist():
                     mem = members(c)
                     if mem.shape[0] == 0:
                         continue
@@ -231,37 +235,112 @@ class WaterSpatial(Application):
                         if self.cell_owner[d] != p:
                             tb.lock(p, 1)
                 tb.work(p, npairs)
-            tb.barrier("update")
+            return
+        cnt_all = np.diff(starts)
+        for p in range(P):
+            occ = own_list[p]
+            occ = occ[cnt_all[occ] > 0]
+            if occ.shape[0] == 0:
+                tb.work(p, 0.0)
+                continue
+            mcnt = cnt_all[occ]
+            nbr, noffs = half_stencil_neighbors(self.side, occ)
+            keep = cnt_all[nbr] > 0
+            grp = np.repeat(np.arange(occ.shape[0], dtype=np.int64), np.diff(noffs))
+            nB = np.bincount(grp[keep], minlength=occ.shape[0])
+            nbr = nbr[keep]
+            # Unit stream: per occupied own cell, the intra-cell unit then
+            # one unit per occupied neighbour, in stencil order.
+            k = occ.shape[0] + nbr.shape[0]
+            is_A = np.zeros(k, dtype=bool)
+            is_A[counts_to_offsets(1 + nB)[:-1]] = True
+            cell_of_unit = np.empty(k, dtype=np.int64)
+            cell_of_unit[is_A] = occ
+            cell_of_unit[~is_A] = nbr
+            own_of_unit = occ[np.repeat(np.arange(occ.shape[0], dtype=np.int64), 1 + nB)]
+            cnt_partner = cnt_all[cell_of_unit]
+            cnt_own = cnt_all[own_of_unit]
+            cnt_nw = np.where(is_A, 0, cnt_partner)
+            tb.emit_ragged(
+                p,
+                [
+                    (cells, False, cell_of_unit, 1),
+                    (mol, False, ragged_take(order, starts[cell_of_unit], cnt_partner),
+                     counts_to_offsets(cnt_partner)),
+                    (mol, True, ragged_take(order, starts[own_of_unit], cnt_own),
+                     counts_to_offsets(cnt_own)),
+                    (mol, True, ragged_take(order, starts[cell_of_unit], cnt_nw),
+                     counts_to_offsets(cnt_nw)),
+                ],
+            )
+            crossings = int((self.cell_owner[nbr] != p).sum())
+            if crossings:
+                tb.lock(p, crossings)
+            npairs = int((mcnt * (mcnt - 1) // 2).sum())
+            npairs += int((cnt_all[nbr] * cnt_all[own_of_unit[~is_A]]).sum())
+            tb.work(p, float(npairs))
+
+    def _owned(self, order, starts, own: np.ndarray) -> np.ndarray:
+        """Owned molecules in cell-sweep order (update/move phases)."""
+        if self.emit_mode == "loop":
+            return np.concatenate(
+                [order[starts[c] : starts[c + 1]] for c in own.tolist()]
+                or [np.empty(0, np.int64)]
+            )
+        return ragged_take(order, starts[own], starts[own + 1] - starts[own])
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Trace:
+        cfg = self.config
+        n, P = self.n, self.nprocs
+        ncells = self.side**3
+        tb = TraceBuilder(P, label="forces")
+        mol = tb.add_region("molecules", n, self.object_size)
+        cells = tb.add_region("cells", ncells, CELL_ENTRY_BYTES)
+        emit = self.emit_mode != "none"
+        self.emit_seconds = 0.0
+        own_list = [np.nonzero(self.cell_owner == p)[0] for p in range(P)]
+        for _ in range(cfg.iterations):
+            order, starts = self._bin()
+
+            # Forces: each processor sweeps its cells in grid order.
+            self._lj_forces()
+            if emit:
+                t0 = perf_counter()
+                self._emit_forces(tb, order, starts, own_list, mol, cells)
+                tb.barrier("update")
+                self.emit_seconds += perf_counter() - t0
 
             # Update: integrate owned molecules, in cell-sweep order.
             self._integrate()
-            for p in range(P):
-                own_cells = np.nonzero(self.cell_owner == p)[0]
-                mine = np.concatenate(
-                    [members(c) for c in own_cells.tolist()]
-                    or [np.empty(0, np.int64)]
-                )
-                tb.read(p, mol, mine)
-                tb.write(p, mol, mine)
-                tb.work(p, mine.shape[0])
-            tb.barrier("move")
+            if emit:
+                t0 = perf_counter()
+                for p in range(P):
+                    mine = self._owned(order, starts, own_list[p])
+                    tb.read(p, mol, mine)
+                    tb.write(p, mol, mine)
+                    tb.work(p, mine.shape[0])
+                tb.barrier("move")
+                self.emit_seconds += perf_counter() - t0
 
             # Move: re-bin into cells; crossing into a remote cell takes
             # that cell's lock and writes its list head.
             new_cell = self._cell_of(self.pos)
-            for p in range(P):
-                own_cells = np.nonzero(self.cell_owner == p)[0]
-                mine = np.concatenate(
-                    [members(c) for c in own_cells.tolist()]
-                    or [np.empty(0, np.int64)]
-                )
-                tb.read(p, mol, mine)
-                if mine.shape[0]:
-                    dest = new_cell[mine]
-                    tb.write(p, cells, dest)
-                    crossed = dest[self.cell_owner[dest] != p]
-                    if crossed.shape[0]:
-                        tb.lock(p, int(crossed.shape[0]))
-                tb.work(p, mine.shape[0])
-            tb.barrier("forces")
-        return tb.finish()
+            if emit:
+                t0 = perf_counter()
+                for p in range(P):
+                    mine = self._owned(order, starts, own_list[p])
+                    tb.read(p, mol, mine)
+                    if mine.shape[0]:
+                        dest = new_cell[mine]
+                        tb.write(p, cells, dest)
+                        crossed = dest[self.cell_owner[dest] != p]
+                        if crossed.shape[0]:
+                            tb.lock(p, int(crossed.shape[0]))
+                    tb.work(p, mine.shape[0])
+                tb.barrier("forces")
+                self.emit_seconds += perf_counter() - t0
+        trace = tb.finish()
+        self.seal_seconds = tb.seal_seconds
+        return trace

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RegionSpec", "Burst", "Epoch", "Trace"]
+__all__ = ["RegionSpec", "Burst", "RaggedBatch", "Epoch", "Trace"]
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,114 @@ class Burst:
 
     def __len__(self) -> int:
         return int(self.indices.shape[0])
+
+
+class RaggedBatch:
+    """A staged group of bursts in CSR (ragged) form.
+
+    ``lanes`` is a list of ``(region, is_write, indices, offsets)`` tuples,
+    all with the same burst count ``k``: lane ``l``'s burst ``j`` is
+    ``indices[offsets[j]:offsets[j + 1]]``.  The batch denotes the burst
+    sequence a per-object emit loop would have produced — burst-major
+    across lanes (burst ``j`` of every lane before burst ``j + 1`` of any),
+    with zero-length bursts dropped, exactly like
+    :meth:`repro.trace.builder.TraceBuilder.read` drops empty calls.
+
+    One batch replaces up to ``k * len(lanes)`` staged tuples with a
+    constant number of arrays; :meth:`expand` produces the equivalent
+    packed burst columns vectorized, :meth:`iter_bursts` the equivalent
+    :class:`Burst` sequence for the legacy list path.  The index arrays are
+    staged without a copy, so callers must not mutate them before the
+    epoch is sealed (the same aliasing contract as ``TraceBuilder.read``).
+    """
+
+    __slots__ = ("lanes", "nbursts", "total")
+
+    def __init__(
+        self,
+        lanes: list[tuple[int, bool, np.ndarray, np.ndarray]],
+        nbursts: int,
+        total: int,
+    ):
+        self.lanes = lanes
+        self.nbursts = nbursts
+        self.total = total
+
+    def expand(
+        self, out: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized expansion to packed burst columns.
+
+        Returns ``(burst_region, burst_write, burst_length, index)`` — the
+        non-empty bursts in burst-major lane order and the interleaved flat
+        index column (length ``total``).  With ``out`` (a length-``total``
+        int64 buffer, typically a slice of the epoch's final index column)
+        the flat column is written in place, so sealing needs no second
+        concatenation pass over the expanded indices.
+        """
+        lanes = self.lanes
+        k = self.nbursts
+        if len(lanes) == 1:
+            region, write, idx, offs = lanes[0]
+            lens = np.diff(offs)
+            nz = lens > 0
+            if not nz.all():
+                lens = lens[nz]
+            breg = np.full(lens.shape[0], region, dtype=np.int64)
+            bwri = np.full(lens.shape[0], write, dtype=np.bool_)
+            # Empty bursts contribute nothing: the flat column is the lane's
+            # index array as-is (no copy unless an output buffer is given).
+            if out is None:
+                return breg, bwri, lens, idx
+            np.copyto(out, idx)
+            return breg, bwri, lens, out
+
+        m = len(lanes)
+        lens = np.empty(m * k, dtype=np.int64)
+        for l, (_, _, _, offs) in enumerate(lanes):
+            np.subtract(offs[1:], offs[:-1], out=lens[l::m])
+        out_off = np.empty(m * k + 1, dtype=np.int64)
+        out_off[0] = 0
+        np.cumsum(lens, out=out_off[1:])
+        index = np.empty(self.total, dtype=np.int64) if out is None else out
+        for l, (_, _, idx, offs) in enumerate(lanes):
+            ln = idx.shape[0]
+            if ln == 0:
+                continue
+            starts_out = out_off[l:-1:m]
+            if ln == k:
+                cl = lens[l::m]
+                if cl[0] == 1 and (cl == 1).all():
+                    # Unit-burst lane (one element per burst): pure scatter.
+                    index[starts_out] = idx
+                    continue
+            # Element e of this lane lands at
+            # starts_out[burst(e)] + (e - offs[burst(e)]).
+            pos = np.repeat(starts_out - offs[:-1], lens[l::m])
+            pos += np.arange(ln, dtype=np.int64)
+            index[pos] = idx
+        breg = np.tile(
+            np.fromiter((r for r, _, _, _ in lanes), dtype=np.int64, count=m), k
+        )
+        bwri = np.tile(
+            np.fromiter((w for _, w, _, _ in lanes), dtype=np.bool_, count=m), k
+        )
+        nz = lens > 0
+        if not nz.all():
+            breg, bwri, lens = breg[nz], bwri[nz], lens[nz]
+        return breg, bwri, lens, index
+
+    def iter_bursts(self):
+        """Yield the equivalent non-empty :class:`Burst` sequence.
+
+        Burst-major across lanes; the ``indices`` are views into the lane
+        arrays (no copies).  Used by the legacy burst-list builder path.
+        """
+        for j in range(self.nbursts):
+            for region, write, idx, offs in self.lanes:
+                lo, hi = int(offs[j]), int(offs[j + 1])
+                if hi > lo:
+                    yield Burst(region, idx[lo:hi], write)
 
 
 @dataclass

@@ -289,8 +289,10 @@ def _assemble_packed(header: dict, fetch) -> PackedTrace:
 
     if access_offsets.shape != (E, nprocs + 1) or burst_offsets.shape != (E, nprocs + 1):
         raise TraceCorruptError("packed trace offset tables have wrong shape")
-    # The per-access region/write columns are not stored: rebuild them from
-    # the burst metadata (each burst's attributes repeated over its length).
+    # The per-access region/write columns are not stored; PackedEpoch
+    # derives them lazily from the burst metadata on first use (each
+    # burst's attributes repeated over its length), so only their
+    # consistency is checked here.
     blen = np.asarray(burst_length, dtype=np.int64)
     if blen.size and int(blen.min()) < 0:
         raise TraceCorruptError("packed trace has negative burst lengths")
@@ -298,8 +300,6 @@ def _assemble_packed(header: dict, fetch) -> PackedTrace:
         raise TraceCorruptError(
             "packed trace burst lengths do not tile the access columns"
         )
-    region = np.repeat(np.asarray(burst_region, dtype=np.int64), blen)
-    is_write = np.repeat(np.asarray(burst_write, dtype=np.bool_), blen)
     if work.shape != (E, nprocs) or locks.shape != (E, nprocs):
         raise TraceCorruptError("packed trace work/lock tables have wrong shape")
     for name, starts, col in (
@@ -328,9 +328,7 @@ def _assemble_packed(header: dict, fetch) -> PackedTrace:
                 nprocs=nprocs,
                 label=str(labels[ei]),
                 offsets=access_offsets[ei],
-                region=region[lo:hi],
                 index=index[lo:hi],
-                is_write=is_write[lo:hi],
                 burst_offsets=burst_offsets[ei],
                 burst_region=burst_region[blo:bhi],
                 burst_write=burst_write[blo:bhi],

@@ -61,15 +61,15 @@ class PackedEpoch:
         "nprocs",
         "label",
         "offsets",
-        "region",
         "index",
-        "is_write",
         "burst_offsets",
         "burst_region",
         "burst_write",
         "burst_length",
         "work",
         "lock_acquires",
+        "_region",
+        "_is_write",
         "_bursts",
     )
 
@@ -78,31 +78,50 @@ class PackedEpoch:
         nprocs: int,
         label: str,
         offsets: np.ndarray,
-        region: np.ndarray,
         index: np.ndarray,
-        is_write: np.ndarray,
         burst_offsets: np.ndarray,
         burst_region: np.ndarray,
         burst_write: np.ndarray,
         burst_length: np.ndarray,
         work: np.ndarray,
         lock_acquires: np.ndarray,
+        region: np.ndarray | None = None,
+        is_write: np.ndarray | None = None,
     ):
         if nprocs <= 0:
             raise ValueError("nprocs must be positive")
         self.nprocs = nprocs
         self.label = label
         self.offsets = offsets
-        self.region = region
         self.index = index
-        self.is_write = is_write
         self.burst_offsets = burst_offsets
         self.burst_region = burst_region
         self.burst_write = burst_write
         self.burst_length = burst_length
         self.work = work
         self.lock_acquires = lock_acquires
+        self._region = region
+        self._is_write = is_write
         self._bursts = None
+
+    # ---- lazy per-access columns -----------------------------------------
+    # The burst columns fully determine the per-access region/is_write
+    # columns (each burst's attributes repeated over its length), so they
+    # are derived on first use: sealing, serialization and interval-based
+    # consumers never need them, and skipping the two np.repeat passes is a
+    # large share of the emission cost the ragged path removes.
+
+    @property
+    def region(self) -> np.ndarray:
+        if self._region is None:
+            self._region = np.repeat(self.burst_region, self.burst_length)
+        return self._region
+
+    @property
+    def is_write(self) -> np.ndarray:
+        if self._is_write is None:
+            self._is_write = np.repeat(self.burst_write, self.burst_length)
+        return self._is_write
 
     # ---- construction ----------------------------------------------------
     @classmethod
@@ -110,48 +129,85 @@ class PackedEpoch:
         cls,
         nprocs: int,
         label: str,
-        staged: list[list[tuple[int, bool, np.ndarray]]],
+        staged: list[list],
         work: np.ndarray,
         lock_acquires: np.ndarray,
     ) -> "PackedEpoch":
-        """Build the columns from per-proc ``(region, is_write, indices)``
-        burst lists.  One concatenation per column — this is the single
-        copy the whole downstream pipeline works from."""
-        burst_region: list[int] = []
-        burst_write: list[bool] = []
-        burst_length: list[int] = []
-        chunks: list[np.ndarray] = []
+        """Build the columns from per-proc staged burst lists.
+
+        Each staged entry is either a plain ``(region, is_write, indices)``
+        tuple or a :class:`repro.trace.events.RaggedBatch`; batches are
+        expanded vectorized (never into per-burst Python objects), so a
+        ragged-emitting application seals in O(batches) Python work.  The
+        per-access total is known up front, so the flat index column is
+        allocated once and every entry — plain or ragged — writes its
+        slice directly; there is no per-column concatenation of the big
+        access data, only of the small burst columns."""
         offsets = np.zeros(nprocs + 1, dtype=np.int64)
         burst_offsets = np.zeros(nprocs + 1, dtype=np.int64)
+        total = 0
         for p in range(nprocs):
-            total = 0
-            for region, write, idx in staged[p]:
-                burst_region.append(region)
-                burst_write.append(write)
-                burst_length.append(idx.shape[0])
-                chunks.append(idx)
-                total += idx.shape[0]
-            offsets[p + 1] = offsets[p] + total
-            burst_offsets[p + 1] = len(burst_region)
-        nbursts = len(burst_region)
-        breg = np.array(burst_region, dtype=np.int64)
-        bwri = np.array(burst_write, dtype=np.bool_)
-        blen = np.array(burst_length, dtype=np.int64)
+            for entry in staged[p]:
+                total += entry[2].shape[0] if type(entry) is tuple else entry.total
+            offsets[p + 1] = total
+        index = np.empty(total, dtype=np.int64)
+
+        breg_parts: list[np.ndarray] = []
+        bwri_parts: list[np.ndarray] = []
+        blen_parts: list[np.ndarray] = []
+        # Pending run of plain tuples, flushed to arrays on batch boundaries
+        # so the burst order is preserved.
+        run_region: list[int] = []
+        run_write: list[bool] = []
+        run_length: list[int] = []
+
+        def _flush() -> None:
+            if run_region:
+                breg_parts.append(np.array(run_region, dtype=np.int64))
+                bwri_parts.append(np.array(run_write, dtype=np.bool_))
+                blen_parts.append(np.array(run_length, dtype=np.int64))
+                run_region.clear()
+                run_write.clear()
+                run_length.clear()
+
+        pos = 0
+        nbursts = 0
+        for p in range(nprocs):
+            for entry in staged[p]:
+                if type(entry) is tuple:
+                    region, write, idx = entry
+                    ln = idx.shape[0]
+                    run_region.append(region)
+                    run_write.append(write)
+                    run_length.append(ln)
+                    index[pos : pos + ln] = idx
+                    pos += ln
+                    nbursts += 1
+                else:
+                    _flush()
+                    ereg, ewri, elen, _ = entry.expand(
+                        out=index[pos : pos + entry.total]
+                    )
+                    breg_parts.append(ereg)
+                    bwri_parts.append(ewri)
+                    blen_parts.append(elen)
+                    pos += entry.total
+                    nbursts += elen.shape[0]
+            burst_offsets[p + 1] = nbursts
+        _flush()
         if nbursts:
-            index = np.concatenate(chunks)
-            region_col = np.repeat(breg, blen)
-            write_col = np.repeat(bwri, blen)
+            breg = np.concatenate(breg_parts)
+            bwri = np.concatenate(bwri_parts)
+            blen = np.concatenate(blen_parts)
         else:
-            index = np.empty(0, dtype=np.int64)
-            region_col = np.empty(0, dtype=np.int64)
-            write_col = np.empty(0, dtype=np.bool_)
+            breg = np.empty(0, dtype=np.int64)
+            bwri = np.empty(0, dtype=np.bool_)
+            blen = np.empty(0, dtype=np.int64)
         return cls(
             nprocs=nprocs,
             label=label,
             offsets=offsets,
-            region=region_col,
             index=index,
-            is_write=write_col,
             burst_offsets=burst_offsets,
             burst_region=breg,
             burst_write=bwri,
@@ -215,7 +271,14 @@ class PackedEpoch:
         if (np.diff(self.offsets) < 0).any() or (np.diff(self.burst_offsets) < 0).any():
             raise ValueError("packed epoch offsets must be non-decreasing")
         total = int(self.offsets[-1])
-        for name in ("region", "index", "is_write"):
+        # region/is_write are derived from the burst columns when not
+        # supplied, so only externally provided ones can be inconsistent.
+        names = ("index",) + tuple(
+            name
+            for name, col in (("region", self._region), ("is_write", self._is_write))
+            if col is not None
+        )
+        for name in names:
             col = getattr(self, name)
             if col.ndim != 1 or col.shape[0] != total:
                 raise ValueError(f"packed epoch column {name!r} has wrong length")
@@ -244,7 +307,12 @@ class PackedTrace(Trace):
         return sum(e.total_accesses for e in self.epochs)
 
     def validate(self) -> None:
-        """Vectorized consistency check over the packed columns."""
+        """Vectorized consistency check over the packed columns.
+
+        Works at burst granularity — a per-burst min/max via ``reduceat``
+        against the burst's region limit — so it never materializes the
+        derived per-access region column.
+        """
         nregions = len(self.regions)
         limits = np.fromiter(
             (r.num_objects for r in self.regions), dtype=np.int64, count=nregions
@@ -253,17 +321,29 @@ class PackedTrace(Trace):
             if e.nprocs != self.nprocs:
                 raise ValueError("epoch/trace processor count mismatch")
             e.check_structure()
-            if e.region.shape[0] == 0:
+            breg = np.asarray(e.burst_region)
+            if breg.shape[0] == 0:
                 continue
-            rmin = int(e.region.min())
-            rmax = int(e.region.max())
+            rmin = int(breg.min())
+            rmax = int(breg.max())
             if rmin < 0 or rmax >= nregions:
                 raise ValueError(
                     f"burst references unknown region {rmin if rmin < 0 else rmax}"
                 )
-            bad = (e.index < 0) | (e.index >= limits[e.region])
+            blen = np.asarray(e.burst_length)
+            nz = blen > 0
+            if not nz.any():
+                continue
+            starts = np.empty(blen.shape[0], dtype=np.int64)
+            starts[0] = 0
+            np.cumsum(blen[:-1], out=starts[1:])
+            nz_starts = starts[nz]
+            bmin = np.minimum.reduceat(e.index, nz_starts)
+            bmax = np.maximum.reduceat(e.index, nz_starts)
+            lim = limits[breg[nz]]
+            bad = (bmin < 0) | (bmax >= lim)
             if bad.any():
-                spec = self.regions[int(e.region[int(np.argmax(bad))])]
+                spec = self.regions[int(breg[nz][int(np.argmax(bad))])]
                 raise ValueError(
                     f"burst indices out of range for region {spec.name!r}"
                 )

@@ -116,7 +116,9 @@ class TestPackedTrace:
 
     def test_validate_rejects_bad_region(self):
         t = build()
-        t.epochs[0].region[0] = 99
+        # burst_region is the source of truth (the per-access column is
+        # derived from it lazily), so corrupt it there.
+        t.epochs[0].burst_region[0] = 99
         with pytest.raises(ValueError, match="unknown region"):
             t.validate()
 
