@@ -7,6 +7,9 @@ Usage::
     python -m repro reproduce all --paper-scale
     python -m repro run barnes-hut --version hilbert --platform treadmarks
     python -m repro sweep barnes-hut --grid l2=256K,1M --grid line_size=64,128
+    python -m repro serve --state-dir svc --workers 4
+    python -m repro submit moldyn --grid l2=256K,1M --wait
+    python -m repro jobs
 
 Resilience flags (accepted before or after the subcommand)::
 
@@ -16,9 +19,14 @@ Resilience flags (accepted before or after the subcommand)::
     --task-timeout 600     wall-clock seconds per trace-generation worker
     --quiet                suppress per-cell progress logging
 
-``--cache-dir`` defaults to ``$REPRO_CACHE_DIR`` when that is set.  Any
-structured failure (:class:`repro.errors.ReproError`) exits with code 1
-and a one-line message instead of a traceback.
+``--cache-dir`` defaults to ``$REPRO_CACHE_DIR`` when that is set.
+
+Exit codes follow the :mod:`repro.errors` hierarchy
+(:func:`repro.errors.exit_code_for`): 0 success, 2 configuration error
+(also argparse usage errors), 3 corrupt on-disk data, 4 worker failure,
+5 job-service failure, 1 any other structured failure, 130 interrupted.
+Every structured failure prints a one-line message instead of a
+traceback.
 
 The pytest benchmark harness (`pytest benchmarks/ --benchmark-only`) does
 the same with timing statistics and assertions; the CLI is the quick path.
@@ -32,7 +40,7 @@ import os
 import sys
 
 from .apps import APP_REGISTRY
-from .errors import ReproError
+from .errors import ReproError, exit_code_for
 from .experiments import (
     Scale,
     SweepGrid,
@@ -123,17 +131,18 @@ def _install_runtime(args) -> None:
             resume=args.resume,
         )
     )
-    runtime_log = logging.getLogger("repro.runtime")
-    runtime_log.setLevel(logging.WARNING if args.quiet else logging.INFO)
-    existing = [h for h in runtime_log.handlers
-                if getattr(h, "name", "") == "repro-cli"]
-    if existing:
-        existing[0].stream = sys.stderr  # rebind: stderr may be redirected
-    else:
-        handler = logging.StreamHandler(sys.stderr)
-        handler.set_name("repro-cli")
-        handler.setFormatter(logging.Formatter("[repro] %(message)s"))
-        runtime_log.addHandler(handler)
+    for name in ("repro.runtime", "repro.service"):
+        logger = logging.getLogger(name)
+        logger.setLevel(logging.WARNING if args.quiet else logging.INFO)
+        existing = [h for h in logger.handlers
+                    if getattr(h, "name", "") == "repro-cli"]
+        if existing:
+            existing[0].stream = sys.stderr  # rebind: stderr may be redirected
+        else:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.set_name("repro-cli")
+            handler.setFormatter(logging.Formatter("[repro] %(message)s"))
+            logger.addHandler(handler)
 
 
 def _scale(args) -> Scale:
@@ -370,18 +379,19 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from .experiments.sweep import ROW_KEYS
-
-    scale = _scale(args)
+def _grid_from_args(args) -> SweepGrid:
     axes = parse_grid(args.grid)
-    grid = SweepGrid(
+    return SweepGrid(
         apps=tuple(args.app),
         versions=tuple(args.versions) if args.versions else None,
         platforms=tuple(args.sweep_platforms or ("origin",)),
         **axes,
     )
-    rows = SweepPlan(grid, scale).run()
+
+
+def _render_sweep_rows(rows: list[dict], title: str) -> str:
+    from .experiments.sweep import ROW_KEYS
+
     cols = [k for k in ROW_KEYS if any(k in r for r in rows)]
     body = []
     for r in rows:
@@ -390,11 +400,91 @@ def _cmd_sweep(args) -> int:
             v = r.get(k, "")
             cells.append(round(v, 4) if isinstance(v, float) else v)
         body.append(cells)
-    npoints = len(rows)
+    return render_table(cols, body, title=title)
+
+
+def _cmd_sweep(args) -> int:
+    scale = _scale(args)
+    grid = _grid_from_args(args)
+    rows = SweepPlan(grid, scale).run()
     ngroups = len(SweepPlan(grid, scale).groups())
+    print(_render_sweep_rows(
+        rows,
+        f"Sweep: {len(rows)} point(s) from {ngroups} batched group(s)",
+    ))
+    return 0
+
+
+def _service_address(args, state_dir: str | None = None) -> str:
+    if getattr(args, "socket", None):
+        return args.socket
+    env = os.environ.get("REPRO_SERVICE_SOCKET")
+    if env:
+        return env
+    base = state_dir or os.environ.get("REPRO_STATE_DIR") or "repro-service"
+    return os.path.join(base, "repro.sock")
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import EngineConfig, SweepEngine, SweepServer
+
+    state_dir = (args.state_dir or os.environ.get("REPRO_STATE_DIR")
+                 or "repro-service")
+    address = _service_address(args, state_dir)
+    engine = SweepEngine(
+        state_dir,
+        config=EngineConfig(
+            lease_ttl=args.lease_ttl,
+            retry_budget=args.retry_budget,
+            task_timeout=args.task_timeout,
+            use_pool=not args.serial,
+        ),
+        cache_root=args.cache_dir or None,
+    )
+    server = SweepServer(engine, address, workers=max(1, args.workers))
+    print(f"[repro] sweep service on {address} (state: {state_dir};"
+          f" SIGTERM drains, SIGINT stops)", file=sys.stderr)
+    asyncio.run(server.serve_forever())
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient
+
+    scale = _scale(args)
+    grid = _grid_from_args(args)
+    client = ServiceClient(_service_address(args))
+    client.ping()
+    job_id = client.submit(grid, scale)
+    print(f"submitted {job_id}")
+    if args.wait:
+        status = client.wait(job_id, timeout=args.wait_timeout)
+        rows = client.results(job_id)
+        print(_render_sweep_rows(
+            rows,
+            f"{job_id}: {len(rows)} point(s) from"
+            f" {status['groups']['total']} group(s)",
+        ))
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .service import ServiceClient
+
+    jobs = ServiceClient(_service_address(args)).jobs()
+    body = []
+    for info in jobs:
+        groups = info["groups"]
+        body.append([
+            info["job"], info["status"], groups["total"],
+            groups.get("done", 0), groups.get("pending", 0),
+            groups.get("quarantined", 0),
+        ])
     print(render_table(
-        cols, body,
-        title=f"Sweep: {npoints} point(s) from {ngroups} batched group(s)",
+        ["job", "status", "groups", "done", "pending", "quarantined"],
+        body, title=f"{len(jobs)} job(s)",
     ))
     return 0
 
@@ -465,6 +555,53 @@ def main(argv: list[str] | None = None) -> int:
                           " sizes accept K/M suffixes; repeatable")
     _add_common(swp)
 
+    srv = sub.add_parser(
+        "serve",
+        help="durable sweep job service: journaled state, lease-based"
+             " workers, crash recovery",
+    )
+    srv.add_argument("--state-dir", default=None, metavar="DIR",
+                     help="journal + snapshot + result store (default:"
+                          " $REPRO_STATE_DIR or ./repro-service)")
+    srv.add_argument("--socket", default=None, metavar="ADDR",
+                     help="unix socket path, or host:port for TCP (default:"
+                          " $REPRO_SERVICE_SOCKET or <state-dir>/repro.sock)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="concurrent group workers (default 2)")
+    srv.add_argument("--serial", action="store_true",
+                     help="run groups in-process instead of worker processes")
+    srv.add_argument("--lease-ttl", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="heartbeat budget per leased group (default 60)")
+    srv.add_argument("--retry-budget", type=int, default=2, metavar="N",
+                     help="failed leases tolerated before a group is"
+                          " quarantined (default 2)")
+    _add_common(srv)
+
+    sbm = sub.add_parser(
+        "submit", help="submit a sweep grid to a running `repro serve`"
+    )
+    sbm.add_argument("app", nargs="+", choices=sorted(APP_REGISTRY))
+    sbm.add_argument("--version", action="append", dest="versions",
+                     choices=["original", "hilbert", "morton", "column", "row"])
+    sbm.add_argument("--platform", action="append", dest="sweep_platforms",
+                     choices=["origin", "treadmarks", "hlrc"])
+    sbm.add_argument("--grid", action="append", default=[],
+                     metavar="AXIS=V1,V2,...",
+                     help="sweep axis (l2_bytes, line_size, page_size)")
+    sbm.add_argument("--socket", default=None, metavar="ADDR",
+                     help="server address (default: $REPRO_SERVICE_SOCKET"
+                          " or <$REPRO_STATE_DIR>/repro.sock)")
+    sbm.add_argument("--wait", action="store_true",
+                     help="block until the job finishes and print its rows")
+    sbm.add_argument("--wait-timeout", type=float, default=None,
+                     metavar="SECONDS")
+    _add_common(sbm)
+
+    jbs = sub.add_parser("jobs", help="list jobs on a running `repro serve`")
+    jbs.add_argument("--socket", default=None, metavar="ADDR")
+    _add_common(jbs)
+
     diag = sub.add_parser(
         "diagnose", help="full layout diagnosis of one app run"
     )
@@ -479,6 +616,9 @@ def main(argv: list[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "diagnose": _cmd_diagnose,
     }
     previous = None
@@ -496,7 +636,7 @@ def main(argv: list[str] | None = None) -> int:
         return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     finally:
         if installed:
             set_runtime(previous)

@@ -32,11 +32,13 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..apps import APP_REGISTRY
 from ..errors import ConfigError, UnknownAppError, UnknownPlatformError
+from ..runtime.cache import atomic_write_text
 from ..runtime.context import get_runtime
 from ..runtime.executor import Task, run_tasks
 from ..runtime.worker import generate_trace_into_cache
@@ -46,8 +48,12 @@ __all__ = [
     "SweepGrid",
     "SweepGroup",
     "SweepPlan",
+    "grid_from_dict",
+    "grid_to_dict",
+    "load_group_checkpoint",
     "parse_grid",
     "run_sweep_group",
+    "write_group_checkpoint",
 ]
 
 log = logging.getLogger("repro.runtime")
@@ -113,6 +119,91 @@ class SweepGrid:
             object.__setattr__(self, name, _as_sizes(name, getattr(self, name)))
 
 
+def grid_to_dict(grid: SweepGrid) -> dict:
+    """JSON-safe grid spec for the job-service protocol and journal."""
+    return asdict(grid)
+
+
+def grid_from_dict(data: dict) -> SweepGrid:
+    """Rebuild a validated :class:`SweepGrid` from :func:`grid_to_dict`.
+
+    Raises :class:`repro.errors.ConfigError` (via the SweepGrid
+    constructor) on bad axes, unknown apps, or unknown platforms — the
+    service returns these to the submitting client verbatim.
+    """
+    def names(field_name, default=None):
+        v = data.get(field_name, default)
+        return None if v is None else tuple(str(x) for x in v)
+
+    def axis(field_name):
+        v = data.get(field_name)
+        return None if v is None else tuple(v)
+
+    return SweepGrid(
+        apps=names("apps", ("barnes-hut",)),
+        versions=names("versions"),
+        platforms=names("platforms", ("origin",)),
+        l2_bytes=axis("l2_bytes"),
+        line_sizes=axis("line_sizes"),
+        page_sizes=axis("page_sizes"),
+    )
+
+
+# ---- group checkpoints -------------------------------------------------
+#
+# A completed group's rows persist as ``sweeps/<group-key>.json`` under
+# the cache root.  Both the ``--resume`` path here and the job service
+# treat these files as the source of result truth, so reads are
+# *validated*: a torn or garbled checkpoint is moved aside (to
+# ``sweeps/quarantine/``) and reported as missing, which makes resume
+# regenerate exactly the damaged group and nothing else.
+
+
+def write_group_checkpoint(path: Path, rows: list[dict]) -> None:
+    """Atomically persist one group's result rows."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(path, json.dumps(rows))
+
+
+def load_group_checkpoint(path: Path) -> list[dict] | None:
+    """Validated checkpoint read: rows, or ``None`` if absent/damaged.
+
+    Damage (unparseable JSON, or a payload that is not a list of row
+    dicts) quarantines the file rather than deleting it, mirroring
+    :meth:`repro.runtime.cache.TraceCache.quarantine`; concurrent movers
+    are tolerated the same way (``FileNotFoundError`` means someone else
+    already moved it).
+    """
+    path = Path(path)
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        _quarantine_checkpoint(path, f"unreadable checkpoint: {exc}")
+        return None
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        _quarantine_checkpoint(path, "checkpoint payload is not a row list")
+        return None
+    return rows
+
+
+def _quarantine_checkpoint(path: Path, reason: str) -> None:
+    qdir = path.parent / "quarantine"
+    qdir.mkdir(parents=True, exist_ok=True)
+    dest = qdir / path.name
+    i = 0
+    while dest.exists():
+        i += 1
+        dest = qdir / f"{path.stem}.{i}{path.suffix}"
+    try:
+        os.replace(path, dest)
+    except FileNotFoundError:
+        return  # a concurrent mover got here first
+    atomic_write_text(dest.with_suffix(".reason.txt"), reason + "\n")
+    log.warning("sweep checkpoint %s quarantined (%s)", path.name, reason)
+
+
 @dataclass(frozen=True)
 class SweepGroup:
     """One (trace, geometry family) batch: a single worker task.
@@ -149,6 +240,23 @@ class SweepGroup:
         )
         digest = hashlib.sha1(blob.encode()).hexdigest()[:10]
         return f"{self.app}_{self.version}_{self.platform}_{digest}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe spec (tuples become lists; inverse of from_dict)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepGroup":
+        def axis(name):
+            v = data.get(name)
+            return None if v is None else tuple(int(x) for x in v)
+
+        return cls(
+            app=data["app"], version=data["version"],
+            platform=data["platform"],
+            l2_bytes=axis("l2_bytes"), line_sizes=axis("line_sizes"),
+            page_sizes=axis("page_sizes"),
+        )
 
 
 def _group_rows(trace, group: SweepGroup, scale: Scale) -> list[dict]:
@@ -275,8 +383,9 @@ class SweepPlan:
         todo: list[SweepGroup] = []
         for g in groups:
             path = sweep_dir / f"{g.key(self.scale)}.json"
-            if rt.resume and path.exists():
-                done[g.key(self.scale)] = json.loads(path.read_text())
+            rows = load_group_checkpoint(path) if rt.resume else None
+            if rows is not None:
+                done[g.key(self.scale)] = rows
                 log.info("sweep group %s: checkpoint hit", g.key(self.scale))
             else:
                 todo.append(g)
@@ -294,13 +403,12 @@ class SweepPlan:
             log.info("sweep: %d group(s) covering %d point(s) with %d job(s)",
                      len(tasks), sum(g.points() for g in todo), rt.executor.jobs)
             results = run_tasks(tasks, rt.executor, fault_plan=rt.fault_plan)
-            sweep_dir.mkdir(parents=True, exist_ok=True)
             for g in todo:
                 rows, (hits, misses) = results[g.key(self.scale)]
                 rt.cache.hits += hits
                 rt.cache.misses += misses
-                (sweep_dir / f"{g.key(self.scale)}.json").write_text(
-                    json.dumps(rows)
+                write_group_checkpoint(
+                    sweep_dir / f"{g.key(self.scale)}.json", rows
                 )
                 done[g.key(self.scale)] = rows
         return [row for g in groups for row in done[g.key(self.scale)]]

@@ -41,7 +41,7 @@ from ..errors import CacheMismatchError, ConfigError, TraceCorruptError
 from ..trace.events import Trace
 from ..trace.io import _FORMAT_VERSION, TRACE_SUFFIX, load_trace, save_trace
 
-__all__ = ["CacheKey", "TraceCache"]
+__all__ = ["CacheKey", "TraceCache", "atomic_write_text"]
 
 log = logging.getLogger("repro.runtime")
 
@@ -68,7 +68,14 @@ class CacheKey:
         return asdict(self)
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via temp file + ``os.replace``.
+
+    A crash mid-write leaves either the old content or the new, never a
+    torn file.  Shared by the cache sidecars, sweep checkpoints, and the
+    service's snapshot/quarantine files.
+    """
+    path = Path(path)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
                                suffix=".tmp")
     try:
@@ -81,6 +88,9 @@ def _atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+_atomic_write_text = atomic_write_text  # historical private name
 
 
 class TraceCache:
@@ -166,7 +176,16 @@ class TraceCache:
 
     # ---- quarantine ------------------------------------------------------
     def quarantine(self, key: CacheKey, reason: str = "") -> Path:
-        """Move a damaged entry aside so it is regenerated, not retried."""
+        """Move a damaged entry aside so it is regenerated, not retried.
+
+        Tolerant of *concurrent movers*: two workers that both observe a
+        damaged entry can race this call, but only the process whose
+        ``os.replace`` actually moved a file writes the ``.reason.txt``
+        and bumps its ``quarantined`` counter — the loser sees
+        ``FileNotFoundError`` (the entry is already gone) and leaves the
+        winner's quarantine files untouched.  Either way the entry is off
+        the hot path and will be regenerated as a miss.
+        """
         qdir = self.quarantine_dir
         qdir.mkdir(exist_ok=True)
         src = self.path(key)
@@ -175,23 +194,41 @@ class TraceCache:
         while dest.exists():
             i += 1
             dest = qdir / f"{src.stem}.{i}{src.suffix}"
+        moved = False
         try:
             os.replace(src, dest)
+            moved = True
         except FileNotFoundError:
             pass
         for extra in (self._sidecar(key),):
             try:
                 os.replace(extra, dest.with_suffix(".json"))
+                moved = True
             except FileNotFoundError:
                 pass
+        if not moved:
+            # A concurrent quarantine already moved this entry; do not
+            # write a reason file (it would shadow the winner's) or count
+            # a quarantine that this process did not perform.
+            log.info("cache: %s already quarantined by a concurrent mover",
+                     src.name)
+            return dest
         if reason:
-            _atomic_write_text(dest.with_suffix(".reason.txt"), reason + "\n")
+            atomic_write_text(dest.with_suffix(".reason.txt"), reason + "\n")
         self.quarantined += 1
         log.warning("cache: quarantined %s (%s)", src.name,
                     reason or "unspecified damage")
         return dest
 
     def stats(self) -> dict[str, int]:
+        """This process's counters.
+
+        Counters are **per-process**: every worker builds its own
+        ``TraceCache`` over the shared directory, so hits/misses/
+        quarantines observed in a child are invisible here unless the
+        caller ships them back explicitly (as the sweep workers do).
+        The on-disk state is the only cross-process source of truth.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,

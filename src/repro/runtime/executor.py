@@ -135,6 +135,30 @@ class _Running:
     deadline: float | None
 
 
+def _reap(r: "_Running", *, terminate: bool = False) -> None:
+    """Fully release one worker: process down and joined, pipe fd closed.
+
+    Every path that removes a worker from ``running`` must end here —
+    a terminated-but-unjoined child is a zombie and an unclosed pipe end
+    is a leaked file descriptor, and both accumulate across a timeout
+    storm.  ``join`` escalates to SIGKILL if SIGTERM is ignored.
+    """
+    try:
+        if terminate and r.proc.is_alive():
+            r.proc.terminate()
+        r.proc.join(5.0)
+        if r.proc.is_alive():  # pragma: no cover — SIGTERM ignored
+            r.proc.kill()
+            r.proc.join(5.0)
+        r.proc.close()
+    except (OSError, ValueError):  # pragma: no cover — already reaped
+        pass
+    try:
+        r.conn.close()
+    except (OSError, ValueError):
+        pass
+
+
 class _PoolUnavailable(Exception):
     """Raised internally when worker processes cannot be started."""
 
@@ -209,9 +233,7 @@ def run_tasks(
 def _interrupt_check(plan: FaultPlan, completed: int, running: dict) -> None:
     if plan.interrupt_after is not None and completed >= plan.interrupt_after:
         for r in running.values():
-            r.proc.terminate()
-        for r in running.values():
-            r.proc.join(5.0)
+            _reap(r, terminate=True)
         raise KeyboardInterrupt(
             f"injected interrupt after {completed} completed tasks"
         )
@@ -309,8 +331,9 @@ def _run_pool(tasks, config, plan, ctx, outcomes) -> list[TaskOutcome]:
                 msg = conn.recv()
         except (EOFError, OSError):
             msg = None
-        conn.close()
         r.proc.join(5.0)
+        exitcode = r.proc.exitcode
+        _reap(r)
         if msg is not None and msg[0] == "ok":
             duration = time.monotonic() - r.started
             log.info("task %s: ok (pool, attempt %d, %.2fs)",
@@ -326,8 +349,8 @@ def _run_pool(tasks, config, plan, ctx, outcomes) -> list[TaskOutcome]:
                 r,
                 WorkerCrashError(
                     f"worker for {r.task.key!r} died without a result"
-                    f" (exit code {r.proc.exitcode})",
-                    exitcode=r.proc.exitcode,
+                    f" (exit code {exitcode})",
+                    exitcode=exitcode,
                 ),
             )
 
@@ -367,9 +390,7 @@ def _run_pool(tasks, config, plan, ctx, outcomes) -> list[TaskOutcome]:
             for conn, r in list(running.items()):
                 if r.deadline is not None and now >= r.deadline:
                     running.pop(conn)
-                    r.proc.terminate()
-                    r.proc.join(5.0)
-                    conn.close()
+                    _reap(r, terminate=True)
                     settle_failure(
                         r,
                         WorkerTimeoutError(
@@ -384,8 +405,7 @@ def _run_pool(tasks, config, plan, ctx, outcomes) -> list[TaskOutcome]:
         if exc.task is not None:
             leftovers.insert(0, exc.task)
         for r in running.values():
-            r.proc.terminate()
-            r.proc.join(5.0)
+            _reap(r, terminate=True)
             leftovers.append(r.task)
         done = {o.key for o in outcomes}
         for task in leftovers:
@@ -395,9 +415,7 @@ def _run_pool(tasks, config, plan, ctx, outcomes) -> list[TaskOutcome]:
             _interrupt_check(plan, len(outcomes), {})
     except BaseException:
         for r in running.values():
-            r.proc.terminate()
-        for r in running.values():
-            r.proc.join(5.0)
+            _reap(r, terminate=True)
         raise
 
     if failed:

@@ -1,0 +1,143 @@
+"""Blocking client for the sweep job service (``repro submit`` / ``jobs``).
+
+One connection per request keeps the client trivial and the server free
+of per-client session state; everything rides the newline-JSON protocol
+from :mod:`repro.service.protocol`, and server-side errors re-raise
+client-side as the same :mod:`repro.errors` family (so the CLI's exit
+codes survive the socket hop).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..errors import ServiceError, WorkerError
+from ..experiments.runner import Scale
+from ..experiments.sweep import SweepGrid, grid_to_dict
+from .engine import scale_to_dict
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    raise_for_response,
+)
+from .server import split_address
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` instance at ``address``.
+
+    ``address`` is a unix socket path, or ``host:port`` for TCP.
+    """
+
+    def __init__(self, address: str, timeout: float = 120.0):
+        self.address = address
+        self.timeout = timeout
+
+    # ---- wire ------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        tcp = split_address(self.address)
+        try:
+            if tcp is None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.address)
+            else:
+                sock = socket.create_connection(tcp, timeout=self.timeout)
+            return sock
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to sweep service at {self.address!r}"
+                f" ({exc}); is `repro serve` running?"
+            ) from exc
+
+    def request(self, message: dict) -> dict:
+        sock = self._connect()
+        try:
+            sock.sendall(encode_message(message))
+            chunks = []
+            total = 0
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                total += len(chunk)
+                if total > MAX_LINE_BYTES:
+                    raise ServiceError("server response exceeds size limit")
+                if chunk.endswith(b"\n"):
+                    break
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"sweep service at {self.address!r} timed out"
+            ) from exc
+        finally:
+            sock.close()
+        if not chunks:
+            raise ServiceError(
+                f"sweep service at {self.address!r} closed the connection"
+                " without a response"
+            )
+        return raise_for_response(decode_line(b"".join(chunks)))
+
+    # ---- ops -------------------------------------------------------------
+    def ping(self) -> dict:
+        info = self.request({"op": "ping"})
+        if info.get("version") != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"server speaks protocol {info.get('version')!r}, this"
+                f" client speaks {PROTOCOL_VERSION}; upgrade one of them"
+            )
+        return info
+
+    def submit(self, grid: SweepGrid | dict, scale: Scale | dict) -> str:
+        if isinstance(grid, SweepGrid):
+            grid = grid_to_dict(grid)
+        if isinstance(scale, Scale):
+            scale = scale_to_dict(scale)
+        return self.request(
+            {"op": "submit", "grid": grid, "scale": scale}
+        )["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job": job_id})["status"]
+
+    def results(self, job_id: str) -> list[dict]:
+        return self.request({"op": "results", "job": job_id})["rows"]
+
+    def jobs(self) -> list[dict]:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def drain(self) -> None:
+        self.request({"op": "drain"})
+
+    def wait(self, job_id: str, poll: float = 0.2,
+             timeout: float | None = None) -> dict:
+        """Block until the job finishes; returns its final status dict.
+
+        Raises :class:`WorkerError` if the job failed (a quarantined
+        group), :class:`ServiceError` on timeout — both map to distinct
+        CLI exit codes.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] == "done":
+                return status
+            if status["status"] == "failed":
+                raise WorkerError(
+                    f"job {job_id} failed: {status.get('error', 'unknown')}"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for {job_id}"
+                    f" (status: {status['status']})"
+                )
+            time.sleep(poll)

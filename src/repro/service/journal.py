@@ -1,0 +1,191 @@
+"""Append-only checksummed write-ahead journal with snapshot compaction.
+
+The journal is the service's persistence primitive: every state
+transition is appended (and fsynced) *before* it is applied in memory,
+so a crash at any instant loses at most the append in flight.  Records
+are newline-framed::
+
+    <crc32:08x> <canonical JSON payload>\n
+
+where the payload carries a strictly increasing sequence number.  On
+recovery :meth:`Journal.replay` verifies each line's checksum and
+framing; the first bad line and everything after it are treated as a
+*torn tail* — the file is truncated back to the last good record and
+replay stops.  Tail damage is therefore self-healing (it models an
+interrupted append), while the lost transitions are reconstructed from
+the result store (see ``engine.recover``).
+
+Compaction bounds replay time: :func:`write_snapshot` atomically
+persists the full state plus the journal's high-water sequence, after
+which the journal can be truncated.  Replay then starts from the
+snapshot and skips any journal record at or below the snapshot's
+sequence (crash between snapshot and truncate leaves duplicates, which
+the sequence filter makes harmless).  A snapshot has its own checksum;
+unlike tail damage, a corrupt snapshot cannot be attributed to an
+interrupted write (the write is atomic) and raises
+:class:`repro.errors.JournalCorruptError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from ..errors import JournalCorruptError
+from ..runtime.cache import atomic_write_text
+from ..runtime.faults import InjectedServiceCrash
+
+__all__ = ["Journal", "load_snapshot", "write_snapshot"]
+
+
+def _encode(record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    body = payload.encode("utf-8")
+    return f"{zlib.crc32(body):08x} ".encode("ascii") + body + b"\n"
+
+
+def _decode(line: bytes) -> dict | None:
+    """One journal line back into a record, or ``None`` if damaged."""
+    if not line.endswith(b"\n"):
+        return None  # torn: the newline is the commit marker
+    try:
+        crc_hex, body = line[:-1].split(b" ", 1)
+        if int(crc_hex, 16) != zlib.crc32(body):
+            return None
+        record = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or not isinstance(record.get("seq"), int):
+        return None
+    return record
+
+
+class Journal:
+    """Crash-safe append log of JSON records.
+
+    ``append`` assigns sequence numbers; the caller sets them via
+    ``next_seq`` after recovery.  Appends are flushed and fsynced before
+    returning — a record that ``append`` acknowledged survives any
+    subsequent crash.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.next_seq = 1
+        self.appended = 0  # appends in this incarnation (compaction trigger)
+        self._fh = None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _handle(self):
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, record: dict, *, tear: bool = False) -> int:
+        """Durably append ``record`` (sans ``seq``); returns its seq.
+
+        ``tear=True`` is the injected ``torn_journal_append`` fault: only
+        a prefix of the encoded line is written (no newline, so the
+        record never commits) and :class:`InjectedServiceCrash` is raised
+        — the server "died" mid-append.
+        """
+        seq = self.next_seq
+        data = _encode({**record, "seq": seq})
+        fh = self._handle()
+        if tear:
+            fh.write(data[: max(1, len(data) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            raise InjectedServiceCrash(
+                f"injected torn journal append at seq {seq}"
+            )
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.next_seq = seq + 1
+        self.appended += 1
+        return seq
+
+    def replay(self, min_seq: int = 0) -> tuple[list[dict], int]:
+        """Read every intact record with ``seq > min_seq``.
+
+        Returns ``(records, truncated_bytes)``.  A damaged line ends
+        replay: the file is truncated back to the last good record (the
+        torn tail self-heals) and the byte count of the discarded tail is
+        reported.  Sets ``next_seq`` past the highest sequence seen in
+        the file (or ``min_seq``, whichever is higher).
+        """
+        self.close()
+        self.next_seq = min_seq + 1
+        if not self.path.exists():
+            return [], 0
+        raw = self.path.read_bytes()
+        records: list[dict] = []
+        offset = 0
+        while offset < len(raw):
+            end = raw.find(b"\n", offset)
+            line = raw[offset: len(raw) if end < 0 else end + 1]
+            record = _decode(line)
+            if record is None:
+                break
+            offset += len(line)
+            if record["seq"] > min_seq:
+                records.append(record)
+            self.next_seq = max(self.next_seq, record["seq"] + 1)
+        truncated = len(raw) - offset
+        if truncated:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(offset)
+        return records, truncated
+
+    def truncate(self) -> None:
+        """Discard all records (call only after a successful snapshot)."""
+        self.close()
+        with open(self.path, "wb"):
+            pass
+        self.appended = 0
+
+
+# ---- snapshots ---------------------------------------------------------
+
+
+def write_snapshot(path, state: dict, seq: int) -> None:
+    """Atomically persist ``state`` as of journal sequence ``seq``."""
+    payload = json.dumps({"seq": seq, "state": state}, sort_keys=True)
+    crc = zlib.crc32(payload.encode("utf-8"))
+    atomic_write_text(Path(path), json.dumps({"crc": crc, "payload": payload}))
+
+
+def load_snapshot(path) -> tuple[dict, int] | None:
+    """Load a snapshot; ``None`` if absent.
+
+    Raises :class:`JournalCorruptError` on checksum or structure damage —
+    snapshots are written atomically, so damage here is real corruption,
+    not an interrupted write, and silently dropping it would resurrect
+    already-superseded state.
+    """
+    path = Path(path)
+    try:
+        wrapper = json.loads(path.read_text(encoding="utf-8"))
+        payload = wrapper["payload"]
+        if zlib.crc32(payload.encode("utf-8")) != wrapper["crc"]:
+            raise JournalCorruptError(
+                f"snapshot {path} failed its checksum"
+            )
+        data = json.loads(payload)
+        return data["state"], int(data["seq"])
+    except FileNotFoundError:
+        return None
+    except JournalCorruptError:
+        raise
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise JournalCorruptError(
+            f"snapshot {path} is unreadable: {exc}"
+        ) from exc

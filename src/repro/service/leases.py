@@ -1,0 +1,139 @@
+"""Lease-based work claiming with heartbeats.
+
+A lease is the service's answer to "who may run this group right now,
+and what happens when they die".  A worker *claims* a group, receives a
+lease with a deadline, and must *heartbeat* before the deadline to keep
+it.  A worker that crashes, stalls, or loses its heartbeats simply lets
+the deadline pass; :meth:`LeaseTable.pop_expired` then reclaims the
+group so the scheduler can hand it to someone else.
+
+Leases are deliberately **volatile** — they are never journaled.  The
+recovery invariant is that a restarted server re-queues every non-done
+group, which subsumes "every lease holder is presumed dead after a
+server crash" without any lease persistence.
+
+The clock is injected (default ``time.monotonic``) so tests drive expiry
+deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import LeaseError
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One worker's time-bounded claim on one group."""
+
+    key: str
+    worker: str
+    attempt: int       # 1-based claim count for this group
+    granted: float
+    deadline: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+
+class LeaseTable:
+    """Active leases keyed by group, with deterministic expiry.
+
+    ``ttl`` is the heartbeat budget: a claim or heartbeat extends the
+    lease to ``now + ttl``.  All operations are O(1) except
+    ``pop_expired`` (linear scan — the table only holds in-flight
+    groups, bounded by the worker count).
+    """
+
+    def __init__(self, ttl: float = 30.0, clock=time.monotonic):
+        if ttl <= 0:
+            raise LeaseError(f"lease ttl must be positive, got {ttl}")
+        self.ttl = float(ttl)
+        self.clock = clock
+        self._leases: dict[str, Lease] = {}
+        self._attempts: dict[str, int] = {}
+        self.granted = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def holder(self, key: str) -> str | None:
+        lease = self._leases.get(key)
+        return lease.worker if lease else None
+
+    def held_by(self, key: str, worker: str) -> bool:
+        lease = self._leases.get(key)
+        return lease is not None and lease.worker == worker
+
+    def claim(self, key: str, worker: str) -> Lease:
+        """Grant ``worker`` a lease on ``key``; raises if actively held.
+
+        An *expired* lease does not block a new claim — the previous
+        holder is presumed dead and its stale settlement, should it ever
+        arrive, is handled idempotently by the engine.
+        """
+        now = self.clock()
+        current = self._leases.get(key)
+        if current is not None and not current.expired(now):
+            raise LeaseError(
+                f"group {key!r} is already leased to {current.worker!r}"
+                f" until {current.deadline:.1f}"
+            )
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        lease = Lease(key=key, worker=worker, attempt=attempt,
+                      granted=now, deadline=now + self.ttl)
+        self._leases[key] = lease
+        self.granted += 1
+        return lease
+
+    def heartbeat(self, key: str, worker: str) -> bool:
+        """Extend ``worker``'s lease on ``key``; ``False`` if not held.
+
+        A heartbeat from a worker that no longer holds the lease (it
+        expired and was reclaimed) is *not* an error — the worker learns
+        it lost the lease from the ``False`` and abandons or finishes
+        idempotently.
+        """
+        lease = self._leases.get(key)
+        if lease is None or lease.worker != worker:
+            return False
+        if lease.expired(self.clock()):
+            return False
+        lease.deadline = self.clock() + self.ttl
+        return True
+
+    def release(self, key: str, worker: str) -> bool:
+        """Drop ``worker``'s lease on ``key``; ``False`` if not held."""
+        lease = self._leases.get(key)
+        if lease is None or lease.worker != worker:
+            return False
+        del self._leases[key]
+        return True
+
+    def force_expire(self, key: str) -> None:
+        """Backdate a lease so it is expired *now* (fault injection)."""
+        lease = self._leases.get(key)
+        if lease is not None:
+            lease.deadline = self.clock()
+
+    def pop_expired(self) -> list[Lease]:
+        """Remove and return every lease whose deadline has passed."""
+        now = self.clock()
+        expired = [l for l in self._leases.values() if l.expired(now)]
+        for lease in expired:
+            del self._leases[lease.key]
+            self.expirations += 1
+        return expired
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "active": len(self._leases),
+            "granted": self.granted,
+            "expirations": self.expirations,
+        }

@@ -1,0 +1,142 @@
+"""Newline-JSON wire protocol between ``repro`` clients and the server.
+
+One request or response per line, UTF-8 JSON, framed by ``\\n``.  A
+request is ``{"op": ..., **fields}``; a response is ``{"ok": true,
+**fields}`` or ``{"ok": false, "code": ..., "error": ...}``.  ``code``
+mirrors the :mod:`repro.errors` families (``config``, ``corrupt``,
+``worker``, ``service``) so the client can re-raise the right structured
+error — and the CLI the right exit code — across the socket.
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "submit", "grid": {...}, "scale": {...}}
+    {"op": "status", "job": "job0001"}
+    {"op": "results", "job": "job0001"}
+    {"op": "jobs"}
+    {"op": "stats"}
+    {"op": "drain"}
+
+The protocol is versioned; ``ping`` echoes the server's version and a
+mismatching client refuses to proceed rather than misinterpret fields.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import (
+    ConfigError,
+    ReproError,
+    ServiceError,
+    TraceCorruptError,
+    WorkerError,
+)
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "raise_for_response",
+    "validate_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Requests larger than this are rejected rather than buffered forever.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: op name -> required fields beyond "op".
+OPS = {
+    "ping": (),
+    "submit": ("grid", "scale"),
+    "status": ("job",),
+    "results": ("job",),
+    "jobs": (),
+    "stats": (),
+    "drain": (),
+}
+
+
+def encode_message(message: dict) -> bytes:
+    """One message to one newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """One line back to a message dict; structured errors on junk."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ServiceError(
+                f"protocol line of {len(line)} bytes exceeds the"
+                f" {MAX_LINE_BYTES} byte limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(f"protocol line is not UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"protocol line is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServiceError(
+            f"protocol message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(message: dict) -> str:
+    """Check op + required fields; returns the op name."""
+    op = message.get("op")
+    if op not in OPS:
+        raise ServiceError(
+            f"unknown op {op!r}; expected one of {sorted(OPS)}"
+        )
+    missing = [f for f in OPS[op] if f not in message]
+    if missing:
+        raise ServiceError(f"op {op!r} is missing field(s) {missing}")
+    return op
+
+
+def ok_response(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+_ERROR_CODES = (
+    # Order matters: first match wins (mirrors errors.exit_code_for).
+    ("config", ConfigError),
+    ("corrupt", TraceCorruptError),
+    ("worker", WorkerError),
+    ("service", ServiceError),
+)
+
+
+def error_response(exc: BaseException) -> dict:
+    code = "failure"
+    for name, cls in _ERROR_CODES:
+        if isinstance(exc, cls):
+            code = name
+            break
+    return {"ok": False, "code": code, "error": str(exc)}
+
+
+def raise_for_response(response: dict) -> dict:
+    """Re-raise a server-side error client-side; pass through on ok."""
+    if response.get("ok"):
+        return response
+    code = response.get("code", "failure")
+    message = response.get("error", "unspecified server error")
+    if code == "config":
+        raise ConfigError(message)
+    if code == "corrupt":
+        raise TraceCorruptError(message)
+    if code == "worker":
+        raise WorkerError(message)
+    if code == "service":
+        raise ServiceError(message)
+    raise ReproError(message)

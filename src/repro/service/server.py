@@ -1,0 +1,218 @@
+"""Asyncio socket front-end for the sweep engine (``repro serve``).
+
+The event loop owns the engine: every state mutation (submit, claim,
+settle, heartbeat) happens on the loop thread, which is the engine's
+threading contract.  Only :meth:`SweepEngine.run_claimed` — the part
+that blocks on a worker process — is pushed to a thread via
+``asyncio.to_thread``, with a sibling task heartbeating the lease while
+it runs.
+
+Shutdown is two-speed:
+
+* **drain** (SIGTERM, or the ``drain`` op): stop accepting submissions,
+  finish every in-flight and pending group, compact the journal, exit —
+  a deploy can always roll the server without losing or duplicating
+  work;
+* **stop** (SIGINT): exit as soon as in-flight leases settle; pending
+  groups stay journaled and the next start resumes them.
+
+The listening socket is a unix domain socket by default; an address of
+the form ``host:port`` binds localhost TCP instead (for platforms
+without ``AF_UNIX``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import os
+import signal
+
+from ..errors import ReproError, ServiceError
+from ..experiments.sweep import grid_from_dict
+from .engine import SweepEngine, scale_from_dict
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+__all__ = ["SweepServer", "split_address"]
+
+log = logging.getLogger("repro.service")
+
+
+def split_address(address: str) -> tuple[str, int] | None:
+    """``host:port`` -> tuple for TCP; ``None`` means a unix socket path."""
+    host, sep, port = address.rpartition(":")
+    if sep and host and not any(c in address for c in "/\\"):
+        try:
+            return host, int(port)
+        except ValueError:
+            pass
+    return None
+
+
+class SweepServer:
+    """Serve one :class:`SweepEngine` over a local socket."""
+
+    def __init__(self, engine: SweepEngine, address: str, *,
+                 workers: int = 2, poll_interval: float = 0.05):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.address = address
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._stopping = False
+        self._started = asyncio.Event()
+
+    # ---- lifecycle -------------------------------------------------------
+    def stop(self) -> None:
+        """Exit once in-flight leases settle (pending work persists)."""
+        self._stopping = True
+
+    def drain_and_stop(self) -> None:
+        """Finish everything already accepted, then exit."""
+        self.engine.drain()
+
+    async def serve_forever(self) -> None:
+        tcp = split_address(self.address)
+        if tcp is None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.address)
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.address,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host=tcp[0], port=tcp[1],
+                limit=MAX_LINE_BYTES,
+            )
+        self._install_signal_handlers()
+        worker_tasks = [
+            asyncio.create_task(self._worker_loop(f"w{i}"))
+            for i in range(self.workers)
+        ]
+        self._started.set()
+        log.info("serving on %s with %d worker(s)", self.address, self.workers)
+        try:
+            while not self._stopping:
+                if self.engine.draining and self.engine.idle():
+                    log.info("drained and idle; shutting down")
+                    break
+                await asyncio.sleep(self.poll_interval)
+        finally:
+            self._stopping = True
+            for task in worker_tasks:
+                task.cancel()
+            await asyncio.gather(*worker_tasks, return_exceptions=True)
+            server.close()
+            await server.wait_closed()
+            if tcp is None:
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(self.address)
+            self.engine.close()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(signal.SIGTERM, self.drain_and_stop)
+            loop.add_signal_handler(signal.SIGINT, self.stop)
+
+    # ---- workers ---------------------------------------------------------
+    async def _worker_loop(self, name: str) -> None:
+        try:
+            while not self._stopping:
+                claim = self.engine.claim_next(name)
+                if claim is None:
+                    await asyncio.sleep(self.poll_interval)
+                    continue
+                heartbeat = asyncio.create_task(self._heartbeat_loop(claim))
+                try:
+                    rows, error = await asyncio.to_thread(
+                        self.engine.run_claimed, claim
+                    )
+                finally:
+                    heartbeat.cancel()
+                self.engine.settle(claim, rows, error)
+        except asyncio.CancelledError:
+            raise
+
+    async def _heartbeat_loop(self, claim) -> None:
+        period = max(self.engine.config.lease_ttl / 3.0, 0.01)
+        with contextlib.suppress(asyncio.CancelledError):
+            while True:
+                await asyncio.sleep(period)
+                if not self.engine.heartbeat(claim):
+                    log.warning("worker %s lost its lease on %s",
+                                claim.worker, claim.key)
+
+    # ---- connections -----------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(encode_message(error_response(
+                        ServiceError("request line exceeds the size limit")
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = self._dispatch(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _dispatch(self, line: bytes) -> dict:
+        try:
+            message = decode_line(line)
+            op = validate_request(message)
+            return getattr(self, f"_op_{op}")(message)
+        except ReproError as exc:
+            return error_response(exc)
+        except Exception as exc:  # noqa: BLE001 — protocol boundary
+            log.exception("unexpected error handling request")
+            return error_response(ServiceError(f"internal error: {exc}"))
+
+    # ---- ops -------------------------------------------------------------
+    def _op_ping(self, message: dict) -> dict:
+        return ok_response(version=PROTOCOL_VERSION,
+                           draining=self.engine.draining)
+
+    def _op_submit(self, message: dict) -> dict:
+        grid = grid_from_dict(message["grid"])
+        scale = scale_from_dict(message["scale"])
+        job_id = self.engine.submit(grid, scale)
+        return ok_response(job=job_id,
+                           status=self.engine.job_status(job_id))
+
+    def _op_status(self, message: dict) -> dict:
+        return ok_response(status=self.engine.job_status(message["job"]))
+
+    def _op_results(self, message: dict) -> dict:
+        return ok_response(rows=self.engine.job_results(message["job"]))
+
+    def _op_jobs(self, message: dict) -> dict:
+        return ok_response(jobs=self.engine.list_jobs())
+
+    def _op_stats(self, message: dict) -> dict:
+        return ok_response(stats=self.engine.stats())
+
+    def _op_drain(self, message: dict) -> dict:
+        self.engine.drain()
+        return ok_response(draining=True)

@@ -24,6 +24,7 @@ from repro.experiments import (
 from repro.experiments.runner import make_app
 from repro.machines import simulate_hardware, simulate_treadmarks
 from repro.machines.params import cluster_scaled
+from repro.runtime.faults import garble_file, truncate_file
 from repro.runtime import (
     ExecutorConfig,
     RuntimeContext,
@@ -184,3 +185,64 @@ class TestMatrixThroughPlanner:
         first = run_suite(apps=("moldyn",), scale=SCALE)
         second = run_suite(apps=("moldyn",), scale=SCALE)
         assert first == second
+
+
+class TestCheckpointCorruption:
+    """A torn or garbled ``sweeps/*.json`` checkpoint must be detected,
+    quarantined, and resume must regenerate exactly the damaged group."""
+
+    GRID2 = SweepGrid(
+        apps=("moldyn",),
+        versions=("original", "hilbert"),
+        platforms=("origin",),
+        l2_bytes=(32768, 131072),
+    )
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda p: truncate_file(p, keep_fraction=0.4),
+            lambda p: garble_file(p, seed=3),
+            lambda p: p.write_text("definitely not json {"),
+            lambda p: p.write_text('{"rows": "not a list"}'),
+        ],
+        ids=["torn", "garbled", "junk", "wrong-shape"],
+    )
+    def test_resume_regenerates_only_the_damaged_group(
+        self, tmp_path, monkeypatch, damage
+    ):
+        set_runtime(RuntimeContext(
+            cache=TraceCache(tmp_path),
+            executor=ExecutorConfig(jobs=1, task_timeout=None),
+            resume=True,
+        ))
+        baseline = SweepPlan(self.GRID2, SCALE).run()
+        ckpts = sorted((tmp_path / "sweeps").glob("*.json"))
+        assert len(ckpts) == 2
+        victim = ckpts[0]
+        damage(victim)
+        clear_cache()
+
+        import repro.experiments.sweep as sweep_mod
+
+        real = sweep_mod.run_sweep_group
+        ran = []
+
+        def counting(cache_root, group, scale):
+            ran.append(group.key(scale))
+            return real(cache_root, group, scale)
+
+        monkeypatch.setattr(sweep_mod, "run_sweep_group", counting)
+        resumed = SweepPlan(self.GRID2, SCALE).run()
+        assert resumed == baseline            # regenerated identically
+        assert ran == [victim.stem]           # ONLY the damaged group
+        qdir = tmp_path / "sweeps" / "quarantine"
+        assert list(qdir.glob(f"{victim.stem}*.json"))  # preserved, not deleted
+        reasons = list(qdir.glob(f"{victim.stem}*.reason.txt"))
+        assert reasons and reasons[0].read_text().strip()
+
+        # Third run: the regenerated checkpoint is healthy again.
+        ran.clear()
+        clear_cache()
+        assert SweepPlan(self.GRID2, SCALE).run() == baseline
+        assert ran == []

@@ -4,6 +4,8 @@ Worker callables live at module level; the default Linux ``fork`` start
 method inherits them, and they pickle cleanly for other start methods.
 """
 
+import multiprocessing
+import os
 import time
 
 import pytest
@@ -181,3 +183,51 @@ class TestConfigValidation:
     def test_bad_retries(self):
         with pytest.raises(ValueError):
             ExecutorConfig(max_retries=-1)
+
+
+class TestWorkerHygiene:
+    """Regression: every failed worker is terminated, joined, and its
+    pipe fd closed — a timeout storm must not leave zombies or leak
+    file descriptors (they used to accumulate one per timed-out
+    attempt)."""
+
+    def _fd_count(self):
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_timeout_storm_leaves_no_zombies_or_leaked_fds(self):
+        # Warm up multiprocessing's long-lived helpers so the fd census
+        # only sees per-attempt resources.
+        run_tasks([Task(key="warm", fn=square, args=(2,))],
+                  ExecutorConfig(jobs=2, task_timeout=60.0, **FAST))
+        fds_before = self._fd_count()
+        tasks = [Task(key=f"h{i}", fn=square, args=(i,)) for i in range(4)]
+        plan = FaultPlan(worker={t.key: ["hang"] for t in tasks})
+        cfg = ExecutorConfig(jobs=4, task_timeout=0.25, max_retries=0,
+                             serial_fallback=False, **FAST)
+        for _ in range(2):  # a leak would accumulate across storms
+            with pytest.raises(RetryExhaustedError):
+                run_tasks(tasks, cfg, fault_plan=plan)
+        assert multiprocessing.active_children() == []
+        assert self._fd_count() <= fds_before
+
+    def test_crash_storm_leaves_no_zombies_or_leaked_fds(self):
+        run_tasks([Task(key="warm", fn=square, args=(2,))],
+                  ExecutorConfig(jobs=2, task_timeout=60.0, **FAST))
+        fds_before = self._fd_count()
+        tasks = [Task(key=f"c{i}", fn=square, args=(i,)) for i in range(4)]
+        plan = FaultPlan(worker={t.key: ["crash", "crash"] for t in tasks})
+        cfg = ExecutorConfig(jobs=4, task_timeout=60.0, max_retries=1,
+                             serial_fallback=False, **FAST)
+        with pytest.raises(RetryExhaustedError):
+            run_tasks(tasks, cfg, fault_plan=plan)
+        assert multiprocessing.active_children() == []
+        assert self._fd_count() <= fds_before
+
+    def test_interrupt_reaps_inflight_workers(self):
+        tasks = [Task(key=f"t{i}", fn=square, args=(i,)) for i in range(6)]
+        plan = FaultPlan(worker={"t5": ["hang"]}, interrupt_after=3)
+        cfg = ExecutorConfig(jobs=3, task_timeout=60.0, max_retries=0,
+                             serial_fallback=False, **FAST)
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(tasks, cfg, fault_plan=plan)
+        assert multiprocessing.active_children() == []

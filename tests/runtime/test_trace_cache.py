@@ -1,6 +1,7 @@
 """The persistent trace cache: hits, misses, quarantine, atomicity."""
 
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -125,3 +126,68 @@ class TestKey:
         future = CacheKey(app="moldyn", version="hilbert", n=32, iterations=2,
                           nprocs=2, seed=42, format_version=_FORMAT_VERSION + 1)
         assert future.filename() != KEY.filename()
+
+
+class TestConcurrentQuarantine:
+    def test_late_mover_counts_nothing_and_keeps_winner_reason(self, cache):
+        # Two processes can both observe a damaged entry and race to
+        # quarantine it; here the race is decided (the loser arrives
+        # after the winner moved everything).
+        loser = TraceCache(cache.root)
+        cache.store(KEY, make_trace())
+        truncate_file(cache.path(KEY), keep_fraction=0.3)
+        dest = cache.quarantine(KEY, reason="winner saw truncation")
+        reason = dest.with_suffix(".reason.txt")
+        assert cache.quarantined == 1
+        assert reason.read_text() == "winner saw truncation\n"
+
+        loser.quarantine(KEY, reason="loser would overwrite this")
+        assert loser.quarantined == 0  # moved nothing, counts nothing
+        assert reason.read_text() == "winner saw truncation\n"  # preserved
+        assert len(list(cache.quarantine_dir.glob("*.npt"))) == 1
+
+    def test_racing_movers_never_double_quarantine(self, tmp_path):
+        # N threads x M rounds all quarantining the same entry at once:
+        # each round must move the entry exactly once, the mover's
+        # .reason.txt must survive, and losers must not crash or
+        # double-count.  (Threads stand in for worker processes; the
+        # race window is the same os.replace.)
+        root = tmp_path / "cache"
+        seeder = TraceCache(root)
+        movers = [TraceCache(root) for _ in range(4)]
+        rounds = 3
+        for _ in range(rounds):
+            seeder.store(KEY, make_trace())
+            barrier = threading.Barrier(len(movers))
+
+            def race(mover):
+                barrier.wait()
+                mover.quarantine(KEY, reason="raced")
+
+            threads = [threading.Thread(target=race, args=(m,))
+                       for m in movers]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not seeder.path(KEY).exists()  # off the hot path
+
+        quarantined_traces = sorted(seeder.quarantine_dir.glob("*.npt"))
+        assert len(quarantined_traces) == rounds  # never lost or doubled
+        for trace_path in quarantined_traces:
+            # Whoever moved the trace wrote the reason alongside it.
+            assert trace_path.with_suffix(".reason.txt").exists()
+        # Each round, the trace mover counts 1; the sidecar may be moved
+        # by a different thread (who also counts 1); nobody else counts.
+        total = sum(m.quarantined for m in movers)
+        assert rounds <= total <= 2 * rounds
+
+    def test_stats_counters_are_per_process(self, cache):
+        # Documented contract: stats() reflects only this process's
+        # cache object, not cluster-wide truth — a second handle on the
+        # same directory starts from zero.
+        cache.store(KEY, make_trace())
+        assert cache.load(KEY) is not None
+        other = TraceCache(cache.root)
+        assert cache.stats()["hits"] == 1
+        assert other.stats() == {"hits": 0, "misses": 0, "quarantined": 0}

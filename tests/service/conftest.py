@@ -1,0 +1,60 @@
+"""Shared fixtures for the sweep job service tests.
+
+Everything runs at a tiny scale (128 objects, 1 iteration, 2 procs) so
+a full grid is a handful of milliseconds of simulation per group; the
+point of these tests is the durability machinery, not the numbers.
+"""
+
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.experiments.runner import Scale
+from repro.experiments.sweep import SweepGrid, SweepPlan
+from repro.service import EngineConfig, SweepEngine
+
+
+@pytest.fixture
+def tiny_scale():
+    return Scale(
+        n={k: 128 for k in APP_REGISTRY},
+        iterations={k: 1 for k in APP_REGISTRY},
+        nprocs=2,
+        hw_scale=256.0,
+    )
+
+
+@pytest.fixture
+def tiny_grid():
+    # moldyn is category 2: original/hilbert/column -> three groups.
+    return SweepGrid(apps=("moldyn",), platforms=("origin",))
+
+
+@pytest.fixture
+def group_keys(tiny_grid, tiny_scale):
+    return [g.key(tiny_scale) for g in SweepPlan(tiny_grid, tiny_scale).groups()]
+
+
+@pytest.fixture
+def serial_config():
+    """In-process execution: fast, deterministic, no process spawns."""
+    return EngineConfig(use_pool=False, task_timeout=None)
+
+
+@pytest.fixture
+def make_engine(tmp_path, serial_config):
+    """Factory for engine incarnations over one shared state dir."""
+    engines = []
+
+    def _make(fault_plan=None, config=None, subdir="svc", **kwargs):
+        engine = SweepEngine(
+            tmp_path / subdir,
+            config=config or serial_config,
+            fault_plan=fault_plan,
+            **kwargs,
+        )
+        engines.append(engine)
+        return engine
+
+    yield _make
+    for engine in engines:
+        engine.journal.close()

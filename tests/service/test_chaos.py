@@ -1,0 +1,105 @@
+"""Service-level chaos acceptance test (the ISSUE's acceptance criterion).
+
+One campaign suffers the full fault matrix — a worker killed mid-lease,
+one torn journal append (modelled server crash mid-append), one silently
+corrupted checkpoint, and a server restart mid-campaign — and must still
+complete **byte-identical** to a fault-free run, recomputing zero
+groups that had already finished durably.
+
+Fault plans are incarnation-scoped: each engine restart gets its own
+slice, so a fault fires exactly once (see ``repro.runtime.faults``).
+"""
+
+import pytest
+
+from repro.runtime.faults import FaultPlan, InjectedServiceCrash
+from repro.service import EngineConfig
+
+
+@pytest.fixture
+def pool_config():
+    # Real worker processes: the injected "crash" must actually kill one.
+    return EngineConfig(use_pool=True, task_timeout=120.0, retry_budget=2,
+                        lease_ttl=120.0)
+
+
+def test_chaos_matrix_is_byte_identical_to_fault_free(
+    make_engine, pool_config, tiny_grid, tiny_scale, group_keys, tmp_path
+):
+    keys = group_keys
+
+    # ---- fault-free baseline in its own state dir -----------------------
+    baseline = make_engine(subdir="baseline")
+    base_job = baseline.submit(tiny_grid, tiny_scale)
+    baseline.run_until_idle()
+    base_rows = baseline.job_results(base_job)
+
+    # ---- incarnation 1: the fault matrix --------------------------------
+    # Journal seq 1 is the submit; seq 2 the kill-fault's fail record;
+    # seq 3 keys[0]'s successful retry; seq 4 — keys[1]'s "done" — tears.
+    plan1 = FaultPlan(
+        worker={keys[0]: ["crash"]},       # kill the worker mid-lease
+        corrupt_checkpoints=(keys[1],),    # silent bit rot after writing
+        torn_journal_appends=(4,),         # server dies mid-append
+    )
+    e1 = make_engine(subdir="chaos", fault_plan=plan1, config=pool_config)
+    job = e1.submit(tiny_grid, tiny_scale)
+    with pytest.raises(InjectedServiceCrash):
+        e1.run_until_idle()
+    # The kill burned one lease attempt; the retry finished the group.
+    assert e1.executions == {keys[0]: 2, keys[1]: 1}
+    assert e1.counters["injected_checkpoint_corruptions"] == 1
+    assert e1.state.groups[keys[0]].failures == 1
+
+    # ---- incarnation 2: recover, then get killed mid-campaign -----------
+    e2 = make_engine(subdir="chaos", config=pool_config)
+    # Recovery truncated the torn tail and noticed the corrupt checkpoint.
+    assert e2.counters["journal_truncated_bytes"] > 0
+    assert e2.state.groups[keys[0]].status == "done"     # intact: kept
+    assert e2.state.groups[keys[1]].status == "pending"  # torn + corrupt
+    assert e2.state.groups[keys[2]].status == "pending"  # never ran
+    # The damaged checkpoint went to quarantine, not the recycle bin.
+    qdir = e2.sweep_dir / "quarantine"
+    assert list(qdir.glob(f"{keys[1]}*.json"))
+    assert e2.job_status(job)["status"] == "running"
+    # Server "killed mid-campaign": exactly one settle, no clean shutdown.
+    assert e2.run_until_idle(max_settles=1) == 1
+    assert e2.executions == {keys[1]: 1}
+    e2.journal.close()
+
+    # ---- incarnation 3: finish the campaign -----------------------------
+    e3 = make_engine(subdir="chaos", config=pool_config)
+    assert e3.state.groups[keys[1]].status == "done"
+    assert e3.run_until_idle() == 1
+    # Zero finished groups recomputed after any restart: each incarnation
+    # only ever executed groups that were not durably done.
+    assert e3.executions == {keys[2]: 1}
+    assert e3.job_status(job)["status"] == "done"
+
+    # ---- byte-identical results -----------------------------------------
+    assert e3.job_results(job) == base_rows
+    for key in keys:
+        chaos_bytes = (e3.sweep_dir / f"{key}.json").read_bytes()
+        base_bytes = (baseline.sweep_dir / f"{key}.json").read_bytes()
+        assert chaos_bytes == base_bytes, f"checkpoint for {key} differs"
+
+
+def test_torn_submit_append_loses_nothing_but_the_ack(
+    make_engine, tiny_grid, tiny_scale
+):
+    # The very first append (the submission itself) tears: the client
+    # never got an ack, and the restarted server knows nothing of the
+    # job — the torn record must not half-apply.
+    e1 = make_engine(subdir="torn", fault_plan=FaultPlan(
+        torn_journal_appends=(1,)
+    ))
+    with pytest.raises(InjectedServiceCrash):
+        e1.submit(tiny_grid, tiny_scale)
+    e2 = make_engine(subdir="torn")
+    assert e2.counters["journal_truncated_bytes"] > 0
+    assert e2.state.jobs == {} and e2.state.groups == {}
+    # Resubmission starts clean under the same job id.
+    job = e2.submit(tiny_grid, tiny_scale)
+    assert job == "job0001"
+    e2.run_until_idle()
+    assert e2.job_status(job)["status"] == "done"

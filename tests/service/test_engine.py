@@ -1,0 +1,288 @@
+"""SweepEngine: submission, dedup, leases, settlement, recovery."""
+
+import pytest
+
+from repro.errors import JobNotFoundError, ServiceError
+from repro.experiments.sweep import SweepPlan, write_group_checkpoint
+from repro.runtime.faults import FaultPlan
+from repro.service import EngineConfig
+
+
+def _run_job(engine, grid, scale):
+    job_id = engine.submit(grid, scale)
+    engine.run_until_idle()
+    return job_id
+
+
+class TestSubmitAndRun:
+    def test_job_completes_with_plan_identical_rows(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        engine = make_engine()
+        job_id = _run_job(engine, tiny_grid, tiny_scale)
+        status = engine.job_status(job_id)
+        assert status["status"] == "done"
+        assert status["groups"]["total"] == 3
+        # The service path must be indistinguishable from a direct run.
+        assert engine.job_results(job_id) == SweepPlan(tiny_grid, tiny_scale).run()
+
+    def test_results_before_done_is_an_error(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        engine = make_engine()
+        job_id = engine.submit(tiny_grid, tiny_scale)
+        with pytest.raises(ServiceError, match="running"):
+            engine.job_results(job_id)
+
+    def test_unknown_job(self, make_engine):
+        engine = make_engine()
+        with pytest.raises(JobNotFoundError):
+            engine.job_status("job9999")
+
+    def test_drain_rejects_submissions(self, make_engine, tiny_grid, tiny_scale):
+        engine = make_engine()
+        engine.drain()
+        with pytest.raises(ServiceError, match="draining"):
+            engine.submit(tiny_grid, tiny_scale)
+
+
+class TestDedup:
+    def test_second_submission_is_instantly_done(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        engine = make_engine()
+        job1 = _run_job(engine, tiny_grid, tiny_scale)
+        before = dict(engine.executions)
+        job2 = engine.submit(tiny_grid, tiny_scale)
+        assert job2 != job1
+        assert engine.job_status(job2)["status"] == "done"
+        assert engine.executions == before  # nothing recomputed
+        assert engine.job_results(job2) == engine.job_results(job1)
+
+    def test_concurrent_jobs_share_group_records(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        engine = make_engine()
+        job1 = engine.submit(tiny_grid, tiny_scale)
+        job2 = engine.submit(tiny_grid, tiny_scale)
+        assert len(engine.state.groups) == 3
+        assert engine.state.groups[group_keys[0]].subscribers == [job1, job2]
+        engine.run_until_idle()
+        # One computation fanned out to both subscribers.
+        assert all(engine.executions[k] == 1 for k in group_keys)
+        assert engine.job_status(job1)["status"] == "done"
+        assert engine.job_status(job2)["status"] == "done"
+
+    def test_warm_query_from_existing_checkpoints(
+        self, make_engine, tiny_grid, tiny_scale, tmp_path
+    ):
+        # A prior engine (e.g. a CLI sweep) left checkpoints in the shared
+        # cache; a fresh service must satisfy the job without computing.
+        e1 = make_engine(subdir="svc1", cache_root=tmp_path / "cache")
+        _run_job(e1, tiny_grid, tiny_scale)
+        e2 = make_engine(subdir="svc2", cache_root=tmp_path / "cache")
+        job_id = e2.submit(tiny_grid, tiny_scale)
+        assert e2.job_status(job_id)["status"] == "done"
+        assert e2.executions == {}
+        assert e2.counters["warm_group_hits"] == 3
+
+
+class TestRecovery:
+    def test_clean_restart_replays_nothing_and_keeps_results(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        e1 = make_engine()
+        job_id = _run_job(e1, tiny_grid, tiny_scale)
+        rows = e1.job_results(job_id)
+        e1.close()  # graceful: compacts, so the journal is empty
+        e2 = make_engine()
+        assert e2.counters["journal_replayed"] == 0
+        assert e2.job_status(job_id)["status"] == "done"
+        assert e2.job_results(job_id) == rows
+        assert e2.executions == {}
+
+    def test_crash_restart_replays_journal(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        e1 = make_engine()
+        job_id = _run_job(e1, tiny_grid, tiny_scale)
+        e1.journal.close()  # die without compacting
+        e2 = make_engine()
+        assert e2.counters["journal_replayed"] >= 4  # submit + 3 dones
+        assert e2.job_status(job_id)["status"] == "done"
+        assert e2.executions == {}
+
+    def test_lost_checkpoint_requeues_only_that_group(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        e1 = make_engine()
+        job_id = _run_job(e1, tiny_grid, tiny_scale)
+        e1.close()
+        victim = group_keys[1]
+        (e1.sweep_dir / f"{victim}.json").unlink()
+        e2 = make_engine()
+        assert e2.counters["checkpoints_lost"] == 1
+        assert e2.state.groups[victim].status == "pending"
+        assert e2.job_status(job_id)["status"] == "running"
+        e2.run_until_idle()
+        assert e2.executions == {victim: 1}  # nothing else recomputed
+        assert e2.job_status(job_id)["status"] == "done"
+
+    def test_orphan_checkpoint_heals_pending_group(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        # Journal says pending but a valid checkpoint exists (the torn
+        # "done"-append window, or a CLI sweep writing into the cache):
+        # recovery heals the group to done without recomputation.
+        e1 = make_engine()
+        job_id = e1.submit(tiny_grid, tiny_scale)
+        e1.journal.close()  # dies before any group runs
+        for key in group_keys:
+            write_group_checkpoint(e1.sweep_dir / f"{key}.json",
+                                   [{"key": key}])
+        e2 = make_engine()
+        assert e2.counters["checkpoint_heals"] == 3
+        assert e2.job_status(job_id)["status"] == "done"
+        assert e2.executions == {}
+
+    def test_reset_does_not_burn_retry_budget(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        e1 = make_engine()
+        _run_job(e1, tiny_grid, tiny_scale)
+        e1.close()
+        (e1.sweep_dir / f"{group_keys[0]}.json").unlink()
+        e2 = make_engine()
+        assert e2.state.groups[group_keys[0]].failures == 0
+
+
+class TestFailureAndQuarantine:
+    def test_poison_group_is_quarantined_past_budget(
+        self, make_engine, tiny_grid, tiny_scale, group_keys, tmp_path
+    ):
+        poison = group_keys[0]
+        config = EngineConfig(use_pool=False, task_timeout=None, retry_budget=1)
+        plan = FaultPlan(worker={poison: ["error"] * 3})
+        engine = make_engine(fault_plan=plan, config=config)
+        job_id = engine.submit(tiny_grid, tiny_scale)
+        engine.run_until_idle()
+        group = engine.state.groups[poison]
+        assert group.status == "quarantined"
+        assert group.failures == 2  # budget=1 -> 2 attempts
+        assert engine.counters["quarantined_groups"] == 1
+        reason = engine.sweep_dir / "quarantine" / f"{poison}.reason.txt"
+        assert "failed lease attempts" in reason.read_text()
+        # The poison group fails its job without wedging the others.
+        status = engine.job_status(job_id)
+        assert status["status"] == "failed" and status["error"]
+        assert engine.state.groups[group_keys[1]].status == "done"
+        assert engine.idle()
+
+    def test_transient_failure_retries_within_budget(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        flaky = group_keys[2]
+        config = EngineConfig(use_pool=False, task_timeout=None, retry_budget=1)
+        plan = FaultPlan(worker={flaky: ["error"]})  # attempt 2 is clean
+        engine = make_engine(fault_plan=plan, config=config)
+        job_id = engine.submit(tiny_grid, tiny_scale)
+        engine.run_until_idle()
+        assert engine.job_status(job_id)["status"] == "done"
+        assert engine.state.groups[flaky].failures == 1
+        assert engine.executions[flaky] == 2
+
+    def test_quarantine_survives_restart(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        poison = group_keys[0]
+        config = EngineConfig(use_pool=False, task_timeout=None, retry_budget=0)
+        engine = make_engine(
+            fault_plan=FaultPlan(worker={poison: ["error"]}), config=config
+        )
+        job_id = engine.submit(tiny_grid, tiny_scale)
+        engine.run_until_idle()
+        engine.close()
+        e2 = make_engine(config=config)
+        assert e2.state.groups[poison].status == "quarantined"
+        assert e2.job_status(job_id)["status"] == "failed"
+        assert e2.claim_next("w0") is None  # quarantined != schedulable
+
+
+class TestLeaseIntegration:
+    def test_expired_lease_result_is_accepted_when_still_unfinished(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        engine = make_engine()
+        engine.submit(tiny_grid, tiny_scale)
+        claim = engine.claim_next("w0")
+        rows, error = engine.run_claimed(claim)
+        assert error is None
+        engine.leases.force_expire(claim.key)
+        engine.reap_expired()
+        engine.settle(claim, rows)
+        assert engine.state.groups[claim.key].status == "done"
+        assert engine.counters["stale_settlements_accepted"] == 1
+
+    def test_stale_result_is_dropped_after_replacement_finishes(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        engine = make_engine()
+        engine.submit(tiny_grid, tiny_scale)
+        c1 = engine.claim_next("w0")
+        rows1, _ = engine.run_claimed(c1)
+        engine.leases.force_expire(c1.key)
+        engine.reap_expired()
+        c2 = engine.claim_next("w1")
+        assert c2.key == c1.key and c2.attempt == 2
+        rows2, _ = engine.run_claimed(c2)
+        engine.settle(c2, rows2)
+        engine.settle(c1, rows1)  # the zombie's answer arrives late
+        assert engine.counters["stale_settlements_dropped"] == 1
+        assert engine.counters["groups_computed"] == 1
+
+    def test_delayed_heartbeat_fault_expires_a_healthy_worker(
+        self, make_engine, tiny_grid, tiny_scale, group_keys
+    ):
+        victim = group_keys[0]
+        engine = make_engine(
+            fault_plan=FaultPlan(delayed_heartbeats={victim: 1})
+        )
+        job_id = engine.submit(tiny_grid, tiny_scale)
+        claim = engine.claim_next("w0")
+        assert claim.key == victim
+        # The fault swallows the heartbeat: the worker is told it landed.
+        assert engine.heartbeat(claim)
+        rows, error = engine.run_claimed(claim)
+        engine.settle(claim, rows, error)
+        assert engine.counters["delayed_heartbeats"] == 1
+        assert engine.counters["stale_settlements_accepted"] == 1
+        assert engine.state.groups[victim].status == "done"
+        engine.run_until_idle()
+        assert engine.job_status(job_id)["status"] == "done"
+
+    def test_claim_next_skips_leased_groups(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        engine = make_engine()
+        engine.submit(tiny_grid, tiny_scale)
+        c1 = engine.claim_next("w0")
+        c2 = engine.claim_next("w1")
+        c3 = engine.claim_next("w2")
+        assert len({c1.key, c2.key, c3.key}) == 3
+        assert engine.claim_next("w3") is None  # everything leased
+
+
+class TestCompaction:
+    def test_compaction_triggers_and_bounds_replay(
+        self, make_engine, tiny_grid, tiny_scale
+    ):
+        config = EngineConfig(use_pool=False, task_timeout=None,
+                              compact_every=2)
+        e1 = make_engine(config=config)
+        job_id = _run_job(e1, tiny_grid, tiny_scale)
+        assert e1.counters["snapshots_written"] >= 1
+        e1.journal.close()  # crash (no final compact)
+        e2 = make_engine(config=config)
+        # Replay = snapshot + the short journal suffix, not the full history.
+        assert e2.counters["journal_replayed"] <= 2
+        assert e2.job_status(job_id)["status"] == "done"

@@ -1,0 +1,104 @@
+"""Lease table: claiming, heartbeats, expiry — all on a fake clock."""
+
+import pytest
+
+from repro.errors import LeaseError
+from repro.service import LeaseTable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(ttl=10.0, clock=clock)
+
+
+def test_claim_grants_and_counts_attempts(table):
+    lease = table.claim("g0", "w0")
+    assert (lease.worker, lease.attempt) == ("w0", 1)
+    assert table.holder("g0") == "w0"
+    assert table.held_by("g0", "w0") and not table.held_by("g0", "w1")
+
+
+def test_active_lease_blocks_second_claim(table):
+    table.claim("g0", "w0")
+    with pytest.raises(LeaseError):
+        table.claim("g0", "w1")
+
+
+def test_expired_lease_is_claimable_and_attempts_accumulate(table, clock):
+    table.claim("g0", "w0")
+    clock.advance(10.0)
+    lease = table.claim("g0", "w1")
+    assert lease.worker == "w1"
+    assert lease.attempt == 2  # attempts survive across holders
+
+
+def test_heartbeat_extends_deadline(table, clock):
+    table.claim("g0", "w0")
+    clock.advance(8.0)
+    assert table.heartbeat("g0", "w0")
+    clock.advance(8.0)  # 16s since grant, 8s since heartbeat: still alive
+    assert table.pop_expired() == []
+    assert table.holder("g0") == "w0"
+
+
+def test_heartbeat_from_non_holder_is_false_not_error(table):
+    table.claim("g0", "w0")
+    assert not table.heartbeat("g0", "w1")
+    assert not table.heartbeat("unknown", "w0")
+
+
+def test_heartbeat_after_expiry_is_false(table, clock):
+    table.claim("g0", "w0")
+    clock.advance(10.0)
+    assert not table.heartbeat("g0", "w0")
+
+
+def test_pop_expired_reclaims_only_overdue(table, clock):
+    table.claim("g0", "w0")
+    clock.advance(5.0)
+    table.claim("g1", "w1")
+    clock.advance(5.0)  # g0 at 10s (expired), g1 at 5s (alive)
+    expired = table.pop_expired()
+    assert [l.key for l in expired] == ["g0"]
+    assert table.holder("g0") is None and table.holder("g1") == "w1"
+    assert table.stats()["expirations"] == 1
+
+
+def test_release_only_by_holder(table):
+    table.claim("g0", "w0")
+    assert not table.release("g0", "w1")
+    assert table.release("g0", "w0")
+    assert table.holder("g0") is None
+    assert not table.release("g0", "w0")
+
+
+def test_force_expire_backdates(table, clock):
+    table.claim("g0", "w0")
+    table.force_expire("g0")
+    assert [l.key for l in table.pop_expired()] == ["g0"]
+
+
+def test_bad_ttl_rejected(clock):
+    with pytest.raises(LeaseError):
+        LeaseTable(ttl=0.0, clock=clock)
+
+
+def test_stats_shape(table):
+    table.claim("g0", "w0")
+    assert table.stats() == {"active": 1, "granted": 1, "expirations": 0}

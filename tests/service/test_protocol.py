@@ -1,0 +1,102 @@
+"""Wire protocol: framing, validation, and error round-tripping."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    JobNotFoundError,
+    JournalCorruptError,
+    LeaseError,
+    ReproError,
+    ServiceError,
+    TraceCorruptError,
+    WorkerError,
+    WorkerTimeoutError,
+)
+from repro.service.protocol import (
+    OPS,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    raise_for_response,
+    validate_request,
+)
+
+
+def test_encode_decode_roundtrip():
+    message = {"op": "submit", "grid": {"apps": ["moldyn"]}, "scale": {"n": 1}}
+    line = encode_message(message)
+    assert line.endswith(b"\n") and line.count(b"\n") == 1
+    assert decode_line(line) == message
+
+
+@pytest.mark.parametrize("junk", [b"not json\n", b"[1, 2]\n", b"\xff\xfe\n"])
+def test_decode_junk_raises_service_error(junk):
+    with pytest.raises(ServiceError):
+        decode_line(junk)
+
+
+def test_validate_known_ops():
+    for op, required in OPS.items():
+        message = {"op": op, **{f: "x" for f in required}}
+        assert validate_request(message) == op
+
+
+def test_validate_unknown_op():
+    with pytest.raises(ServiceError, match="unknown op"):
+        validate_request({"op": "reboot"})
+
+
+def test_validate_missing_field():
+    with pytest.raises(ServiceError, match="missing field"):
+        validate_request({"op": "status"})
+
+
+@pytest.mark.parametrize(
+    "exc,code",
+    [
+        (ConfigError("bad"), "config"),
+        (TraceCorruptError("bad"), "corrupt"),
+        (JournalCorruptError("bad"), "corrupt"),  # corrupt beats service
+        (WorkerError("bad"), "worker"),
+        (WorkerTimeoutError("bad"), "worker"),
+        (ServiceError("bad"), "service"),
+        (LeaseError("bad"), "service"),
+        (JobNotFoundError("bad"), "service"),
+        (ReproError("bad"), "failure"),
+        (RuntimeError("bad"), "failure"),
+    ],
+)
+def test_error_codes_mirror_exit_code_families(exc, code):
+    response = error_response(exc)
+    assert response == {"ok": False, "code": code, "error": "bad"}
+
+
+@pytest.mark.parametrize(
+    "code,cls",
+    [
+        ("config", ConfigError),
+        ("corrupt", TraceCorruptError),
+        ("worker", WorkerError),
+        ("service", ServiceError),
+        ("failure", ReproError),
+        ("from-the-future", ReproError),
+    ],
+)
+def test_raise_for_response_rebuilds_structured_errors(code, cls):
+    with pytest.raises(cls, match="boom"):
+        raise_for_response({"ok": False, "code": code, "error": "boom"})
+
+
+def test_raise_for_response_passes_ok_through():
+    response = ok_response(job="job0001")
+    assert raise_for_response(response) is response
+    assert response == {"ok": True, "job": "job0001"}
+
+
+def test_server_error_survives_the_wire_as_the_same_family():
+    # The full loop: server-side exception -> response -> line -> client.
+    line = encode_message(error_response(ConfigError("bad scale")))
+    with pytest.raises(ConfigError, match="bad scale"):
+        raise_for_response(decode_line(line))

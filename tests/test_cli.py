@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import errors
 from repro.cli import ARTIFACTS, main
 
 
@@ -120,9 +121,11 @@ class TestResilienceFlags:
         assert code == 0
         assert "cache" not in err
 
-    def test_structured_error_exits_1(self, capsys):
+    def test_config_error_exits_2(self, capsys):
+        # A structured ConfigError maps to the config exit code, with a
+        # one-line message instead of a traceback.
         code, _, err = run_cli(capsys, "--n", "-5", "reproduce", "table1")
-        assert code == 1
+        assert code == errors.EXIT_CONFIG
         assert "error:" in err
 
     def test_jobs_flag_parses(self, capsys):
@@ -135,6 +138,123 @@ class TestResilienceFlags:
         code, _, _ = run_cli(capsys, "--n", "256", "run", "moldyn")
         assert code == 0
         assert list((tmp_path / "envcache").glob("*.npt"))
+
+
+class TestExitCodeContract:
+    """Each repro.errors family maps to its own documented exit code."""
+
+    @pytest.mark.parametrize(
+        "exc,expected",
+        [
+            (errors.ConfigError("bad"), errors.EXIT_CONFIG),
+            (errors.UnknownAppError("bad"), errors.EXIT_CONFIG),
+            (errors.TraceCorruptError("bad"), errors.EXIT_CORRUPT),
+            (errors.CacheMismatchError("bad"), errors.EXIT_CORRUPT),
+            # Both a ServiceError and a TraceCorruptError: corrupt wins.
+            (errors.JournalCorruptError("bad"), errors.EXIT_CORRUPT),
+            (errors.WorkerCrashError("bad"), errors.EXIT_WORKER),
+            (errors.WorkerTimeoutError("bad"), errors.EXIT_WORKER),
+            (errors.RetryExhaustedError("bad"), errors.EXIT_WORKER),
+            (errors.ServiceError("bad"), errors.EXIT_SERVICE),
+            (errors.JobNotFoundError("bad"), errors.EXIT_SERVICE),
+            (errors.LeaseError("bad"), errors.EXIT_SERVICE),
+            (errors.MetricError("bad"), errors.EXIT_FAILURE),
+            (errors.ReproError("bad"), errors.EXIT_FAILURE),
+        ],
+    )
+    def test_exit_code_for(self, exc, expected):
+        assert errors.exit_code_for(exc) == expected
+
+    @pytest.mark.parametrize(
+        "exc,expected",
+        [
+            (errors.TraceCorruptError("trace rotted"), errors.EXIT_CORRUPT),
+            (errors.WorkerTimeoutError("worker hung"), errors.EXIT_WORKER),
+            (errors.ServiceError("server gone"), errors.EXIT_SERVICE),
+        ],
+    )
+    def test_main_maps_structured_errors(
+        self, capsys, monkeypatch, exc, expected
+    ):
+        # The boundary itself: any handler raising a structured error
+        # becomes the family's exit code and a one-line message.
+        def boom(args):
+            raise exc
+
+        monkeypatch.setattr("repro.cli._cmd_list", boom)
+        code, _, err = run_cli(capsys, "list")
+        assert code == expected
+        assert f"error: {exc}" in err
+
+    def test_interrupt_exits_130(self, capsys, monkeypatch):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli._cmd_list", interrupted)
+        code, _, err = run_cli(capsys, "list")
+        assert code == 130
+        assert "interrupted" in err
+
+    def test_usage_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit"])  # missing required app
+        assert excinfo.value.code == errors.EXIT_CONFIG
+
+
+class TestServiceCommands:
+    def test_submit_without_server_exits_5(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "--n", "256", "submit", "moldyn",
+            "--socket", str(tmp_path / "absent.sock"),
+        )
+        assert code == errors.EXIT_SERVICE
+        assert "repro serve" in err  # tells the user what is missing
+
+    def test_jobs_without_server_exits_5(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "jobs", "--socket", str(tmp_path / "absent.sock")
+        )
+        assert code == errors.EXIT_SERVICE
+
+    def test_submit_wait_and_jobs_against_live_server(self, capsys, tmp_path):
+        import asyncio
+        import threading
+        import time
+
+        from repro.service import EngineConfig, SweepEngine, SweepServer
+
+        engine = SweepEngine(
+            tmp_path / "svc",
+            config=EngineConfig(use_pool=False, task_timeout=None),
+        )
+        sock = str(tmp_path / "repro.sock")
+        server = SweepServer(engine, sock, workers=1, poll_interval=0.01)
+        thread = threading.Thread(
+            target=asyncio.run, args=(server.serve_forever(),), daemon=True
+        )
+        thread.start()
+        try:
+            deadline = time.monotonic() + 15.0
+            while not (tmp_path / "repro.sock").exists():
+                assert time.monotonic() < deadline, "server never bound"
+                time.sleep(0.02)
+
+            code, out, _ = run_cli(
+                capsys, "--n", "256", "--nprocs", "4",
+                "submit", "moldyn", "--socket", sock, "--wait",
+                "--wait-timeout", "120",
+            )
+            assert code == 0
+            assert "submitted job0001" in out
+            assert "l2_misses" in out  # the waited-for rows rendered
+
+            code, out, _ = run_cli(capsys, "jobs", "--socket", sock)
+            assert code == 0
+            assert "job0001" in out and "done" in out
+        finally:
+            engine.drain()
+            thread.join(60.0)
+        assert not thread.is_alive()
 
 
 def test_all_artifact_names_have_handlers():
