@@ -1,0 +1,140 @@
+"""Ordering-zoo benchmark: key-generation throughput and tuned counters.
+
+Two measurements, persisted to ``benchmarks/results/BENCH_orderings.json``:
+
+* **keygen throughput** — every ordering in the registry generates keys
+  for one 65 536-point 3-D Plummer-like cloud (graph orderings get the
+  Hilbert-chain pairs, built outside the timed region).  No floor — the
+  orderings differ by design (RCM pays for adjacency + search) — but
+  every generator must return a full set of keys.
+* **tuned vs hilbert** — ``repro tune`` on Barnes-Hut/origin and
+  Unstructured/TreadMarks at n=8192, P=16: the recommended ordering's
+  cost-model counters (L2/TLB misses, DSM messages and bytes) next to
+  Hilbert's, the paper's all-round default.  Asserts the acceptance
+  property end-to-end at benchmark scale: Unstructured on TreadMarks
+  selects ``rcm`` — a zoo member, not one of the paper's four — and its
+  score beats Hilbert's.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.graph import GRAPH_ORDERINGS, hilbert_chain_pairs
+from repro.core.keys import ORDERINGS, key_generator
+from repro.experiments.tune import TuneSpec, tune
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+KEYGEN_N = 65536
+BITS = 16
+ROUNDS = 3
+
+TUNE_N = 8192
+TUNE_P = 16
+TUNE_ITERATIONS = 2
+TUNE_PAIRS = (("barnes-hut", "origin"), ("unstructured", "treadmarks"))
+
+
+def _keygen_throughput():
+    rng = np.random.default_rng(11)
+    pts = rng.standard_normal((KEYGEN_N, 3)) / np.sqrt(
+        rng.random(KEYGEN_N)[:, None] + 0.05
+    )
+    chain = hilbert_chain_pairs(pts)
+    out = {}
+    for name in sorted(ORDERINGS):
+        gen = key_generator(name)
+        kwargs = {"pairs": chain} if name in GRAPH_ORDERINGS else {}
+        best = 1e30
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            keys = gen(pts, bits=BITS, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        assert keys.shape == (KEYGEN_N,)
+        out[name] = {
+            "seconds": round(best, 5),
+            "mkeys_per_s": round(KEYGEN_N / best / 1e6, 3),
+        }
+    return out
+
+
+def _tuned_vs_hilbert():
+    out = {}
+    for app, machine in TUNE_PAIRS:
+        spec = TuneSpec(
+            app=app, machine=machine, n=TUNE_N, nprocs=TUNE_P,
+            iterations=TUNE_ITERATIONS,
+        )
+        result = tune(spec)
+        out[f"{app}/{machine}"] = {
+            "candidates": list(spec.candidates),
+            "best": result.best,
+            "scores": {
+                s.version: {
+                    "score_ms": round(s.score * 1e3, 4),
+                    "reorder_ms": round(s.reorder_cost * 1e3, 4),
+                    "counters": s.counters,
+                }
+                for s in result.scores
+            },
+        }
+    return out
+
+
+@pytest.mark.slow
+def test_ordering_zoo_bench(emit):
+    keygen = _keygen_throughput()
+    tuned = _tuned_vs_hilbert()
+
+    # The acceptance pair at benchmark scale: a zoo ordering wins.
+    unstr = tuned["unstructured/treadmarks"]
+    assert unstr["best"] == "rcm"
+    assert (unstr["scores"]["rcm"]["score_ms"]
+            < unstr["scores"]["hilbert"]["score_ms"])
+
+    lines = [
+        f"Ordering zoo — keygen on {KEYGEN_N} 3-D points (bits={BITS}, "
+        f"min of {ROUNDS} rounds)",
+        "",
+        f"{'ordering':<10} {'seconds':>9} {'Mkeys/s':>9}",
+    ]
+    for name, row in sorted(
+        keygen.items(), key=lambda kv: -kv[1]["mkeys_per_s"]
+    ):
+        lines.append(
+            f"{name:<10} {row['seconds']:>9.4f} {row['mkeys_per_s']:>9.2f}"
+        )
+    for pair, data in tuned.items():
+        lines += [
+            "",
+            f"tune {pair} (n={TUNE_N}, P={TUNE_P}, "
+            f"{TUNE_ITERATIONS} iterations) -> {data['best']}",
+            f"{'version':<10} {'score ms':>10} {'reorder ms':>11}  counters",
+        ]
+        for version in data["candidates"]:
+            s = data["scores"][version]
+            mark = " <- best" if version == data["best"] else ""
+            counters = ", ".join(
+                f"{k}={v}" for k, v in s["counters"].items() if k != "points"
+            )
+            lines.append(
+                f"{version:<10} {s['score_ms']:>10.3f} "
+                f"{s['reorder_ms']:>11.3f}  {counters}{mark}"
+            )
+    emit("bench_orderings", "\n".join(lines))
+
+    payload = {
+        "bench": "orderings",
+        "keygen": {"n": KEYGEN_N, "bits": BITS, "rounds": ROUNDS,
+                   "throughput": keygen},
+        "tune": {"n": TUNE_N, "nprocs": TUNE_P,
+                 "iterations": TUNE_ITERATIONS, "results": tuned},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_orderings.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -9,43 +9,59 @@ Section 3.4 and the conclusions give a decision rule:
 * block-partitioned app on hardware shared memory -> Hilbert (cubes touch
   few small consistency units).
 
-This example demonstrates the Category 2 crossover on Moldyn by sweeping
-the consistency-unit size, then prints the orderings of Figure 3.
+Instead of trusting the rule, ask the auto-tuner: ``repro.experiments.tune``
+runs every candidate ordering through the sweep engines and scores the
+counters with each machine's cost model.  The library's ordering zoo is
+bigger than the paper's (Gray and Peano curves, BFS and reverse
+Cuthill-McKee over the interaction graph), and the tuner shows where the
+newcomers beat the guideline — RCM wins on the explicit-graph apps over
+the software DSMs.  Recommendations persist in a library, so asking twice
+costs nothing (try running this script again).
+
+The same loop is available from the command line::
+
+    python -m repro tune unstructured --machine treadmarks
 
 Run:  python examples/choose_an_ordering.py
 """
 
-from repro.apps import AppConfig, Moldyn
-from repro.experiments.figures import fig3
 from repro.experiments.report import render_path, render_table
-from repro.machines import simulate_treadmarks
-from repro.machines.params import cluster_scaled
+from repro.experiments.tune import RecommendationLibrary, TuneSpec, tune
+from repro.experiments.figures import fig3
 
-nprocs = 16
-traces = {}
-for version in ("column", "hilbert"):
-    app = Moldyn(AppConfig(n=4096, nprocs=nprocs, iterations=4, seed=42))
-    app.reorder(version)
-    traces[version] = app.run()
+library = RecommendationLibrary("repro-tune")
 
 rows = []
-for unit in (128, 512, 2048, 8192):
-    params = cluster_scaled(nprocs=nprocs, page_size=unit)
-    col = simulate_treadmarks(traces["column"], params)
-    hil = simulate_treadmarks(traces["hilbert"], params)
-    winner = "column" if col.messages < hil.messages else "hilbert"
-    rows.append([unit, col.messages, hil.messages, winner])
+for app, machine in (
+    ("moldyn", "origin"),
+    ("moldyn", "treadmarks"),
+    ("unstructured", "treadmarks"),
+    ("water-spatial", "treadmarks"),
+    ("barnes-hut", "origin"),
+):
+    spec = TuneSpec(app=app, machine=machine, n=2048, nprocs=8, iterations=2)
+    result = tune(spec, library=library)
+    ranked = sorted(result.scores, key=lambda s: s.score)
+    rows.append([
+        app, machine, result.best,
+        " > ".join(s.version for s in ranked),
+        result.source,
+    ])
 
 print(
     render_table(
-        ["unit bytes", "column msgs", "hilbert msgs", "winner"],
+        ["application", "machine", "best", "ranking (best first)", "source"],
         rows,
-        title="Moldyn (block-partitioned) message count vs consistency-unit size",
+        title="Auto-tuned ordering per (application, machine)",
     )
 )
 print(
-    "\n-> column ordering wins at page granularity, Hilbert at cache-line\n"
-    "   granularity: exactly the paper's guideline for Category 2 apps.\n"
+    "\n-> The paper's guideline survives where it applies (space-filling\n"
+    "   curves on hardware, slabs/curves on DSMs), but the new zoo members\n"
+    "   take wins the guideline predates — reverse Cuthill-McKee on the\n"
+    "   explicit-graph mesh, Peano elsewhere — and the margins shift with\n"
+    "   problem size: that is exactly why tuning beats a fixed rule.\n"
+    "   Run the script again: every row now answers from the library.\n"
 )
 
 print("The four orderings on an 8x8 grid (paper Figure 3), visit order:\n")

@@ -53,7 +53,7 @@ class BarnesHut(Application):
     category = 1
     sync = "b"
     object_size = 104
-    orderings = ("hilbert", "morton")
+    orderings = ("hilbert", "morton", "gray", "peano")
 
     def __init__(self, config: AppConfig):
         super().__init__(config)

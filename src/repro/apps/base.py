@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..core.graph import GRAPH_ORDERINGS
 from ..core.reorder import Reordering, reorder as compute_reordering
 from ..trace.events import Trace
 
@@ -187,7 +188,19 @@ def reorder_cycles(n: int, object_size: int, method: str = "hilbert") -> float:
     """
     if n <= 0:
         return 0.0
-    keygen = 900.0 if method in ("hilbert", "morton") else 100.0
+    # Per-object key construction cost by family: bit-interleaving curves
+    # (Hilbert/Morton and the Gray recode on top of Morton) ~900 cycles,
+    # the base-3 Peano digit loop a bit more, the graph orderings more
+    # still (CSR build + BFS queue work per object), and the trivial
+    # row/column bit concatenation ~100.
+    keygen = {
+        "hilbert": 900.0,
+        "morton": 900.0,
+        "gray": 900.0,
+        "peano": 1100.0,
+        "bfs": 1500.0,
+        "rcm": 1500.0,
+    }.get(method, 100.0)
     return float(n) * (
         keygen + 10.0 * np.log2(max(n, 2)) + object_size / 2.0
     )
@@ -231,6 +244,19 @@ class Application(ABC):
     def positions(self) -> np.ndarray:
         """Current coordinates of the main object array, shape (n, ndim)."""
 
+    def interaction_pairs(self) -> np.ndarray | None:
+        """The app's static interaction graph, as an ``(m, 2)`` index array.
+
+        Apps with an explicit interaction structure (Moldyn's pair list,
+        Unstructured's mesh edges, Water-Spatial's neighbour list) return
+        it here so the graph orderings (``"bfs"``, ``"rcm"``) can order by
+        who-talks-to-whom rather than position.  Tree-partitioned apps
+        whose interactions are recomputed every step return ``None`` — the
+        graph orderings then fall back to the Hilbert chain over positions
+        (see :mod:`repro.core.graph`).
+        """
+        return None
+
     @property
     def n(self) -> int:
         return self.config.n
@@ -243,11 +269,15 @@ class Application(ABC):
     def reorder(self, method: str) -> Reordering:
         """Reorder the main object array with the named ordering.
 
-        Computes the permutation from the *current* positions, then lets
-        the app permute its arrays / remap its index structures via
+        Computes the permutation from the *current* positions (plus the
+        interaction graph, for the graph orderings), then lets the app
+        permute its arrays / remap its index structures via
         :meth:`_apply_reordering`.
         """
-        r = compute_reordering(method, coords=self.positions())
+        pairs = (
+            self.interaction_pairs() if method in GRAPH_ORDERINGS else None
+        )
+        r = compute_reordering(method, coords=self.positions(), pairs=pairs)
         self._apply_reordering(r)
         self.reordered_by = method
         return r

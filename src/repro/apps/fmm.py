@@ -79,7 +79,7 @@ class FMM(Application):
     category = 1
     sync = "b,l"
     object_size = 104
-    orderings = ("hilbert", "morton")
+    orderings = ("hilbert", "morton", "gray", "peano")
 
     def __init__(self, config: AppConfig):
         super().__init__(config)

@@ -129,7 +129,7 @@ class Moldyn(Application):
     category = 2
     sync = "b"
     object_size = 72
-    orderings = ("column", "hilbert")
+    orderings = ("column", "hilbert", "gray", "rcm")
 
     def __init__(self, config: AppConfig):
         super().__init__(config)
@@ -153,6 +153,9 @@ class Moldyn(Application):
 
     def positions(self) -> np.ndarray:
         return self.pos
+
+    def interaction_pairs(self) -> np.ndarray:
+        return self.pairs
 
     def _apply_reordering(self, r: Reordering) -> None:
         self.pos = r.apply(self.pos)

@@ -51,7 +51,7 @@ class Unstructured(Application):
     category = 2
     sync = "b,l"
     object_size = 32
-    orderings = ("column", "hilbert")
+    orderings = ("column", "hilbert", "gray", "rcm")
 
     def __init__(self, config: AppConfig):
         super().__init__(config)
@@ -73,6 +73,9 @@ class Unstructured(Application):
 
     def positions(self) -> np.ndarray:
         return self.mesh.points
+
+    def interaction_pairs(self) -> np.ndarray:
+        return self.mesh.edges
 
     def _apply_reordering(self, r: Reordering) -> None:
         self.mesh = Mesh(

@@ -98,7 +98,7 @@ class WaterSpatial(Application):
     category = 1
     sync = "b,l"
     object_size = 680
-    orderings = ("hilbert",)
+    orderings = ("hilbert", "gray", "peano")
 
     def __init__(self, config: AppConfig):
         super().__init__(config)
@@ -135,6 +135,11 @@ class WaterSpatial(Application):
 
     def positions(self) -> np.ndarray:
         return self.pos
+
+    def interaction_pairs(self) -> np.ndarray:
+        # Rebuilt on demand: the cutoff pair list is exactly the molecule
+        # interaction graph the cell sweep walks each step.
+        return build_interaction_list(self.pos, self.cutoff, self.box)
 
     def _apply_reordering(self, r: Reordering) -> None:
         self.pos = r.apply(self.pos)

@@ -40,6 +40,7 @@ import os
 import sys
 
 from .apps import APP_REGISTRY
+from .core.keys import ORDERINGS
 from .errors import ReproError, exit_code_for
 from .experiments import (
     Scale,
@@ -74,6 +75,10 @@ from .experiments.tables import TABLE4_PHASES
 from .runtime import ExecutorConfig, RuntimeContext, TraceCache, set_runtime
 
 __all__ = ["main", "ARTIFACTS"]
+
+#: Every data-ordering version a CLI flag accepts: the untouched layout
+#: plus the full ordering zoo of :data:`repro.core.keys.ORDERINGS`.
+VERSION_CHOICES = ("original", *ORDERINGS)
 
 #: Defaults for options addable both before and after the subcommand (the
 #: parsers use ``SUPPRESS`` so a later occurrence overrides an earlier one).
@@ -489,6 +494,47 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .experiments.tune import RecommendationLibrary, TuneSpec, tune
+
+    if args.smoke:
+        n, iterations, nprocs = 256, 1, min(args.nprocs, 4)
+    else:
+        n, iterations, nprocs = args.n or 4096, None, args.nprocs
+    lib_dir = (args.tune_dir or os.environ.get("REPRO_TUNE_DIR")
+               or "repro-tune")
+    library = RecommendationLibrary(lib_dir)
+    apps = args.app or sorted(APP_REGISTRY)
+    for name in apps:
+        if name not in APP_REGISTRY:
+            print(f"unknown application {name!r}", file=sys.stderr)
+            return 2
+        spec = TuneSpec(
+            app=name,
+            machine=args.machine,
+            n=n,
+            nprocs=nprocs,
+            iterations=iterations,
+            candidates=tuple(args.candidates or ()),
+        )
+        result = tune(spec, library=library, force=args.force)
+        rows = [
+            [s.version, round(s.score * 1e3, 4), round(s.access_cost * 1e3, 4),
+             round(s.reorder_cost * 1e3, 4),
+             "<- best" if s.version == result.best else ""]
+            for s in sorted(result.scores, key=lambda s: s.score)
+        ]
+        origin = "library" if result.source == "library" else "measured"
+        print(render_table(
+            ["version", "cost ms", "access ms", "reorder ms", ""],
+            rows,
+            title=f"tune {name} on {args.machine}"
+                  f" (n={n}, P={nprocs}, {origin})",
+        ))
+        print(f"recommendation: {name}/{args.machine} -> {result.best}\n")
+    return 0
+
+
 def _cmd_diagnose(args) -> int:
     from .experiments.analysis import diagnose
     from .experiments.runner import make_app
@@ -531,7 +577,7 @@ def main(argv: list[str] | None = None) -> int:
     run = sub.add_parser("run", help="run one app/version/platform cell")
     run.add_argument("app", choices=sorted(APP_REGISTRY))
     run.add_argument("--version", default="original",
-                     choices=["original", "hilbert", "morton", "column", "row"])
+                     choices=VERSION_CHOICES)
     run.add_argument("--platform", default="origin",
                      choices=["origin", "treadmarks", "hlrc"])
     _add_common(run)
@@ -543,7 +589,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     swp.add_argument("app", nargs="+", choices=sorted(APP_REGISTRY))
     swp.add_argument("--version", action="append", dest="versions",
-                     choices=["original", "hilbert", "morton", "column", "row"],
+                     choices=VERSION_CHOICES,
                      help="data ordering; repeatable (default: the paper's"
                           " orderings per app)")
     swp.add_argument("--platform", action="append", dest="sweep_platforms",
@@ -583,7 +629,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     sbm.add_argument("app", nargs="+", choices=sorted(APP_REGISTRY))
     sbm.add_argument("--version", action="append", dest="versions",
-                     choices=["original", "hilbert", "morton", "column", "row"])
+                     choices=VERSION_CHOICES)
     sbm.add_argument("--platform", action="append", dest="sweep_platforms",
                      choices=["origin", "treadmarks", "hlrc"])
     sbm.add_argument("--grid", action="append", default=[],
@@ -602,12 +648,36 @@ def main(argv: list[str] | None = None) -> int:
     jbs.add_argument("--socket", default=None, metavar="ADDR")
     _add_common(jbs)
 
+    tun = sub.add_parser(
+        "tune",
+        help="select the best ordering per (app, machine, size) via the"
+             " sweep engines; recommendations persist in a library",
+    )
+    tun.add_argument("app", nargs="*",
+                     help="application(s) to tune (default: all)")
+    tun.add_argument("--machine", default="treadmarks",
+                     choices=["origin", "treadmarks", "hlrc"],
+                     help="machine family to tune for (default: treadmarks)")
+    tun.add_argument("--candidates", action="append", default=[],
+                     choices=VERSION_CHOICES,
+                     help="candidate ordering; repeatable (default:"
+                          " original + the app's declared orderings)")
+    tun.add_argument("--tune-dir", default=None, metavar="DIR",
+                     help="recommendation library directory (default:"
+                          " $REPRO_TUNE_DIR or ./repro-tune)")
+    tun.add_argument("--force", action="store_true",
+                     help="re-measure even when the library has an answer")
+    tun.add_argument("--smoke", action="store_true",
+                     help="tiny problem (n=256, 1 iteration) — CI wiring"
+                          " check, not a meaningful recommendation")
+    _add_common(tun)
+
     diag = sub.add_parser(
         "diagnose", help="full layout diagnosis of one app run"
     )
     diag.add_argument("app", choices=sorted(APP_REGISTRY))
     diag.add_argument("--version", default="original",
-                      choices=["original", "hilbert", "morton", "column", "row"])
+                      choices=VERSION_CHOICES)
     _add_common(diag)
 
     args = _resolve_common(ap.parse_args(argv))
@@ -619,6 +689,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "tune": _cmd_tune,
         "diagnose": _cmd_diagnose,
     }
     previous = None

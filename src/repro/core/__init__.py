@@ -2,16 +2,30 @@
 
 Public surface:
 
-* key generation — :func:`~repro.core.sfc.hilbert_keys`,
-  :func:`~repro.core.sfc.morton_keys`, :func:`~repro.core.keys.column_keys`,
-  :func:`~repro.core.keys.row_keys`;
-* reordering — :func:`hilbert_reorder`, :func:`morton_reorder`,
-  :func:`column_reorder`, :func:`row_reorder`, each returning a
+* key generation — the ordering zoo in :data:`~repro.core.keys.ORDERINGS`:
+  space-filling curves (:func:`~repro.core.sfc.hilbert_keys`,
+  :func:`~repro.core.sfc.morton_keys`, :func:`~repro.core.sfc.gray_keys`,
+  :func:`~repro.core.sfc.peano_keys`), lattice traversals
+  (:func:`~repro.core.keys.column_keys`, :func:`~repro.core.keys.row_keys`),
+  and graph orderings over the app interaction structure
+  (:func:`~repro.core.graph.bfs_keys`, :func:`~repro.core.graph.rcm_keys`);
+* reordering — :func:`reorder` plus one convenience wrapper per zoo entry
+  (:func:`hilbert_reorder`, :func:`rcm_reorder`, ...), each returning a
   :class:`Reordering` that can permute object arrays and remap index-based
   auxiliary structures;
 * byte-level C-interface veneer — :mod:`repro.core.library`.
 """
 
+from .graph import (
+    GRAPH_ORDERINGS,
+    adjacency_from_pairs,
+    bfs_keys,
+    bfs_order,
+    graph_bandwidth,
+    hilbert_chain_pairs,
+    rcm_keys,
+    rcm_order,
+)
 from .keys import ORDERINGS, column_keys, key_generator, row_keys
 from .metrics import (
     OrderingQuality,
@@ -24,20 +38,31 @@ from .quantize import BoundingBox, dequantize_centers, quantize
 from .rank import invert_permutation, rank_keys
 from .reorder import (
     Reordering,
+    bfs_reorder,
     column_reorder,
+    gray_reorder,
     hilbert_reorder,
     morton_reorder,
+    peano_reorder,
+    rcm_reorder,
     reorder,
     reorder_by_keys,
     row_reorder,
 )
 from .sfc import (
+    axes_from_gray_key,
     axes_from_hilbert_key,
     axes_from_morton_key,
+    axes_from_peano_key,
+    gray_key_from_axes,
+    gray_keys,
     hilbert_key_from_axes,
     hilbert_keys,
     morton_key_from_axes,
     morton_keys,
+    peano_key_from_axes,
+    peano_keys,
+    peano_order_for,
 )
 
 __all__ = [
@@ -50,10 +75,25 @@ __all__ = [
     "morton_keys",
     "morton_key_from_axes",
     "axes_from_morton_key",
+    "gray_keys",
+    "gray_key_from_axes",
+    "axes_from_gray_key",
+    "peano_keys",
+    "peano_key_from_axes",
+    "axes_from_peano_key",
+    "peano_order_for",
     "column_keys",
     "row_keys",
     "ORDERINGS",
+    "GRAPH_ORDERINGS",
     "key_generator",
+    "adjacency_from_pairs",
+    "bfs_order",
+    "rcm_order",
+    "bfs_keys",
+    "rcm_keys",
+    "graph_bandwidth",
+    "hilbert_chain_pairs",
     "rank_keys",
     "invert_permutation",
     "Reordering",
@@ -61,8 +101,12 @@ __all__ = [
     "reorder_by_keys",
     "hilbert_reorder",
     "morton_reorder",
+    "gray_reorder",
+    "peano_reorder",
     "column_reorder",
     "row_reorder",
+    "bfs_reorder",
+    "rcm_reorder",
     "adjacent_distance",
     "neighbor_rank_gap",
     "partner_page_spread",

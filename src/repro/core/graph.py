@@ -1,0 +1,233 @@
+"""Graph-based orderings over the application interaction graph.
+
+The space-filling curves order objects by *where they sit*; for apps
+whose sharing is defined by an explicit interaction structure (Moldyn's
+pair list, Unstructured's mesh edges) it can pay to order by *who talks
+to whom* instead.  This module provides the two classic graph orderings:
+
+* **BFS** — breadth-first visit order from a peripheral (minimum-degree)
+  vertex; neighbours of a vertex land near it in the array, level by
+  level (cf. "Locality-Aware Laplacian Mesh Smoothing").
+* **RCM** — reverse Cuthill-McKee: the Cuthill-McKee visit (BFS with
+  neighbours expanded in ascending-degree order) reversed, the standard
+  bandwidth-reducing order for sparse symmetric matrices.  Low bandwidth
+  means interacting pairs sit close in the reordered array — exactly the
+  locality the DSM simulators price.
+
+Both integrate with the key-generator registry
+(:data:`repro.core.keys.ORDERINGS`): their "sorting key" is simply the
+visit position, so ``reorder(method="rcm", pairs=...)`` flows through
+the same rank/permute pipeline as every curve.  When no interaction
+``pairs`` are supplied (the generators are called with points alone,
+e.g. from :func:`repro.core.metrics.ordering_report` on a bare point
+set), they fall back to the **Hilbert chain** — consecutive points in
+Hilbert order become the edges — which degrades the graph orderings to
+a spatial traversal instead of failing.  Apps export their real
+structures via ``Application.interaction_pairs``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .quantize import BoundingBox
+from .sfc import hilbert_keys
+
+__all__ = [
+    "GRAPH_ORDERINGS",
+    "adjacency_from_pairs",
+    "bfs_order",
+    "rcm_order",
+    "graph_bandwidth",
+    "hilbert_chain_pairs",
+    "bfs_keys",
+    "rcm_keys",
+]
+
+#: Ordering names whose key generators consume interaction ``pairs``.
+GRAPH_ORDERINGS = frozenset({"bfs", "rcm"})
+
+
+def _check_pairs(pairs: np.ndarray, n: int) -> np.ndarray:
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (m, 2)")
+    if pairs.size and (pairs.min() < 0 or pairs.max() >= n):
+        raise ValueError("pair indices out of range")
+    return pairs
+
+
+def adjacency_from_pairs(pairs: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR adjacency ``(indptr, indices)`` of the undirected graph.
+
+    ``pairs`` may be directed, unsorted and contain duplicates or self
+    loops; the result is symmetrized, deduplicated, self-loop-free, and
+    each row's neighbours are in ascending order.
+    """
+    pairs = _check_pairs(pairs, n)
+    if pairs.shape[0] == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if src.shape[0] == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    # Sort by (src, dst) then drop duplicate edges.
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    first = np.ones(src.shape[0], dtype=bool)
+    first[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+    src, dst = src[first], dst[first]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return indptr, dst
+
+
+def _cuthill_mckee(
+    indptr: np.ndarray, indices: np.ndarray, by_degree: bool
+) -> np.ndarray:
+    """Visit order of (reverse-less) Cuthill-McKee / plain BFS.
+
+    Components are entered at their minimum-degree vertex (ties by
+    index); within a frontier, neighbours expand in ascending index
+    order for BFS and ascending ``(degree, index)`` order for CM — both
+    deterministic, so the orderings are reproducible.
+    """
+    n = indptr.shape[0] - 1
+    degrees = np.diff(indptr)
+    # Component seeds in (degree, index) order.
+    seeds = np.lexsort((np.arange(n), degrees))
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    queue = np.empty(n, dtype=np.int64)
+    pos = 0
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        head, tail = 0, 1
+        queue[0] = seed
+        visited[seed] = True
+        while head < tail:
+            v = queue[head]
+            head += 1
+            order[pos] = v
+            pos += 1
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            nbrs = nbrs[~visited[nbrs]]  # CSR rows are ascending + deduped
+            if nbrs.shape[0] == 0:
+                continue
+            if by_degree:
+                nbrs = nbrs[np.argsort(degrees[nbrs], kind="stable")]
+            visited[nbrs] = True
+            queue[tail : tail + nbrs.shape[0]] = nbrs
+            tail += nbrs.shape[0]
+    return order
+
+
+def bfs_order(pairs: np.ndarray, n: int) -> np.ndarray:
+    """Breadth-first visit order (a gather permutation of length ``n``)."""
+    indptr, indices = adjacency_from_pairs(pairs, n)
+    return _cuthill_mckee(indptr, indices, by_degree=False)
+
+
+def rcm_order(pairs: np.ndarray, n: int) -> np.ndarray:
+    """Reverse Cuthill-McKee visit order (a gather permutation)."""
+    indptr, indices = adjacency_from_pairs(pairs, n)
+    return _cuthill_mckee(indptr, indices, by_degree=True)[::-1].copy()
+
+
+def graph_bandwidth(pairs: np.ndarray, rank: np.ndarray | None = None) -> int:
+    """Max ``|rank[i] - rank[j]|`` over edges (0 for an edgeless graph).
+
+    ``rank`` maps old index -> position in the candidate ordering; the
+    identity when omitted.  The quantity RCM exists to reduce.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (m, 2)")
+    if pairs.shape[0] == 0:
+        return 0
+    if rank is None:
+        a, b = pairs[:, 0], pairs[:, 1]
+    else:
+        rank = np.asarray(rank, dtype=np.int64)
+        pairs = _check_pairs(pairs, rank.shape[0])
+        a, b = rank[pairs[:, 0]], rank[pairs[:, 1]]
+    return int(np.abs(a - b).max())
+
+
+def hilbert_chain_pairs(
+    points: np.ndarray, bits: int = 16, bbox: BoundingBox | None = None
+) -> np.ndarray:
+    """Fallback interaction structure: the Hilbert-order nearest chain.
+
+    Consecutive points along the Hilbert curve become the graph's edges,
+    giving the graph orderings a spatially meaningful (if degenerate)
+    structure when the caller has no real interaction lists.  Works on
+    any point set the curves accept, including duplicated and collinear
+    configurations.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must have shape (n, ndim)")
+    n, ndim = points.shape
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    bits = min(bits, 64 // ndim)
+    order = np.argsort(hilbert_keys(points, bits=bits, bbox=bbox), kind="stable")
+    return np.stack([order[:-1], order[1:]], axis=1).astype(np.int64)
+
+
+def _graph_keys(
+    points: np.ndarray | None,
+    bits: int,
+    bbox: BoundingBox | None,
+    pairs: np.ndarray | None,
+    n: int | None,
+    order_fn,
+) -> np.ndarray:
+    if n is None:
+        if points is None:
+            raise ValueError("graph orderings need points or an explicit n")
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must have shape (n, ndim)")
+        n = points.shape[0]
+    if pairs is None:
+        if points is None:
+            raise ValueError("graph orderings need pairs when points are absent")
+        pairs = hilbert_chain_pairs(points, bits=bits, bbox=bbox)
+    perm = order_fn(pairs, n)
+    keys = np.empty(n, dtype=np.uint64)
+    keys[perm] = np.arange(n, dtype=np.uint64)
+    return keys
+
+
+def bfs_keys(
+    points: np.ndarray | None = None,
+    bits: int = 16,
+    bbox: BoundingBox | None = None,
+    *,
+    pairs: np.ndarray | None = None,
+    n: int | None = None,
+) -> np.ndarray:
+    """BFS sorting keys: each object's breadth-first visit position.
+
+    Pass the app's interaction ``pairs`` (any ``(m, 2)`` index array) to
+    order over the real graph; with points alone the Hilbert-chain
+    fallback applies (see module docstring).
+    """
+    return _graph_keys(points, bits, bbox, pairs, n, bfs_order)
+
+
+def rcm_keys(
+    points: np.ndarray | None = None,
+    bits: int = 16,
+    bbox: BoundingBox | None = None,
+    *,
+    pairs: np.ndarray | None = None,
+    n: int | None = None,
+) -> np.ndarray:
+    """Reverse-Cuthill-McKee sorting keys (bandwidth-reducing order)."""
+    return _graph_keys(points, bits, bbox, pairs, n, rcm_order)

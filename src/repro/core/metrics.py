@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .keys import ORDERINGS, key_generator
+from .keys import GRAPH_ORDERINGS, ORDERINGS, key_generator
 from .rank import invert_permutation
 
 __all__ = [
@@ -140,7 +140,12 @@ def ordering_report(
             )
         )
     for name in ORDERINGS:
-        keys = key_generator(name)(points, bits=bits)
+        if name in GRAPH_ORDERINGS:
+            # The graph orderings get the real interaction structure —
+            # it is the very thing they order by.
+            keys = key_generator(name)(points, bits=bits, pairs=pairs)
+        else:
+            keys = key_generator(name)(points, bits=bits)
         perm = np.argsort(keys, kind="stable")
         rank = invert_permutation(perm)
         out.append(

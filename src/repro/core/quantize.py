@@ -36,6 +36,11 @@ class BoundingBox:
         hi = np.asarray(hi, dtype=np.float64)
         if lo.ndim != 1 or lo.shape != hi.shape:
             raise ValueError("lo and hi must be 1-D arrays of equal length")
+        # Check finiteness explicitly: NaN corners would sail through the
+        # ``hi < lo`` comparison below (NaN compares False) and poison
+        # every key generated from the box.
+        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise ValueError("bounding box corners must be finite")
         if np.any(hi < lo):
             raise ValueError("bounding box must satisfy hi >= lo on every axis")
         self.lo = lo

@@ -28,6 +28,7 @@ from typing import Callable
 
 import numpy as np
 
+from .graph import GRAPH_ORDERINGS
 from .keys import key_generator
 from .quantize import BoundingBox
 from .rank import invert_permutation, rank_keys
@@ -38,8 +39,12 @@ __all__ = [
     "reorder",
     "hilbert_reorder",
     "morton_reorder",
+    "gray_reorder",
+    "peano_reorder",
     "column_reorder",
     "row_reorder",
+    "bfs_reorder",
+    "rcm_reorder",
 ]
 
 
@@ -116,13 +121,22 @@ class Reordering:
     def remap_indices(self, indices: np.ndarray) -> np.ndarray:
         """Rewrite an index array that pointed into the *old* object order.
 
-        Entries equal to -1 are preserved (a conventional "no neighbour"
-        sentinel in interaction lists and mesh connectivity).
+        Negative entries (-1 by convention, any negative value accepted)
+        are preserved as "no neighbour" sentinels of interaction lists
+        and mesh connectivity.  Entries ``>= n`` raise :class:`ValueError`
+        — a stale or corrupt interaction-list entry must fail loudly, not
+        be silently remapped to some wrong-but-valid object.
         """
         indices = np.asarray(indices)
         if not np.issubdtype(indices.dtype, np.integer):
             raise TypeError("indices must be an integer array")
-        out = np.where(indices >= 0, self.rank[np.clip(indices, 0, self.n - 1)], indices)
+        if indices.size and int(indices.max()) >= self.n:
+            raise ValueError(
+                f"index {int(indices.max())} out of range: the permutation"
+                f" covers {self.n} objects (negative sentinels are allowed,"
+                f" entries >= n are not)"
+            )
+        out = np.where(indices >= 0, self.rank[np.maximum(indices, 0)], indices)
         return out.astype(indices.dtype, copy=False)
 
     def compose(self, later: "Reordering") -> "Reordering":
@@ -165,9 +179,16 @@ def _resolve_coords(
             raise ValueError("coord accessor requires ndim")
         n = len(objects)
         out = np.empty((n, ndim), dtype=np.float64)
-        for i in range(n):
-            for d in range(ndim):
-                out[i, d] = coord(objects, i, d)
+        # One fromiter pass per dimension: the accessor is still called
+        # once per (i, dim) element — identical semantics to the naive
+        # double loop — but without per-element Python array indexing,
+        # which dominated at large n.
+        for d in range(ndim):
+            out[:, d] = np.fromiter(
+                (coord(objects, i, d) for i in range(n)),
+                dtype=np.float64,
+                count=n,
+            )
         return out
     if objects is not None:
         objects = np.asarray(objects)
@@ -190,13 +211,16 @@ def reorder(
     ndim: int | None = None,
     bits: int | None = None,
     bbox: BoundingBox | None = None,
+    pairs: np.ndarray | None = None,
 ) -> Reordering:
     """Compute a reordering of objects by spatial position.
 
     Parameters
     ----------
     method:
-        ``"hilbert"``, ``"morton"``, ``"column"`` or ``"row"``.
+        Any name in :data:`repro.core.keys.ORDERINGS`: ``"hilbert"``,
+        ``"morton"``, ``"gray"``, ``"peano"``, ``"column"``, ``"row"``,
+        or the graph orderings ``"bfs"`` / ``"rcm"``.
     objects:
         The object array (optional if ``coords`` is given).  A structured
         array with a ``pos`` field, or a plain ``(n, ndim)`` float array,
@@ -215,6 +239,11 @@ def reorder(
         cells per axis, far below any float jitter in the inputs).
     bbox:
         Optional bounding box override (e.g. the simulation domain).
+    pairs:
+        Interaction graph edges ``(m, 2)`` for the graph orderings
+        (``"bfs"``, ``"rcm"``); ignored by the coordinate-keyed methods.
+        Without it the graph orderings fall back to the Hilbert chain
+        over the coordinates (see :mod:`repro.core.graph`).
 
     Returns
     -------
@@ -227,7 +256,10 @@ def reorder(
     d = pts.shape[1]
     if bits is None:
         bits = min(16, 64 // d)
-    keys = gen(pts, bits=bits, bbox=bbox)
+    if method in GRAPH_ORDERINGS:
+        keys = gen(pts, bits=bits, bbox=bbox, pairs=pairs)
+    else:
+        keys = gen(pts, bits=bits, bbox=bbox)
     return reorder_by_keys(keys, method=method)
 
 
@@ -255,6 +287,36 @@ def morton_reorder(
     return reorder("morton", objects, coords, **kwargs)
 
 
+def gray_reorder(
+    objects: np.ndarray | None = None,
+    coords: np.ndarray | None = None,
+    **kwargs,
+) -> Reordering:
+    """Reorder objects along a Gray-code curve.
+
+    The Morton word reinterpreted as a binary-reflected Gray code:
+    consecutive cells along the curve differ in a single interleaved bit,
+    so every step moves along exactly one axis (by a power of two) —
+    strictly better adjacency than Morton's diagonal jumps at the same
+    cost of generation.
+    """
+    return reorder("gray", objects, coords, **kwargs)
+
+
+def peano_reorder(
+    objects: np.ndarray | None = None,
+    coords: np.ndarray | None = None,
+    **kwargs,
+) -> Reordering:
+    """Reorder objects along a Peano curve (base-3 serpentine).
+
+    Like Hilbert it takes unit lattice steps, but on a power-of-three
+    lattice with reflections only (no rotations).  See
+    :mod:`repro.core.sfc.peano`.
+    """
+    return reorder("peano", objects, coords, **kwargs)
+
+
 def column_reorder(
     objects: np.ndarray | None = None,
     coords: np.ndarray | None = None,
@@ -276,3 +338,35 @@ def row_reorder(
 ) -> Reordering:
     """Reorder objects in row order (z major, x minor)."""
     return reorder("row", objects, coords, **kwargs)
+
+
+def bfs_reorder(
+    objects: np.ndarray | None = None,
+    coords: np.ndarray | None = None,
+    *,
+    pairs: np.ndarray | None = None,
+    **kwargs,
+) -> Reordering:
+    """Reorder objects in breadth-first order over the interaction graph.
+
+    Pass the app's interaction ``pairs`` (``(m, 2)`` index array); with
+    coordinates alone the Hilbert-chain fallback applies (see
+    :mod:`repro.core.graph`).
+    """
+    return reorder("bfs", objects, coords, pairs=pairs, **kwargs)
+
+
+def rcm_reorder(
+    objects: np.ndarray | None = None,
+    coords: np.ndarray | None = None,
+    *,
+    pairs: np.ndarray | None = None,
+    **kwargs,
+) -> Reordering:
+    """Reorder objects in reverse Cuthill-McKee order (bandwidth reducing).
+
+    The classic sparse-matrix ordering applied to the app interaction
+    graph: interacting pairs end up close in the reordered array, which is
+    exactly the locality the DSM simulators price.
+    """
+    return reorder("rcm", objects, coords, pairs=pairs, **kwargs)

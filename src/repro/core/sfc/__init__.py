@@ -1,5 +1,12 @@
-"""Space-filling curve key generators (Hilbert and Morton)."""
+"""Space-filling curve key generators (Hilbert, Morton, Gray, Peano)."""
 
+from .gray import (
+    axes_from_gray_key,
+    gray_decode,
+    gray_encode,
+    gray_key_from_axes,
+    gray_keys,
+)
 from .hilbert import (
     axes_from_hilbert_key,
     hilbert_argsort,
@@ -8,6 +15,12 @@ from .hilbert import (
     hilbert_words_from_axes,
 )
 from .morton import axes_from_morton_key, morton_key_from_axes, morton_keys
+from .peano import (
+    axes_from_peano_key,
+    peano_key_from_axes,
+    peano_keys,
+    peano_order_for,
+)
 
 __all__ = [
     "hilbert_keys",
@@ -18,4 +31,13 @@ __all__ = [
     "morton_keys",
     "morton_key_from_axes",
     "axes_from_morton_key",
+    "gray_keys",
+    "gray_key_from_axes",
+    "axes_from_gray_key",
+    "gray_encode",
+    "gray_decode",
+    "peano_keys",
+    "peano_key_from_axes",
+    "axes_from_peano_key",
+    "peano_order_for",
 ]

@@ -1,0 +1,175 @@
+"""Peano space-filling curve keys (base-3 serpentine curve).
+
+Böhm ("Space-filling Curves for High-performance Data Mining") argues
+for the Peano curve in data-mining workloads: like Hilbert it moves one
+lattice step at a time (no Morton-style jumps), but its base-3 recursion
+keeps every sub-square in the *same* orientation — only reflections, no
+rotations — which makes neighbour arithmetic on keys simpler.
+
+Construction (Peano's original digit rule, Sagan, *Space-Filling
+Curves*): write the key as ``m * ndim`` base-3 digits, most significant
+first, level by level with axis 0 contributing the most significant
+digit of each level.  The coordinate digit of axis ``i`` equals the
+corresponding key digit, *reflected* (``d -> 2 - d``) when the sum of
+all more-significant key digits belonging to the **other** axes is odd.
+The forward direction inverts that digit-by-digit, tracking the same
+reflection parities.
+
+Unlike the power-of-two curves the Peano lattice has ``3**order`` cells
+per axis.  ``peano_keys`` picks the smallest order whose resolution is
+at least the requested ``2**bits`` cells (capped so keys fit ``uint64``),
+so ``bits`` remains the resolution knob shared by every generator in
+:data:`repro.core.keys.ORDERINGS`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantize import BoundingBox
+
+__all__ = [
+    "peano_order_for",
+    "peano_key_from_axes",
+    "axes_from_peano_key",
+    "peano_keys",
+]
+
+
+def peano_order_for(ndim: int, bits: int) -> int:
+    """Curve order (base-3 digits per axis) for a ``2**bits`` request.
+
+    The smallest ``m`` with ``3**m >= 2**bits``, lowered if necessary so
+    the full key ``3**(ndim*m)`` fits comfortably in ``uint64``.
+    """
+    if ndim < 1:
+        raise ValueError("need at least one dimension")
+    if not 1 <= bits <= 62:
+        raise ValueError("bits must be in [1, 62]")
+    m = 1
+    while 3**m < (1 << bits):
+        m += 1
+    while m > 1 and 3 ** (ndim * m) > (1 << 62):
+        m -= 1
+    if 3 ** (ndim * m) > (1 << 62):
+        raise ValueError(
+            f"ndim={ndim} leaves no uint64-representable Peano order"
+        )
+    return m
+
+
+def _check_axes(axes: np.ndarray, order: int) -> tuple[np.ndarray, int, int]:
+    axes = np.ascontiguousarray(axes, dtype=np.uint64)
+    if axes.ndim != 2:
+        raise ValueError("axes must have shape (n, ndim)")
+    n, ndim = axes.shape
+    if ndim < 1 or order < 1 or 3 ** (ndim * order) > (1 << 62):
+        raise ValueError("invalid ndim/order combination (need 3**(ndim*order) <= 2**62)")
+    if n and int(axes.max()) >= 3**order:
+        raise ValueError(f"axes values must be < 3**{order}")
+    return axes, n, ndim
+
+
+def peano_key_from_axes(axes: np.ndarray, order: int) -> np.ndarray:
+    """Peano curve index of each base-3 lattice point.
+
+    ``axes`` holds integer coordinates in ``[0, 3**order)``.  Adjacent
+    keys differ by exactly one unit lattice step (the serpentine
+    property, asserted exhaustively in the tests).
+    """
+    axes, n, ndim = _check_axes(axes, order)
+    keys = np.zeros(n, dtype=np.uint64)
+    if n == 0:
+        return keys
+    three = np.uint64(3)
+    # Reflection parity per axis: the running (mod 2) sum of emitted key
+    # digits belonging to the other axes.
+    flip = np.zeros((n, ndim), dtype=bool)
+    for level in range(order - 1, -1, -1):
+        scale = np.uint64(3**level)
+        for i in range(ndim):
+            d = (axes[:, i] // scale) % three
+            k = np.where(flip[:, i], np.uint64(2) - d, d)
+            keys = keys * three + k
+            odd = (k & np.uint64(1)).astype(bool)
+            for j in range(ndim):
+                if j != i:
+                    flip[:, j] ^= odd
+    return keys
+
+
+def axes_from_peano_key(keys: np.ndarray, ndim: int, order: int) -> np.ndarray:
+    """Invert :func:`peano_key_from_axes`."""
+    if ndim < 1 or order < 1 or 3 ** (ndim * order) > (1 << 62):
+        raise ValueError("invalid ndim/order combination (need 3**(ndim*order) <= 2**62)")
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    if keys.ndim != 1:
+        raise ValueError("keys must be 1-D")
+    n = keys.shape[0]
+    axes = np.zeros((n, ndim), dtype=np.uint64)
+    if n == 0:
+        return axes
+    if int(keys.max(initial=0)) >= 3 ** (ndim * order):
+        raise ValueError(f"keys must be < 3**{ndim * order}")
+    three = np.uint64(3)
+    flip = np.zeros((n, ndim), dtype=bool)
+    total = ndim * order
+    for step in range(total):
+        i = step % ndim
+        place = np.uint64(3 ** (total - 1 - step))
+        k = (keys // place) % three
+        d = np.where(flip[:, i], np.uint64(2) - k, k)
+        axes[:, i] = axes[:, i] * three + d
+        odd = (k & np.uint64(1)).astype(bool)
+        for j in range(ndim):
+            if j != i:
+                flip[:, j] ^= odd
+    return axes
+
+
+def _quantize_base3(
+    points: np.ndarray, order: int, bbox: BoundingBox | None
+) -> np.ndarray:
+    """Map floating-point coordinates onto the ``3**order`` lattice.
+
+    The base-3 sibling of :func:`repro.core.quantize.quantize` (which is
+    fixed to power-of-two cell counts); same clipping and finiteness
+    rules.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must have shape (n, ndim)")
+    if points.shape[0] == 0:
+        return np.empty((0, points.shape[1]), dtype=np.uint64)
+    if not np.all(np.isfinite(points)):
+        raise ValueError("points must be finite")
+    if bbox is None:
+        bbox = BoundingBox.of(points)
+    elif bbox.ndim != points.shape[1]:
+        raise ValueError(
+            f"bbox has {bbox.ndim} dims but points have {points.shape[1]}"
+        )
+    ncells = 3**order
+    scaled = (points - bbox.lo) / bbox.extent * ncells
+    cells = np.floor(scaled).astype(np.int64)
+    np.clip(cells, 0, ncells - 1, out=cells)
+    return cells.astype(np.uint64)
+
+
+def peano_keys(
+    points: np.ndarray,
+    bits: int = 16,
+    bbox: BoundingBox | None = None,
+) -> np.ndarray:
+    """Peano sorting keys for floating-point positions.
+
+    ``bits`` requests a resolution of at least ``2**bits`` cells per
+    axis; the actual lattice is the next power of three
+    (:func:`peano_order_for`).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must have shape (n, ndim)")
+    order = peano_order_for(points.shape[1], bits)
+    cells = _quantize_base3(points, order, bbox)
+    return peano_key_from_axes(cells, order)

@@ -26,6 +26,14 @@ from .message_passing import (
 from .scaling import ScalingPoint, scaling_curve
 from .sweep import SweepGrid, SweepPlan, parse_grid
 from .tables import table1, table2, table3, table4
+from .tune import (
+    CandidateScore,
+    RecommendationLibrary,
+    TuneResult,
+    TuneSpec,
+    default_candidates,
+    tune,
+)
 
 __all__ = [
     "Scale",
@@ -60,4 +68,10 @@ __all__ = [
     "MessagePassingResult",
     "diagnose",
     "Diagnosis",
+    "TuneSpec",
+    "TuneResult",
+    "CandidateScore",
+    "RecommendationLibrary",
+    "tune",
+    "default_candidates",
 ]

@@ -1,0 +1,159 @@
+"""Tests for the graph orderings (adjacency, BFS, reverse Cuthill-McKee)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import (
+    GRAPH_ORDERINGS,
+    adjacency_from_pairs,
+    bfs_keys,
+    bfs_order,
+    graph_bandwidth,
+    hilbert_chain_pairs,
+    rcm_keys,
+    rcm_order,
+)
+from repro.core.rank import invert_permutation
+
+
+def path_pairs(n):
+    """Edges of the path graph 0-1-2-...-(n-1)."""
+    idx = np.arange(n - 1)
+    return np.stack([idx, idx + 1], axis=1)
+
+
+class TestAdjacency:
+    def test_symmetrizes_and_dedups(self):
+        pairs = np.array([[0, 1], [1, 0], [0, 1], [2, 1]])
+        indptr, indices = adjacency_from_pairs(pairs, 3)
+        assert indptr.tolist() == [0, 1, 3, 4]
+        assert indices.tolist() == [1, 0, 2, 1]
+
+    def test_drops_self_loops(self):
+        indptr, indices = adjacency_from_pairs(np.array([[0, 0], [1, 2]]), 3)
+        assert indptr.tolist() == [0, 0, 1, 2]
+        assert indices.tolist() == [2, 1]
+
+    def test_rows_sorted_ascending(self):
+        rng = np.random.default_rng(7)
+        pairs = rng.integers(0, 40, size=(300, 2))
+        indptr, indices = adjacency_from_pairs(pairs, 40)
+        for v in range(40):
+            row = indices[indptr[v] : indptr[v + 1]]
+            assert np.all(np.diff(row) > 0)  # strictly ascending = deduped
+
+    def test_empty(self):
+        indptr, indices = adjacency_from_pairs(np.empty((0, 2)), 4)
+        assert indptr.tolist() == [0, 0, 0, 0, 0]
+        assert indices.shape == (0,)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            adjacency_from_pairs(np.array([[0, 5]]), 3)
+        with pytest.raises(ValueError):
+            adjacency_from_pairs(np.array([[-1, 0]]), 3)
+
+
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_orders_are_permutations(n, m, seed):
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, n, size=(m, 2))
+    for order_fn in (bfs_order, rcm_order):
+        order = order_fn(pairs, n)
+        assert np.array_equal(np.sort(order), np.arange(n))
+
+
+class TestBFS:
+    def test_level_structure_on_path(self):
+        """On a path graph started at an endpoint, BFS visits in line order."""
+        n = 20
+        order = bfs_order(path_pairs(n), n)
+        # Endpoints have degree 1; seed is the lower-index one (vertex 0).
+        assert order.tolist() == list(range(n))
+
+    def test_bfs_parent_already_visited(self):
+        """Every non-seed vertex has a neighbour earlier in the order —
+        the defining property of a breadth-first (indeed any search) order."""
+        rng = np.random.default_rng(3)
+        n = 64
+        pairs = np.stack(
+            [np.arange(1, n), rng.integers(0, np.arange(1, n))], axis=1
+        )  # random connected tree: parent[i] < i
+        order = bfs_order(pairs, n)
+        indptr, indices = adjacency_from_pairs(pairs, n)
+        pos = invert_permutation(order)
+        for v in range(n):
+            if v == order[0]:
+                continue
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            assert (pos[nbrs] < pos[v]).any()
+
+
+class TestRCM:
+    def test_reduces_bandwidth_on_shuffled_path(self):
+        """A shuffled path graph has terrible bandwidth; RCM restores the
+        line and brings it back to 1 — the canonical sanity check."""
+        n = 128
+        rng = np.random.default_rng(0)
+        relabel = rng.permutation(n)
+        pairs = relabel[path_pairs(n)]
+        before = graph_bandwidth(pairs)
+        order = rcm_order(pairs, n)
+        after = graph_bandwidth(pairs, rank=invert_permutation(order))
+        assert after == 1
+        assert before > 10 * after
+
+    def test_reduces_bandwidth_on_random_mesh(self):
+        """On a 2-D grid graph with shuffled labels, RCM's bandwidth beats
+        both the shuffled original and plain BFS (weakly)."""
+        side = 12
+        idx = np.arange(side * side).reshape(side, side)
+        horiz = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+        vert = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+        rng = np.random.default_rng(5)
+        relabel = rng.permutation(side * side)
+        pairs = relabel[np.concatenate([horiz, vert])]
+        n = side * side
+        shuffled = graph_bandwidth(pairs)
+        rcm_bw = graph_bandwidth(pairs, rank=invert_permutation(rcm_order(pairs, n)))
+        bfs_bw = graph_bandwidth(pairs, rank=invert_permutation(bfs_order(pairs, n)))
+        assert rcm_bw < shuffled
+        assert rcm_bw <= bfs_bw
+
+
+class TestKeysAndFallback:
+    def test_keys_are_visit_positions(self):
+        n = 30
+        pairs = path_pairs(n)
+        keys = rcm_keys(pairs=pairs, n=n)
+        order = rcm_order(pairs, n)
+        assert np.array_equal(np.argsort(keys, kind="stable"), order)
+
+    def test_hilbert_chain_fallback(self, rng):
+        """Without pairs, the graph orderings order over the Hilbert chain
+        — a spatial traversal, not an error."""
+        pts = rng.random((50, 3))
+        keys = bfs_keys(pts)
+        assert np.array_equal(np.sort(keys), np.arange(50, dtype=np.uint64))
+
+    def test_chain_pairs_shape(self, rng):
+        pts = rng.random((10, 2))
+        chain = hilbert_chain_pairs(pts)
+        assert chain.shape == (9, 2)
+        assert hilbert_chain_pairs(pts[:1]).shape == (0, 2)
+
+    def test_needs_points_or_n(self):
+        with pytest.raises(ValueError):
+            bfs_keys()
+        with pytest.raises(ValueError):
+            rcm_keys(n=5)  # n alone is not enough without pairs
+
+    def test_registry_marker(self):
+        assert GRAPH_ORDERINGS == {"bfs", "rcm"}

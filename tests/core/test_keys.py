@@ -72,8 +72,11 @@ class TestColumnSlabs:
 
 
 class TestRegistry:
-    def test_all_four_orderings_present(self):
-        assert set(ORDERINGS) == {"hilbert", "morton", "column", "row"}
+    def test_all_orderings_present(self):
+        assert set(ORDERINGS) == {
+            "hilbert", "morton", "gray", "peano",
+            "column", "row", "bfs", "rcm",
+        }
 
     def test_lookup(self):
         assert key_generator("hilbert") is ORDERINGS["hilbert"]

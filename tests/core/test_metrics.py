@@ -97,7 +97,8 @@ class TestOrderingReport:
         pts, pairs = setup
         rows = ordering_report(pts, pairs, object_size=72)
         assert {r.ordering for r in rows} == {
-            "original", "hilbert", "morton", "column", "row",
+            "original", "hilbert", "morton", "gray", "peano",
+            "column", "row", "bfs", "rcm",
         }
 
     def test_every_ordering_beats_random_original(self, setup):

@@ -35,6 +35,19 @@ class TestBoundingBox:
         with pytest.raises(ValueError):
             BoundingBox.of(np.array([[0.0, np.nan]]))
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_constructor_rejects_non_finite_corners(self, bad):
+        """Regression: NaN corners used to slip past the ``hi < lo`` check
+        (NaN compares False) and poison every key built from the box."""
+        with pytest.raises(ValueError, match="finite"):
+            BoundingBox(np.array([0.0, bad]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError, match="finite"):
+            BoundingBox(np.array([0.0, 0.0]), np.array([1.0, bad]))
+
+    def test_constructor_rejects_nan_in_both_corners(self):
+        with pytest.raises(ValueError, match="finite"):
+            BoundingBox(np.array([np.nan]), np.array([np.nan]))
+
 
 class TestQuantize:
     def test_range(self, rng):

@@ -5,8 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.keys import ORDERINGS, key_generator
+from repro.core.keys import GRAPH_ORDERINGS, ORDERINGS, key_generator
 from repro.core.quantize import BoundingBox, quantize
+
+# Orderings whose keys are a function of the 2**bits lattice cell: the
+# graph orderings key by visit position (unique per point even within a
+# cell) and Peano quantizes onto a base-3 lattice, so the shared-cell
+# property below does not apply to them.
+LATTICE_ORDERINGS = sorted(set(ORDERINGS) - GRAPH_ORDERINGS - {"peano"})
 
 
 @st.composite
@@ -61,7 +67,7 @@ def test_quantize_translation_invariant(pts, bits):
 
 @given(
     finite_points(),
-    st.sampled_from(sorted(ORDERINGS)),
+    st.sampled_from(LATTICE_ORDERINGS),
     st.integers(min_value=1, max_value=10),
 )
 @settings(max_examples=100, deadline=None)

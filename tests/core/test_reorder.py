@@ -77,6 +77,22 @@ class TestReorderingObject:
         with pytest.raises(TypeError):
             Reordering.identity(3).remap_indices(np.array([0.5]))
 
+    def test_remap_rejects_out_of_range(self):
+        """Regression: entries >= n used to be silently clipped onto the
+        last object — a stale interaction-list entry must fail loudly."""
+        r = Reordering.from_perm(np.array([1, 2, 0]))
+        with pytest.raises(ValueError, match="out of range"):
+            r.remap_indices(np.array([0, 3]))
+        with pytest.raises(ValueError, match="out of range"):
+            r.remap_indices(np.array([[1, 10_000]]))
+        # Negative sentinels stay allowed alongside valid entries.
+        out = r.remap_indices(np.array([-1, 2, -7]))
+        assert out.tolist() == [-1, r.rank[2], -7]
+
+    def test_remap_empty_is_fine(self):
+        out = Reordering.identity(3).remap_indices(np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+
     def test_compose(self, rng):
         a = Reordering.from_perm(rng.permutation(10))
         b = Reordering.from_perm(rng.permutation(10))
@@ -148,6 +164,21 @@ class TestPaperStyleFunctions:
         r1 = reorder("hilbert", objects=pts, coord=coord, ndim=3)
         r2 = reorder("hilbert", coords=pts)
         assert np.array_equal(r1.perm, r2.perm)
+
+    def test_coord_accessor_called_per_element(self, rng):
+        """The fromiter batching must keep element-wise semantics: the
+        accessor still sees one scalar (i, dim) at a time, n*ndim calls."""
+        pts = rng.random((17, 2))
+        calls = []
+
+        def coord(objs, i, d):
+            calls.append((i, d))
+            assert isinstance(i, int) and isinstance(d, int)
+            return pts[i, d]
+
+        reorder("morton", objects=pts, coord=coord, ndim=2)
+        assert len(calls) == 17 * 2
+        assert set(calls) == {(i, d) for i in range(17) for d in range(2)}
 
     def test_accessor_requires_ndim(self, rng):
         with pytest.raises(ValueError):

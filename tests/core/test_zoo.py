@@ -1,0 +1,175 @@
+"""Ordering-zoo tests: every registered ordering on every kind of input.
+
+The registry (:data:`repro.core.keys.ORDERINGS`) is the contract the
+experiments build on — ``reorder(method=...)``, the CLI ``--version``
+flags and the tuner all iterate it.  These tests pin down:
+
+* **totality** — every ordering yields a valid bijective
+  :class:`Reordering` on random and degenerate point sets (collinear,
+  duplicated, zero-extent axes), with and without interaction pairs;
+* **curve quality** — the Gray curve's single-bit steps beat Morton's
+  diagonal jumps on the paper's Figure-3 grid; the Peano curve takes
+  exactly unit lattice steps;
+* **key algebra** — Gray/Peano encode/decode round-trips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import GRAPH_ORDERINGS, ORDERINGS, reorder
+from repro.core.metrics import adjacent_distance
+from repro.core.sfc import (
+    axes_from_gray_key,
+    axes_from_peano_key,
+    gray_decode,
+    gray_encode,
+    gray_key_from_axes,
+    gray_keys,
+    morton_keys,
+    peano_key_from_axes,
+    peano_keys,
+    peano_order_for,
+)
+
+ALL_ORDERINGS = sorted(ORDERINGS)
+
+
+@st.composite
+def point_sets(draw):
+    """Random plus adversarial point sets: the degenerate shapes that have
+    broken quantizers before (collinear, duplicated, zero-extent axes)."""
+    kind = draw(st.sampled_from(["random", "collinear", "duplicated", "flat"]))
+    n = draw(st.integers(min_value=1, max_value=80))
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if kind == "random":
+        return rng.random((n, ndim)) * draw(
+            st.floats(min_value=1e-6, max_value=1e6)
+        )
+    if kind == "collinear":
+        t = rng.random(n)
+        direction = rng.random(ndim) + 0.1
+        return np.outer(t, direction)
+    if kind == "duplicated":
+        base = rng.random((max(1, n // 4), ndim))
+        return base[rng.integers(0, base.shape[0], n)]
+    # "flat": one axis has zero extent.
+    pts = rng.random((n, ndim))
+    pts[:, draw(st.integers(min_value=0, max_value=ndim - 1))] = 0.5
+    return pts
+
+
+@given(point_sets(), st.sampled_from(ALL_ORDERINGS))
+@settings(max_examples=150, deadline=None)
+def test_every_ordering_is_a_bijection(pts, name):
+    r = reorder(name, coords=pts)
+    n = pts.shape[0]
+    assert np.array_equal(np.sort(r.perm), np.arange(n))
+    assert np.array_equal(r.rank[r.perm], np.arange(n))
+    assert r.method == name
+
+
+@given(point_sets(), st.sampled_from(sorted(GRAPH_ORDERINGS)))
+@settings(max_examples=75, deadline=None)
+def test_graph_orderings_bijective_with_pairs(pts, name):
+    n = pts.shape[0]
+    rng = np.random.default_rng(n)
+    pairs = rng.integers(0, n, size=(3 * n, 2))
+    r = reorder(name, coords=pts, pairs=pairs)
+    assert np.array_equal(np.sort(r.perm), np.arange(n))
+
+
+class TestGrayCurve:
+    def test_encode_decode_roundtrip(self):
+        v = np.arange(4096, dtype=np.uint64)
+        assert np.array_equal(gray_decode(gray_encode(v)), v)
+        assert np.array_equal(gray_encode(gray_decode(v)), v)
+
+    def test_key_axes_roundtrip(self):
+        side = 16
+        g = np.stack(
+            np.meshgrid(np.arange(side), np.arange(side), indexing="ij"), -1
+        ).reshape(-1, 2).astype(np.uint64)
+        keys = gray_key_from_axes(g, bits=4)
+        assert np.array_equal(np.sort(keys), np.arange(side * side))
+        assert np.array_equal(axes_from_gray_key(keys, ndim=2, bits=4), g)
+
+    def test_every_step_changes_one_axis_by_power_of_two(self):
+        side = 16
+        g = np.stack(
+            np.meshgrid(np.arange(side), np.arange(side), indexing="ij"), -1
+        ).reshape(-1, 2).astype(np.uint64)
+        keys = gray_key_from_axes(g, bits=4)
+        path = g[np.argsort(keys)].astype(np.int64)
+        steps = np.abs(np.diff(path, axis=0))
+        # Exactly one axis moves per step...
+        assert np.all((steps > 0).sum(axis=1) == 1)
+        # ...by a power of two.
+        moved = steps.max(axis=1)
+        assert np.all((moved & (moved - 1)) == 0)
+
+    def test_gray_beats_morton_on_figure3_grid(self):
+        """On the paper's 8x8 Figure-3 grid the Gray curve's mean adjacent
+        distance is strictly better than Morton's: same interleaved word,
+        no diagonal jumps."""
+        side = 8
+        g = np.stack(
+            np.meshgrid(np.arange(side), np.arange(side), indexing="ij"), -1
+        ).reshape(-1, 2).astype(np.float64)
+        d = {}
+        for name, gen in (("gray", gray_keys), ("morton", morton_keys)):
+            keys = gen(g, bits=3)
+            d[name] = adjacent_distance(g, np.argsort(keys, kind="stable"))
+        assert d["gray"] < d["morton"]
+
+
+class TestPeanoCurve:
+    def test_order_for_matches_resolution(self):
+        m = peano_order_for(2, 8)
+        assert 3**m >= 2**8 and 3 ** (m - 1) < 2**8
+
+    @pytest.mark.parametrize("ndim,order", [(1, 3), (2, 2), (3, 2)])
+    def test_bijection_and_roundtrip(self, ndim, order):
+        side = 3**order
+        grids = np.meshgrid(*[np.arange(side)] * ndim, indexing="ij")
+        axes = np.stack(grids, -1).reshape(-1, ndim).astype(np.uint64)
+        keys = peano_key_from_axes(axes, order)
+        assert np.array_equal(np.sort(keys), np.arange(side**ndim))
+        assert np.array_equal(axes_from_peano_key(keys, ndim, order), axes)
+
+    @pytest.mark.parametrize("ndim,order", [(2, 2), (3, 2)])
+    def test_unit_steps(self, ndim, order):
+        """Consecutive curve positions differ by exactly one unit lattice
+        step — the serpentine property that makes Peano Hilbert-like."""
+        side = 3**order
+        grids = np.meshgrid(*[np.arange(side)] * ndim, indexing="ij")
+        axes = np.stack(grids, -1).reshape(-1, ndim).astype(np.uint64)
+        keys = peano_key_from_axes(axes, order)
+        path = axes[np.argsort(keys)].astype(np.int64)
+        steps = np.abs(np.diff(path, axis=0))
+        assert np.all(steps.sum(axis=1) == 1)
+
+    def test_keys_reject_bad_shapes(self):
+        with pytest.raises(ValueError):
+            peano_keys(np.zeros(5))
+        with pytest.raises(ValueError):
+            peano_key_from_axes(np.array([[9]], dtype=np.uint64), order=2)
+
+
+class TestRegistryIntegration:
+    def test_reorder_accepts_every_name(self, rng):
+        pts = rng.random((64, 3))
+        for name in ORDERINGS:
+            assert reorder(name, coords=pts).n == 64
+
+    def test_unknown_method_lists_zoo(self):
+        with pytest.raises(ValueError, match="rcm"):
+            reorder("zigzag", coords=np.zeros((2, 2)))
+
+    def test_single_point_and_single_dim(self):
+        for name in ORDERINGS:
+            assert reorder(name, coords=np.array([[0.5]])).n == 1

@@ -57,7 +57,9 @@ class TestCurveQuality:
         assert rows["hilbert"].mean_neighbor_gap <= 1.05 * rows["morton"].mean_neighbor_gap
 
     def test_all_orderings_reported(self, rows):
-        assert set(rows) == {"hilbert", "morton", "column", "row"}
+        from repro.core.keys import ORDERINGS
+
+        assert set(rows) == set(ORDERINGS)
 
     def test_page_spread_positive(self, rows):
         assert all(r.page_spread >= 1 for r in rows.values())

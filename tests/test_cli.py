@@ -140,6 +140,38 @@ class TestResilienceFlags:
         assert list((tmp_path / "envcache").glob("*.npt"))
 
 
+class TestTune:
+    def test_smoke_then_warm(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "tune", "unstructured", "--smoke",
+            "--tune-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "recommendation: unstructured/treadmarks ->" in out
+        assert "measured" in out and "<- best" in out
+        # Second invocation answers from the persisted library.
+        code, out, _ = run_cli(
+            capsys, "tune", "unstructured", "--smoke",
+            "--tune-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "library" in out
+
+    def test_unknown_app_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "tune", "nosuch", "--smoke", "--tune-dir", str(tmp_path)
+        )
+        assert code == 2
+        assert "unknown application" in err
+
+    def test_zoo_version_accepted_by_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--n", "256", "run", "unstructured", "--version", "rcm"
+        )
+        assert code == 0
+        assert "l2_misses" in out
+
+
 class TestExitCodeContract:
     """Each repro.errors family maps to its own documented exit code."""
 
