@@ -20,7 +20,10 @@ toward 1x:
   either way (~6.4s, which alone caps any end-to-end ratio below 3x);
 * *sim_origin* — dominated by the hardware cache-replay kernels (~1.9s
   of ~2.2s; see ``bench_simulator_throughput.py``, which owns that
-  floor), identical across formats.
+  floor), nearly identical across formats.  It still carries its own
+  regression guard (``ORIGIN_TOLERANCE``): the packed replay must not
+  fall behind the burst baseline, as it once did when the packed path
+  re-materialized whole-epoch ``region``/``is_write`` columns.
 
 The simulators' counters (L2 misses, DSM messages/bytes) must match
 exactly across the two runs — the speedup is only meaningful if the
@@ -55,6 +58,13 @@ STAGES = ("generate", "save", "load", "sim_origin", "sim_treadmarks", "sim_hlrc"
 # Floor applies to the format-bound stages (see module docstring).
 PIPELINE_STAGES = ("save", "load", "sim_treadmarks", "sim_hlrc")
 ROUNDS = 3
+# sim_origin is excluded from the pipeline floor but guarded separately:
+# packed replay must stay at least as fast as the burst baseline (within
+# a noise tolerance).  The guard measures the two forms *interleaved*
+# (packed, burst, packed, burst, ...) so the shared VM's slow timing
+# drift — which can easily exceed the ~15% regression this guards
+# against when the forms run minutes apart — cancels out of the ratio.
+ORIGIN_TOLERANCE = 1.05
 
 
 def _run_pipeline(tmp, packed):
@@ -124,6 +134,30 @@ def _run_pipeline(tmp, packed):
     return times, counters
 
 
+def _paired_origin_times(npt_path, npz_path):
+    """Interleaved min-of-``ROUNDS`` sim_origin timings: (packed, burst).
+
+    Each round reloads fresh (cold decode memo) and alternates the two
+    forms back-to-back, so within-pair noise is all that is left in the
+    packed/burst ratio.
+    """
+    params = origin2000_scaled(8, NPROCS)
+    t_packed, t_burst = 1e30, 1e30
+    for _ in range(ROUNDS):
+        for path, is_packed in ((npt_path, True), (npz_path, False)):
+            loaded = load_trace(path, mmap=True)
+            t0 = time.perf_counter()
+            simulate_hardware(loaded, params)
+            dt = time.perf_counter() - t0
+            if is_packed:
+                t_packed = min(t_packed, dt)
+            else:
+                t_burst = min(t_burst, dt)
+            del loaded
+            gc.collect()
+    return t_packed, t_burst
+
+
 @pytest.mark.slow
 def test_trace_pipeline_speedup(tmp_path, emit):
     """Acceptance: the packed pipeline is >= 3x faster than the burst one."""
@@ -133,6 +167,9 @@ def test_trace_pipeline_speedup(tmp_path, emit):
     (tmp_path / "base").mkdir()
     t_packed, c_packed = _run_pipeline(tmp_path / "packed", True)
     t_base, c_base = _run_pipeline(tmp_path / "base", False)
+    guard_packed, guard_burst = _paired_origin_times(
+        tmp_path / "packed" / "t.npt", tmp_path / "base" / "t.npz"
+    )
 
     for key in c_packed:
         if key == "file_bytes":
@@ -171,6 +208,8 @@ def test_trace_pipeline_speedup(tmp_path, emit):
         f"trace file: {c_base['file_bytes']:,} B (.npz) vs "
         f"{c_packed['file_bytes']:,} B (.npt)",
         "counters: origin L2 misses and DSM messages/bytes identical",
+        f"sim_origin guard (paired, interleaved): packed {guard_packed:.3f}s vs "
+        f"burst {guard_burst:.3f}s (tolerance {ORIGIN_TOLERANCE:.2f}x)",
     ]
     emit("bench_trace_pipeline", "\n".join(lines))
 
@@ -200,6 +239,11 @@ def test_trace_pipeline_speedup(tmp_path, emit):
         },
         "counters": c_base,
         "file_bytes": {"npz": c_base["file_bytes"], "npt": c_packed["file_bytes"]},
+        "origin_guard": {
+            "packed_s": round(guard_packed, 4),
+            "burst_s": round(guard_burst, 4),
+            "tolerance": ORIGIN_TOLERANCE,
+        },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_pipeline.json").write_text(
@@ -209,4 +253,14 @@ def test_trace_pipeline_speedup(tmp_path, emit):
     assert pipeline_speedup >= FLOOR, (
         f"packed pipeline only {pipeline_speedup:.2f}x faster than burst "
         f"baseline ({pipe_base:.2f}s -> {pipe_packed:.2f}s); floor is {FLOOR:.0f}x"
+    )
+    # Regression guard: the packed hardware replay must not fall behind the
+    # burst baseline again (it once did, from re-materializing the derived
+    # region/is_write columns per processor).  Uses the paired interleaved
+    # timings so VM drift between the two pipeline phases cannot fake a
+    # regression; the small tolerance absorbs within-pair noise.
+    assert guard_packed <= guard_burst * ORIGIN_TOLERANCE, (
+        f"packed sim_origin regressed: {guard_packed:.3f}s vs "
+        f"burst baseline {guard_burst:.3f}s (paired interleaved, "
+        f"tolerance {ORIGIN_TOLERANCE:.2f}x)"
     )

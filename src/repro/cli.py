@@ -14,6 +14,9 @@ Usage::
 Resilience flags (accepted before or after the subcommand)::
 
     --jobs 8               generate traces across 8 worker processes
+    --replay-jobs 4        fan machine-model replay of cached traces across
+                           4 worker processes (byte-identical results)
+    --trace-compression zlib   write chunked compressed v3 cache entries
     --cache-dir DIR        persistent trace cache; interrupted runs resume
     --no-resume            keep writing the cache but never read it
     --task-timeout 600     wall-clock seconds per trace-generation worker
@@ -87,6 +90,8 @@ _COMMON_DEFAULTS = {
     "nprocs": 16,
     "paper_scale": False,
     "jobs": 1,
+    "replay_jobs": 0,
+    "trace_compression": "none",
     "cache_dir": None,
     "resume": True,
     "task_timeout": 300.0,
@@ -103,6 +108,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="the paper's Table 1 sizes")
     parser.add_argument("--jobs", type=int, default=S, metavar="N",
                         help="worker processes for trace generation (default 1)")
+    parser.add_argument("--replay-jobs", type=int, default=S, metavar="N",
+                        help="worker processes for machine-model replay of"
+                             " cached traces (default 0: replay in-process);"
+                             " requires --cache-dir")
+    parser.add_argument("--trace-compression", default=S,
+                        choices=["none", "zlib", "lz4"],
+                        help="on-disk codec for cached traces (default none:"
+                             " mmap-friendly v2; zlib/lz4 write chunked v3"
+                             " bundles ~10-50x smaller)")
     parser.add_argument("--cache-dir", default=S, metavar="DIR",
                         help="persistent trace cache (default: $REPRO_CACHE_DIR)")
     parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
@@ -134,6 +148,8 @@ def _install_runtime(args) -> None:
                 jobs=max(1, args.jobs), task_timeout=args.task_timeout
             ),
             resume=args.resume,
+            replay_jobs=max(0, args.replay_jobs) or None,
+            trace_compression=args.trace_compression,
         )
     )
     for name in ("repro.runtime", "repro.service"):

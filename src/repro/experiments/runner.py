@@ -33,7 +33,8 @@ from ..machines.params import (
     HardwareParams,
     origin2000_scaled,
 )
-from ..runtime.cache import CacheKey
+from ..machines.replay import build_intervals_parallel, simulate_hardware_parallel
+from ..runtime.cache import CacheKey, format_version_for
 from ..runtime.context import get_runtime
 from ..runtime.executor import Task, run_tasks
 from ..runtime.worker import generate_trace_into_cache
@@ -225,7 +226,9 @@ def clear_cache() -> None:
     _cache.clear()
 
 
-def _cache_key_for(name: str, version: str, scale: Scale, nprocs: int) -> CacheKey:
+def _cache_key_for(
+    name: str, version: str, scale: Scale, nprocs: int, compression: str = "none"
+) -> CacheKey:
     return CacheKey(
         app=name,
         version=version,
@@ -233,22 +236,34 @@ def _cache_key_for(name: str, version: str, scale: Scale, nprocs: int) -> CacheK
         iterations=scale.iterations[name],
         nprocs=nprocs,
         seed=scale.seed,
+        format_version=format_version_for(compression),
     )
 
 
+def _trace_compression(rt) -> str:
+    return getattr(rt, "trace_compression", "none") if rt is not None else "none"
+
+
 def _trace_for(name: str, version: str, scale: Scale, nprocs: int):
+    """Memoized trace for one cell; records its cache path when on disk.
+
+    The on-disk path (stashed in the memo under a ``"tracepath"`` key) is
+    what lets the parallel replay backend attach workers to the same file
+    instead of pickling columns.
+    """
     key = ("trace", name, version, scale.n[name], scale.iterations[name], nprocs, scale.seed)
     if key in _cache:
         return _cache[key]
     rt = get_runtime()
     ck = None
     if rt is not None and rt.cache is not None:
-        ck = _cache_key_for(name, version, scale, nprocs)
+        ck = _cache_key_for(name, version, scale, nprocs, _trace_compression(rt))
         if rt.resume:
             trace = rt.cache.load(ck)
             if trace is not None:
                 log.info("trace %s: cache hit", ck.filename())
                 _cache[key] = trace
+                _cache[("tracepath",) + key[1:]] = str(rt.cache.path(ck))
                 return trace
     started = time.perf_counter()
     app = make_app(name, scale.config(name, nprocs), version)
@@ -258,9 +273,18 @@ def _trace_for(name: str, version: str, scale: Scale, nprocs: int):
         name, version, nprocs, scale.n[name], time.perf_counter() - started,
     )
     if ck is not None:
-        rt.cache.store(ck, trace)
+        rt.cache.store(ck, trace, compression=_trace_compression(rt))
+        _cache[("tracepath",) + key[1:]] = str(rt.cache.path(ck))
     _cache[key] = trace
     return trace
+
+
+def _trace_path_for(name: str, version: str, scale: Scale, nprocs: int) -> str | None:
+    """The on-disk cache path of a memoized trace, if it has one."""
+    return _cache.get(
+        ("tracepath", name, version, scale.n[name], scale.iterations[name],
+         nprocs, scale.seed)
+    )
 
 
 def _reorder_time(name: str, version: str, scale: Scale, cycle_time: float) -> float:
@@ -291,18 +315,34 @@ def _seq_time(name: str, platform: str, scale: Scale) -> float:
 
 
 def _cell_record(
-    name: str, version: str, platform: str, scale: Scale, trace, seq_time: float
+    name: str,
+    version: str,
+    platform: str,
+    scale: Scale,
+    trace,
+    seq_time: float,
+    trace_path: str | None = None,
 ) -> RunRecord:
     """Build one cell's record from an already-materialized trace.
 
     Pure function of its inputs — :func:`run_one` calls it with the
     memoized trace and baseline, executor workers
     (:func:`run_matrix_cell`) with cache-loaded ones; both paths produce
-    identical records.
+    identical records.  When ``trace_path`` names the cell's on-disk
+    bundle and the installed runtime sets ``replay_jobs > 1``, the
+    machine models fan out across worker processes
+    (:mod:`repro.machines.replay`) — results are byte-identical either
+    way, so the record does not depend on which path ran.
     """
+    rt = get_runtime()
+    replay_jobs = getattr(rt, "replay_jobs", None) if rt is not None else None
+    fan_out = trace_path is not None and replay_jobs is not None and replay_jobs > 1
     if platform == "origin":
         params = scale.hardware()
-        res = simulate_hardware(trace, params)
+        if fan_out:
+            res = simulate_hardware_parallel(trace_path, params, jobs=replay_jobs)
+        else:
+            res = simulate_hardware(trace, params)
         return RunRecord(
             app=name,
             version=version,
@@ -317,6 +357,12 @@ def _cell_record(
         )
     params = scale.cluster()
     sim = simulate_treadmarks if platform == "treadmarks" else simulate_hlrc
+    if fan_out:
+        # Pre-build the interval summaries across workers; the protocol
+        # model below finds them installed in the trace's decode memo.
+        build_intervals_parallel(
+            trace_path, params.page_size, jobs=replay_jobs, trace=trace
+        )
     res = sim(trace, params)
     return RunRecord(
         app=name,
@@ -346,7 +392,8 @@ def run_one(
     started = time.perf_counter()
     trace = _trace_for(name, version, scale, scale.nprocs)
     rec = _cell_record(
-        name, version, platform, scale, trace, _seq_time(name, platform, scale)
+        name, version, platform, scale, trace, _seq_time(name, platform, scale),
+        trace_path=_trace_path_for(name, version, scale, scale.nprocs),
     )
     _cache[key] = rec
     log.info(
@@ -409,11 +456,12 @@ def prefetch_traces(
         return 0
     scale = scale or Scale()
     apps = tuple(APP_REGISTRY) if apps is None else apps
+    compression = _trace_compression(rt)
     tasks = []
     for name, version, nprocs in _matrix_trace_cells(apps, scale):
         memo_key = ("trace", name, version, scale.n[name],
                     scale.iterations[name], nprocs, scale.seed)
-        ck = _cache_key_for(name, version, scale, nprocs)
+        ck = _cache_key_for(name, version, scale, nprocs, compression)
         if memo_key in _cache:
             continue
         if rt.resume and rt.cache.contains(ck):
@@ -423,7 +471,7 @@ def prefetch_traces(
                 key=ck.filename(),
                 fn=generate_trace_into_cache,
                 args=(str(rt.cache.root), name, version, scale.n[name],
-                      scale.iterations[name], nprocs, scale.seed),
+                      scale.iterations[name], nprocs, scale.seed, compression),
             )
         )
     if not tasks:
@@ -441,6 +489,7 @@ def run_matrix_cell(
     platforms: tuple[str, ...],
     scale: Scale,
     seq_times: dict[str, float],
+    compression: str = "none",
 ) -> tuple[list[RunRecord], tuple[int, int]]:
     """Executor worker: every platform cell for one (app, version) trace.
 
@@ -455,14 +504,15 @@ def run_matrix_cell(
     from ..runtime.cache import TraceCache
 
     cache = TraceCache(cache_root)
-    ck = _cache_key_for(name, version, scale, scale.nprocs)
+    ck = _cache_key_for(name, version, scale, scale.nprocs, compression)
     trace = cache.load(ck)
     if trace is None:
         app = make_app(name, scale.config(name), version)
         trace = app.run()
-        cache.store(ck, trace)
+        cache.store(ck, trace, compression=compression)
     records = [
-        _cell_record(name, version, p, scale, trace, seq_times[p])
+        _cell_record(name, version, p, scale, trace, seq_times[p],
+                     trace_path=str(cache.path(ck)))
         for p in platforms
     ]
     return records, (cache.hits, cache.misses)
@@ -503,11 +553,12 @@ def _run_cells_parallel(
     if groups:
         # Fan out the distinct traces first (matrix cells and their
         # 1-processor baselines), then one batched task per group.
+        compression = _trace_compression(rt)
         tasks, seen = [], set()
         for g in groups.values():
             name, scale = g["name"], g["scale"]
             for version, nprocs in ((g["version"], scale.nprocs), ("original", 1)):
-                ck = _cache_key_for(name, version, scale, nprocs)
+                ck = _cache_key_for(name, version, scale, nprocs, compression)
                 fn = ck.filename()
                 if fn in seen or (rt.resume and rt.cache.contains(ck)):
                     continue
@@ -516,7 +567,8 @@ def _run_cells_parallel(
                     key=fn,
                     fn=generate_trace_into_cache,
                     args=(str(rt.cache.root), name, version, scale.n[name],
-                          scale.iterations[name], nprocs, scale.seed),
+                          scale.iterations[name], nprocs, scale.seed,
+                          compression),
                 ))
         if tasks:
             log.info("prefetch: generating %d trace(s) with %d job(s)",
@@ -534,7 +586,7 @@ def _run_cells_parallel(
                 key=g["task_key"],
                 fn=run_matrix_cell,
                 args=(str(rt.cache.root), name, g["version"], platforms,
-                      scale, seq_times),
+                      scale, seq_times, compression),
             ))
         log.info("matrix: %d cell group(s) with %d job(s)",
                  len(tasks), rt.executor.jobs)

@@ -25,7 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..trace.events import Trace
-from ..trace.layout import Layout
+from ..trace.layout import DecodedEpoch, Layout, decode_epoch, decode_memo
+from ..trace.packed import PackedTrace
 from .params import HardwareParams
 
 __all__ = ["MESIResult", "simulate_mesi"]
@@ -78,35 +79,78 @@ class _Cache:
         return self.lines.pop(line, None)
 
 
-def _interleave(epoch, layout: Layout, line_size: int, nprocs: int):
+def _proc_write_flags(epoch, proc: int) -> np.ndarray:
+    """Per-access write flags for one processor, cheapest available way."""
+    if hasattr(epoch, "write_flags"):
+        return epoch.write_flags(proc)
+    return epoch.flat(proc)[2]
+
+
+def _interleave(
+    epoch,
+    layout: Layout,
+    line_size: int,
+    nprocs: int,
+    decoded: DecodedEpoch | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Round-robin interleaving of the epoch's per-processor line streams.
 
-    Returns an iterator of (proc, line, is_write) tuples.  Each
-    processor's stream decodes with one batched unit conversion
-    (:meth:`Layout.units_batch`), and the round-robin order — position
-    ``i`` of every live stream, processors in index order — is exactly a
-    stable sort by (stream position, processor), materialized with one
-    ``lexsort`` instead of a per-access cursor walk.
+    Returns the merged ``(procs, lines, writes)`` *columns* — int64,
+    int64, bool — in interleaved order; no per-access Python tuples are
+    built.  Each processor's stream decodes with one batched unit
+    conversion (shared through ``decoded`` when the caller has a memo),
+    and the round-robin order — position ``i`` of every live stream,
+    processors in index order — is exactly a stable sort by (stream
+    position, processor), materialized with one ``lexsort``.
+    :func:`_interleave_ref` is the cursor-walk reference this must match.
     """
+    if decoded is None:
+        decoded = decode_epoch(epoch, layout, line_size)
     lines, writes, procs, pos = [], [], [], []
+    for p in range(nprocs):
+        u = decoded.units[p]
+        if u.shape[0] == 0:
+            continue
+        lines.append(u)
+        writes.append(decoded.expand(p, _proc_write_flags(epoch, p)))
+        procs.append(np.full(u.shape[0], p, dtype=np.int64))
+        pos.append(np.arange(u.shape[0], dtype=np.int64))
+    if not lines:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=np.bool_)
+    procs = np.concatenate(procs)
+    order = np.lexsort((procs, np.concatenate(pos)))
+    return (
+        procs[order],
+        np.concatenate(lines)[order],
+        np.concatenate(writes)[order],
+    )
+
+
+def _interleave_ref(epoch, layout: Layout, line_size: int, nprocs: int):
+    """Cursor-walk reference interleaving (kept for equivalence tests).
+
+    Yields ``(proc, line, is_write)`` tuples by advancing position ``i``
+    of every live per-processor stream, processors in index order — the
+    semantics the batched merge in :func:`_interleave` must reproduce
+    exactly.
+    """
+    streams = []
     for p in range(nprocs):
         regs, idx, wflags = epoch.flat(p)
         if regs.shape[0] == 0:
             continue
         u, counts = layout.units_batch(regs, idx, line_size, return_counts=True)
-        lines.append(u)
-        writes.append(np.repeat(wflags, counts))
-        procs.append(np.full(u.shape[0], p, dtype=np.int64))
-        pos.append(np.arange(u.shape[0], dtype=np.int64))
-    if not lines:
-        return iter(())
-    procs = np.concatenate(procs)
-    order = np.lexsort((procs, np.concatenate(pos)))
-    return zip(
-        procs[order].tolist(),
-        np.concatenate(lines)[order].tolist(),
-        np.concatenate(writes)[order].tolist(),
-    )
+        streams.append((p, u.tolist(), np.repeat(wflags, counts).tolist()))
+    i = 0
+    live = True
+    while live:
+        live = False
+        for p, u, w in streams:
+            if i < len(u):
+                live = True
+                yield (p, u[i], w[i])
+        i += 1
 
 
 def simulate_mesi(
@@ -154,8 +198,17 @@ def simulate_mesi(
                     invalidations[q] += 1
                 sharers.discard(q)
 
-    for epoch in trace.epochs:
-        for p, line, is_write in _interleave(epoch, layout, params.line_size, nprocs):
+    # Packed traces share their line-stream decodes with the other
+    # platforms through the per-trace memo.
+    memo = decode_memo(trace) if isinstance(trace, PackedTrace) else None
+    for ei, epoch in enumerate(trace.epochs):
+        decoded = None if memo is None else memo.epoch(layout, params.line_size, ei)
+        procs_col, lines_col, writes_col = _interleave(
+            epoch, layout, params.line_size, nprocs, decoded=decoded
+        )
+        for p, line, is_write in zip(
+            procs_col.tolist(), lines_col.tolist(), writes_col.tolist()
+        ):
             state = caches[p].get(line)
             if is_write:
                 if state == M:

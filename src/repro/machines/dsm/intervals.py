@@ -117,6 +117,28 @@ def _epoch_info(epoch: Epoch, layout: Layout, page_size: int) -> EpochPageInfo:
     )
 
 
+def _packed_write_accesses(epoch, p: int) -> tuple[np.ndarray, np.ndarray] | None:
+    """``(region, index)`` of ``p``'s written accesses, from burst columns.
+
+    Selecting at burst granularity keeps the whole-epoch derived
+    ``region``/``is_write`` columns unmaterialized: the per-access write
+    mask is expanded for this processor's slice only.  Returns ``None``
+    when the processor wrote nothing this epoch.
+    """
+    b0, b1 = int(epoch.burst_offsets[p]), int(epoch.burst_offsets[p + 1])
+    bw = np.asarray(epoch.burst_write[b0:b1])
+    if not bw.any():
+        return None
+    blen = epoch.burst_length[b0:b1]
+    lo, hi = int(epoch.offsets[p]), int(epoch.offsets[p + 1])
+    widx = np.asarray(epoch.index[lo:hi])[np.repeat(bw, blen)]
+    wregs = np.repeat(
+        np.asarray(epoch.burst_region[b0:b1], dtype=np.int64)[bw],
+        np.asarray(blen)[bw],
+    )
+    return wregs, widx
+
+
 def _epoch_info_packed(
     epoch, decoded, layout: Layout, page_size: int
 ) -> EpochPageInfo:
@@ -142,10 +164,9 @@ def _epoch_info_packed(
         accesses.append(
             np.unique(units) if units.shape[0] else np.empty(0, np.int64)
         )
-        regs, idx, wflags = epoch.flat(p)
-        if wflags.any():
-            wregs = regs[wflags]
-            widx = idx[wflags]
+        wacc = _packed_write_accesses(epoch, p)
+        if wacc is not None:
+            wregs, widx = wacc
             sizes = osizes[wregs]
             start = bases[wregs] + widx * sizes
             first = start >> shift
@@ -251,14 +272,13 @@ def _epoch_ladder_packed(
     for p in range(epoch.nprocs):
         units = decoded.units[p]
         acc.append(np.unique(units) if units.shape[0] else empty)
-        regs, idx, wflags = epoch.flat(p)
-        if not wflags.any():
+        wacc = _packed_write_accesses(epoch, p)
+        if wacc is None:
             wr.append(empty)
             ub.append(empty)
             cross.append(empty)
             continue
-        wregs = regs[wflags]
-        widx = idx[wflags]
+        wregs, widx = wacc
         sizes = osizes[wregs]
         start = bases[wregs] + widx * sizes
         first = start >> shift

@@ -149,14 +149,20 @@ def _proc_streams_packed(
 
     The line stream comes straight from the (memoized) decoded epoch —
     no per-burst concatenation, and the decode is shared across platforms
-    and sweep points.  Counts must match :func:`_proc_streams` exactly.
+    and sweep points.  Write flags are expanded from the burst columns for
+    this processor only (``epoch.write_flags``), so the whole-epoch derived
+    ``region``/``is_write`` columns are never materialized — that
+    materialization was what made the packed path slower than the
+    burst-list baseline.  Counts must match :func:`_proc_streams` exactly.
     """
     lines = decoded.units[proc]
     empty = np.empty(0, dtype=np.int64)
     if lines.shape[0] == 0:
         return empty, empty, empty
-    _regs, _idx, wflags = epoch.flat(proc)
-    if wflags.any():
+    b0 = int(epoch.burst_offsets[proc])
+    b1 = int(epoch.burst_offsets[proc + 1])
+    if epoch.burst_write[b0:b1].any():
+        wflags = epoch.write_flags(proc)
         wmask = np.zeros(nlines, dtype=bool)
         wmask[lines[decoded.expand(proc, wflags)]] = True
         written = np.flatnonzero(wmask)
@@ -166,6 +172,43 @@ def _proc_streams_packed(
     pshift = page_size.bit_length() - 1
     pages = (lines << shift) >> pshift
     return lines, pages, written
+
+
+def _invalidation_targets(
+    epoch_written: list[np.ndarray],
+) -> list[np.ndarray | None]:
+    """Per-processor invalidation target sets for one barrier.
+
+    Processor ``p`` must drop every line written by any *other* processor
+    this epoch.  Instead of the O(P^2) pairwise loop, the written sets
+    (each already sorted-unique) are unioned once with multiplicity
+    (``np.unique`` + counts); ``p``'s targets are then "lines written by
+    >= 2 processors, or by exactly one processor that is not ``p``" — one
+    ``isin`` per processor.  Exact: line removals commute and
+    ``invalidate_present`` acts idempotently per line, so invalidating the
+    union once equals invalidating each writer's set in turn.
+    """
+    nprocs = len(epoch_written)
+    writers = [q for q in range(nprocs) if epoch_written[q].shape[0]]
+    if not writers:
+        return [None] * nprocs
+    if len(writers) == 1:
+        q = writers[0]
+        wq = epoch_written[q]
+        return [None if p == q else wq for p in range(nprocs)]
+    uniq, cnt = np.unique(
+        np.concatenate([epoch_written[q] for q in writers]), return_counts=True
+    )
+    shared = cnt >= 2
+    targets: list[np.ndarray | None] = []
+    for p in range(nprocs):
+        wp = epoch_written[p]
+        if wp.shape[0] == 0:
+            targets.append(uniq)
+        else:
+            mine = np.isin(uniq, wp, assume_unique=True)
+            targets.append(uniq[shared | ~mine])
+    return targets
 
 
 def simulate_hardware(
@@ -248,22 +291,17 @@ def simulate_hardware(
                 touched.fill(False)
         # Directory invalidation at the barrier: every line written by q is
         # purged from all other caches (and its TLB entry is unaffected —
-        # TLBs cache translations, not data).  ``invalidate_present`` is a
-        # sorted-merge ``np.isin`` over each cache's resident array, so the
-        # step is O(lines log lines) per processor pair instead of a Python
-        # membership scan per written line.
-        for q in range(nprocs):
-            written_q = epoch_written[q]
-            if written_q.shape[0] == 0:
+        # TLBs cache translations, not data).  The target sets are batched
+        # across writers (see ``_invalidation_targets``), so the barrier
+        # costs one ``invalidate_present`` merge per processor instead of
+        # one per ordered processor pair.
+        for p, w in enumerate(_invalidation_targets(epoch_written)):
+            if w is None:
                 continue
-            for p in range(nprocs):
-                if p != q:
-                    removed = caches[p].invalidate_present(
-                        written_q, assume_unique=True
-                    )
-                    if removed.shape[0]:
-                        invalidations[p] += removed.shape[0]
-                        pending_inval[p][removed] = True
+            removed = caches[p].invalidate_present(w, assume_unique=True)
+            if removed.shape[0]:
+                invalidations[p] += removed.shape[0]
+                pending_inval[p][removed] = True
         l2_misses += epoch_l2
         tlb_misses += epoch_tlb
         work += epoch.work
@@ -402,15 +440,9 @@ def _sweep_line_family(
                     coh_hist[p] += np.bincount(thr[pend], minlength=cmax)
                     pend_thr[p, tl[pend]] = cmax
                 touched.fill(False)
-        for p in range(nprocs):
-            others = [
-                epoch_written[q]
-                for q in range(nprocs)
-                if q != p and epoch_written[q].shape[0]
-            ]
-            if not others:
+        for p, w in enumerate(_invalidation_targets(epoch_written)):
+            if w is None or w.shape[0] == 0:
                 continue
-            w = others[0] if len(others) == 1 else np.unique(np.concatenate(others))
             removed, thr = sweeps[p].invalidate_present(w, assume_unique=True)
             if thr.shape[0]:
                 inval_hist[p] += np.bincount(thr, minlength=cmax)

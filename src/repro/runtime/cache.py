@@ -39,9 +39,15 @@ from pathlib import Path
 
 from ..errors import CacheMismatchError, ConfigError, TraceCorruptError
 from ..trace.events import Trace
-from ..trace.io import _FORMAT_VERSION, TRACE_SUFFIX, load_trace, save_trace
+from ..trace.io import (
+    _COMPRESSED_VERSION,
+    _FORMAT_VERSION,
+    TRACE_SUFFIX,
+    load_trace,
+    save_trace,
+)
 
-__all__ = ["CacheKey", "TraceCache", "atomic_write_text"]
+__all__ = ["CacheKey", "TraceCache", "atomic_write_text", "format_version_for"]
 
 log = logging.getLogger("repro.runtime")
 
@@ -66,6 +72,16 @@ class CacheKey:
 
     def meta(self) -> dict:
         return asdict(self)
+
+
+def format_version_for(compression: str) -> int:
+    """On-disk format version a store with ``compression`` will produce.
+
+    Compressed stores write chunked v3 bundles; the version is part of the
+    cache key (and filename), so an uncompressed and a compressed entry
+    for the same trace never collide.
+    """
+    return _FORMAT_VERSION if compression == "none" else _COMPRESSED_VERSION
 
 
 def atomic_write_text(path: Path, text: str) -> None:
@@ -127,10 +143,17 @@ class TraceCache:
         return self.path(key).exists() and self._sidecar(key).exists()
 
     # ---- store -----------------------------------------------------------
-    def store(self, key: CacheKey, trace: Trace) -> Path:
-        """Atomically persist ``trace`` under ``key``; returns the path."""
+    def store(self, key: CacheKey, trace: Trace, compression: str = "none") -> Path:
+        """Atomically persist ``trace`` under ``key``; returns the path.
+
+        ``compression`` selects the on-disk codec (see
+        :func:`repro.trace.io.save_trace`); callers storing compressed
+        entries should build ``key`` with
+        ``format_version=format_version_for(compression)`` so the filename
+        and sidecar record the format actually written.
+        """
         path = self.path(key)
-        save_trace(trace, path)  # atomic: temp file + os.replace
+        save_trace(trace, path, compression=compression)  # atomic write
         _atomic_write_text(self._sidecar(key), json.dumps(key.meta(), indent=0))
         return path
 

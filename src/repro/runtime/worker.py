@@ -22,22 +22,28 @@ def generate_trace_into_cache(
     iterations: int,
     nprocs: int,
     seed: int,
+    compression: str = "none",
 ) -> str:
     """Generate one (app, version, nprocs) trace and persist it.
+
+    ``compression`` selects the cache entry's on-disk codec (chunked v3
+    bundles for ``"zlib"``/``"lz4"``); the cache key's format version
+    follows the codec, so compressed and uncompressed entries coexist.
 
     Imports happen inside the function so the module stays picklable and
     cheap to import in spawn-started workers.
     """
     from ..apps import AppConfig
     from ..experiments.runner import make_app
-    from .cache import CacheKey, TraceCache
+    from .cache import CacheKey, TraceCache, format_version_for
 
     cache = TraceCache(cache_root)
     key = CacheKey(app=app, version=version, n=n, iterations=iterations,
-                   nprocs=nprocs, seed=seed)
+                   nprocs=nprocs, seed=seed,
+                   format_version=format_version_for(compression))
     if cache.load(key) is not None:
         return key.filename()  # another worker (or a prior run) got here first
     config = AppConfig(n=n, nprocs=nprocs, iterations=iterations, seed=seed)
     application = make_app(app, config, version)
-    cache.store(key, application.run())
+    cache.store(key, application.run(), compression=compression)
     return key.filename()

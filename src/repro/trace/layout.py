@@ -14,6 +14,7 @@ original benchmarks.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -96,6 +97,13 @@ class Layout:
         mask = np.arange(max_span, dtype=np.int64)[None, :] <= span[:, None]
         return grid[mask]
 
+    def _object_sizes(self) -> np.ndarray:
+        return np.fromiter(
+            (r.object_size for r in self.regions),
+            dtype=np.int64,
+            count=len(self.regions),
+        )
+
     def units_batch(
         self,
         regions: np.ndarray,
@@ -119,26 +127,46 @@ class Layout:
         shift = unit.bit_length() - 1
         regions = np.asarray(regions, dtype=np.int64)
         bases = np.asarray(self.bases, dtype=np.int64)[regions]
-        sizes = np.fromiter(
-            (r.object_size for r in self.regions), dtype=np.int64, count=len(self.regions)
-        )[regions]
-        start = bases + np.asarray(indices, dtype=np.int64) * sizes
+        sizes = self._object_sizes()[regions]
+        # ``indices`` may be a narrow on-disk column (int32 mmap view);
+        # the multiply upcasts element-wise, so no widened copy is made.
+        start = bases + np.asarray(indices) * sizes
         first = start >> shift
         span = ((start + sizes - 1) >> shift) - first
-        if not span.any():
-            if return_counts:
-                return first, np.ones(first.shape[0], dtype=np.int64)
-            return first
-        # Variable-length expansion: repeat each first unit, then add the
-        # within-object offset 0..span reconstructed from the run starts.
-        counts = span + 1
-        out = np.repeat(first, counts)
-        run_start = np.repeat(np.cumsum(counts) - counts, counts)
-        out += np.arange(out.shape[0], dtype=np.int64)
-        out -= run_start
-        if return_counts:
-            return out, counts
-        return out
+        return _expand_units(first, span, return_counts)
+
+    def units_batch_bursts(
+        self,
+        burst_region: np.ndarray,
+        burst_length: np.ndarray,
+        indices: np.ndarray,
+        unit: int,
+        return_counts: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Unit ids for a CSR burst-run stream, without a per-access region
+        column.
+
+        Equivalent to ``units_batch(np.repeat(burst_region, burst_length),
+        indices, unit)`` but the region attributes are gathered at burst
+        granularity and repeated — the packed trace's per-access ``region``
+        column never has to be materialized, which is what keeps the packed
+        replay path ahead of the burst-list one.
+        """
+        if not _is_pow2(unit):
+            raise ValueError("unit must be a power of two")
+        shift = unit.bit_length() - 1
+        breg = np.asarray(burst_region, dtype=np.int64)
+        bases = np.asarray(self.bases, dtype=np.int64)[breg]
+        sizes = np.repeat(self._object_sizes()[breg], burst_length)
+        start = np.repeat(bases, burst_length)
+        start += np.asarray(indices) * sizes
+        first = start >> shift
+        # Reuse ``start`` as scratch for the last-unit computation.
+        np.add(start, sizes, out=start)
+        start -= 1
+        start >>= shift
+        span = start - first
+        return _expand_units(first, span, return_counts)
 
     def lines(self, region: int, indices: np.ndarray, line_size: int) -> np.ndarray:
         """Cache-line ids touched by the accesses (order-preserving, expanded)."""
@@ -155,6 +183,32 @@ class Layout:
         first = base // page_size
         last = (base + max(spec.nbytes, 1) - 1) // page_size
         return np.arange(first, last + 1, dtype=np.int64)
+
+
+def _expand_units(
+    first: np.ndarray, span: np.ndarray, return_counts: bool
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Expand per-access first units over their spans, order-preserving.
+
+    An access with span ``k`` contributes units ``first..first+k``.  The
+    expansion is fused: the run-start offset is folded into ``first``
+    *before* the repeat, so only one full-length repeat plus one arange
+    pass touch the expanded stream.
+    """
+    if not span.any():
+        if return_counts:
+            return first, np.ones(first.shape[0], dtype=np.int64)
+        return first
+    counts = span + 1
+    # first - run_start, computed at access granularity then repeated.
+    base = np.cumsum(counts)
+    base -= counts
+    np.subtract(first, base, out=base)
+    out = np.repeat(base, counts)
+    out += np.arange(out.shape[0], dtype=np.int64)
+    if return_counts:
+        return out, counts
+    return out
 
 
 # --------------------------------------------------------------------------
@@ -193,20 +247,44 @@ class DecodedEpoch:
 
 
 def decode_epoch(epoch, layout: Layout, unit: int) -> DecodedEpoch:
-    """Decode every processor's access stream of one epoch to unit ids."""
+    """Decode every processor's access stream of one epoch to unit ids.
+
+    Packed epochs decode at burst granularity (:meth:`Layout.units_batch_bursts`
+    over zero-copy column slices) — the derived per-access ``region`` and
+    ``is_write`` columns are never materialized.  Burst-list epochs fall
+    back to the per-access ``flat``/``units_batch`` path.
+    """
     units: list[np.ndarray] = []
     counts: list[np.ndarray | None] = []
+    packed = hasattr(epoch, "burst_offsets")
     for p in range(epoch.nprocs):
-        regs, idx, _writes = epoch.flat(p)
-        if idx.shape[0] == 0:
-            units.append(np.empty(0, dtype=np.int64))
-            counts.append(None)
-            continue
-        u, c = layout.units_batch(regs, idx, unit, return_counts=True)
+        if packed:
+            lo, hi = int(epoch.offsets[p]), int(epoch.offsets[p + 1])
+            if hi == lo:
+                units.append(np.empty(0, dtype=np.int64))
+                counts.append(None)
+                continue
+            b0, b1 = int(epoch.burst_offsets[p]), int(epoch.burst_offsets[p + 1])
+            u, c = layout.units_batch_bursts(
+                epoch.burst_region[b0:b1],
+                epoch.burst_length[b0:b1],
+                epoch.index[lo:hi],
+                unit,
+                return_counts=True,
+            )
+            n = hi - lo
+        else:
+            regs, idx, _writes = epoch.flat(p)
+            if idx.shape[0] == 0:
+                units.append(np.empty(0, dtype=np.int64))
+                counts.append(None)
+                continue
+            u, c = layout.units_batch(regs, idx, unit, return_counts=True)
+            n = idx.shape[0]
         units.append(u)
         # All-ones counts mean the stream is access-aligned; storing None
         # lets ``expand`` skip the np.repeat copy entirely.
-        counts.append(None if u.shape[0] == idx.shape[0] else c)
+        counts.append(None if u.shape[0] == n else c)
     return DecodedEpoch(units=units, counts=counts)
 
 
@@ -225,14 +303,23 @@ class DecodeMemo:
     requests served from cache; ``distinct_geometries`` = geometry keys
     seen.  Traces are sealed after construction, so entries never go
     stale; if you do mutate a trace in place, call :meth:`clear`.
+
+    ``max_epochs`` bounds how many decoded epochs are retained at once
+    (LRU across all geometries); ``None`` — the default — retains
+    everything, which is what the sweep engines rely on.  Lazily decoded
+    compressed traces set a bound so a long replay does not hold every
+    epoch's expanded streams in memory.
     """
 
-    def __init__(self, trace: Trace):
+    def __init__(self, trace: Trace, max_epochs: int | None = None):
         self._trace = trace
         self._geometries: dict[tuple, dict[int, DecodedEpoch]] = {}
         self._derived: dict[tuple, object] = {}
+        self._lru: OrderedDict[tuple, None] = OrderedDict()
+        self.max_epochs = max_epochs
         self.decodes = 0
         self.hits = 0
+        self.evictions = 0
 
     @property
     def distinct_geometries(self) -> int:
@@ -244,14 +331,23 @@ class DecodeMemo:
 
     def epoch(self, layout: Layout, unit: int, index: int) -> DecodedEpoch:
         """Decoded streams for ``trace.epochs[index]`` under this geometry."""
-        per_geometry = self._geometries.setdefault(self.geometry_key(layout, unit), {})
+        gkey = self.geometry_key(layout, unit)
+        per_geometry = self._geometries.setdefault(gkey, {})
         decoded = per_geometry.get(index)
         if decoded is None:
             self.decodes += 1
             decoded = decode_epoch(self._trace.epochs[index], layout, unit)
             per_geometry[index] = decoded
+            if self.max_epochs is not None:
+                self._lru[(gkey, index)] = None
+                while len(self._lru) > self.max_epochs:
+                    (old_gkey, old_index), _ = self._lru.popitem(last=False)
+                    self._geometries[old_gkey].pop(old_index, None)
+                    self.evictions += 1
         else:
             self.hits += 1
+            if self.max_epochs is not None:
+                self._lru.move_to_end((gkey, index))
         return decoded
 
     def derived(self, key: tuple, build):
@@ -267,12 +363,20 @@ class DecodeMemo:
     def clear(self) -> None:
         self._geometries.clear()
         self._derived.clear()
+        self._lru.clear()
 
 
 def decode_memo(trace: Trace) -> DecodeMemo:
-    """The decode memo attached to ``trace`` (created on first use)."""
+    """The decode memo attached to ``trace`` (created on first use).
+
+    Traces may declare ``decode_memo_max_epochs`` (lazily decoded
+    compressed traces do) to bound the memo's retention; everything else
+    gets the unbounded memo the sweep engines rely on.
+    """
     memo = getattr(trace, "_decode_memo", None)
     if memo is None:
-        memo = DecodeMemo(trace)
+        memo = DecodeMemo(
+            trace, max_epochs=getattr(trace, "decode_memo_max_epochs", None)
+        )
         trace._decode_memo = memo
     return memo

@@ -227,6 +227,29 @@ class PackedEpoch:
         hi = self.offsets[proc + 1]
         return self.region[lo:hi], self.index[lo:hi], self.is_write[lo:hi]
 
+    def burst_slice(self, proc: int) -> tuple[int, int, int, int]:
+        """``(lo, hi, b0, b1)`` bounds of ``proc`` in the access/burst columns."""
+        return (
+            int(self.offsets[proc]),
+            int(self.offsets[proc + 1]),
+            int(self.burst_offsets[proc]),
+            int(self.burst_offsets[proc + 1]),
+        )
+
+    def write_flags(self, proc: int) -> np.ndarray:
+        """Per-access write flags for ``proc``, built from the burst columns.
+
+        Unlike ``flat(proc)[2]`` this never materializes (or caches) the
+        whole epoch's derived ``is_write`` column — only the processor's
+        slice is expanded, so replay paths that only need one processor at
+        a time stay O(proc accesses) in memory traffic.
+        """
+        if self._is_write is not None:
+            return self._is_write[self.offsets[proc] : self.offsets[proc + 1]]
+        b0 = int(self.burst_offsets[proc])
+        b1 = int(self.burst_offsets[proc + 1])
+        return np.repeat(self.burst_write[b0:b1], self.burst_length[b0:b1])
+
     @property
     def total_accesses(self) -> int:
         return int(self.offsets[-1])

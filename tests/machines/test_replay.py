@@ -1,0 +1,187 @@
+"""Tests for the parallel replay backend (:mod:`repro.machines.replay`).
+
+The load-bearing property is *byte-identical results*: the parallel fold
+must reproduce every counter array, the float ``time``, and
+``phase_times`` of the serial engine exactly — across worker counts,
+uneven processor blocks, and compressed (v3) bundles.  The mmap-sharing
+tests pin the zero-copy contract: workers attach to the trace file's
+pages, they do not receive pickled columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_REGISTRY, AppConfig
+from repro.machines.hardware import simulate_hardware
+from repro.machines.params import HardwareParams
+from repro.machines.replay import (
+    _proc_blocks,
+    _replay_block,
+    _written_line_sets,
+    build_intervals_parallel,
+    simulate_hardware_parallel,
+)
+from repro.trace.io import load_trace, save_trace
+from repro.trace.layout import Layout
+
+RESULT_ARRAYS = (
+    "l2_misses", "tlb_misses", "invalidations", "work", "lock_acquires",
+    "cold_misses", "coherence_misses", "capacity_misses",
+    "classification_overcount",
+)
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    app = APP_REGISTRY["moldyn"](AppConfig(n=384, nprocs=8, iterations=2, seed=3))
+    app.reorder("hilbert")
+    trace = app.run()
+    path = tmp_path_factory.mktemp("replay") / "t.npt"
+    save_trace(trace, path)
+    return path
+
+
+def assert_results_identical(a, b):
+    for name in RESULT_ARRAYS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+    assert a.time == b.time
+    assert a.phase_times == b.phase_times
+    assert a.barriers == b.barriers and a.nprocs == b.nprocs
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 3, 4, 8])
+    def test_byte_identical_to_serial(self, trace_file, jobs):
+        params = HardwareParams()
+        serial = simulate_hardware(load_trace(trace_file), params)
+        parallel = simulate_hardware_parallel(trace_file, params, jobs=jobs)
+        assert_results_identical(serial, parallel)
+
+    def test_jobs_one_routes_serial(self, trace_file):
+        params = HardwareParams()
+        serial = simulate_hardware(load_trace(trace_file), params)
+        assert_results_identical(
+            serial, simulate_hardware_parallel(trace_file, params, jobs=1)
+        )
+
+    def test_compressed_v3_input(self, trace_file, tmp_path):
+        v3 = tmp_path / "t3.npt"
+        save_trace(load_trace(trace_file), v3, compression="zlib")
+        params = HardwareParams()
+        serial = simulate_hardware(load_trace(trace_file), params)
+        assert_results_identical(
+            serial, simulate_hardware_parallel(v3, params, jobs=3)
+        )
+
+    def test_block_fn_matches_serial_counters(self, trace_file):
+        """The worker body itself (in-process) reproduces serial counters."""
+        params = HardwareParams()
+        serial = simulate_hardware(load_trace(trace_file), params)
+        out = _replay_block(str(trace_file), 2, 5, params)
+        assert np.array_equal(out["epoch_l2"].sum(axis=0),
+                              serial.l2_misses[2:5])
+        assert np.array_equal(out["invalidations"], serial.invalidations[2:5])
+        assert np.array_equal(out["cold"], serial.cold_misses[2:5])
+        assert np.array_equal(out["coherence"], serial.coherence_misses[2:5])
+
+
+class TestBlocks:
+    def test_blocks_cover_every_proc(self):
+        for nprocs in (1, 3, 7, 16):
+            for jobs in (1, 2, 4, 9, 32):
+                blocks = _proc_blocks(nprocs, jobs)
+                covered = [p for lo, hi in blocks for p in range(lo, hi)]
+                assert covered == list(range(nprocs))
+                assert all(hi > lo for lo, hi in blocks)
+
+    def test_written_sets_match_serial(self, trace_file):
+        params = HardwareParams()
+        trace = load_trace(trace_file)
+        layout = Layout.for_trace(trace, align=params.page_size)
+        nlines = (layout.total_bytes >> (params.line_size.bit_length() - 1)) + 1
+        from repro.machines.hardware import _proc_streams_packed
+        from repro.trace.layout import decode_memo
+
+        memo = decode_memo(trace)
+        sets = _written_line_sets(trace, layout, params.line_size, nlines)
+        for ei, epoch in enumerate(trace.epochs):
+            decoded = memo.epoch(layout, params.line_size, ei)
+            for p in range(trace.nprocs):
+                _, _, written = _proc_streams_packed(
+                    epoch, decoded, p, params.line_size, params.page_size, nlines
+                )
+                assert np.array_equal(sets[ei][p], written), (ei, p)
+
+
+def _probe_column_sharing(trace_path):
+    """Worker probe: are the index columns views over the mapped file?"""
+    trace = load_trace(trace_path, mmap=True, validate=False)
+    epoch = trace.epochs[0]
+    idx = np.asarray(epoch.index)
+    base = idx
+    while getattr(base, "base", None) is not None:
+        base = base.base
+    return {
+        "owndata": bool(idx.flags["OWNDATA"]),
+        "base_type": type(base).__name__,
+    }
+
+
+class TestZeroCopy:
+    def test_worker_columns_are_mmap_views(self, trace_file):
+        """Workers attach to the file: no copied, no pickled index columns."""
+        from repro.runtime.executor import ExecutorConfig, Task, run_tasks
+
+        tasks = [Task(key="probe", fn=_probe_column_sharing,
+                      args=(str(trace_file),))]
+        out = run_tasks(tasks, ExecutorConfig(jobs=2, task_timeout=None))["probe"]
+        assert out["owndata"] is False
+        # The view chain bottoms out at the mapped file (np.memmap, whose
+        # own buffer is an mmap.mmap) — never a heap-allocated copy.
+        assert out["base_type"] in ("memmap", "mmap")
+
+    def test_no_index_widening_on_load(self, trace_file):
+        """int32 disk columns stay narrow — the premise of page sharing."""
+        trace = load_trace(trace_file)
+        for epoch in trace.epochs:
+            idx = np.asarray(epoch.index)
+            assert idx.dtype in (np.dtype(np.int32), np.dtype(np.int64))
+            assert not idx.flags["OWNDATA"]
+
+
+class TestIntervalsParallel:
+    def test_matches_serial_build(self, trace_file):
+        from repro.machines.dsm.intervals import build_intervals
+
+        trace = load_trace(trace_file)
+        a, layout_a = build_intervals(trace, None, 4096)
+        infos, layout_b = build_intervals_parallel(trace_file, 4096, jobs=3)
+        assert layout_a.bases == layout_b.bases
+        assert len(infos) == len(a)
+        for x, y in zip(a, infos):
+            assert x.label == y.label
+            assert np.array_equal(x.work, y.work)
+            for p in range(x.nprocs):
+                assert np.array_equal(x.accesses[p], y.accesses[p])
+                assert np.array_equal(x.writes[p], y.writes[p])
+                assert np.array_equal(x.write_bytes[p], y.write_bytes[p])
+
+    def test_installs_into_memo(self, trace_file):
+        from repro.machines.dsm import simulate_treadmarks
+        from repro.machines.params import CLUSTER_16
+
+        serial = simulate_treadmarks(load_trace(trace_file), CLUSTER_16)
+        trace = load_trace(trace_file)
+        build_intervals_parallel(
+            trace_file, CLUSTER_16.page_size, jobs=3, trace=trace
+        )
+        from repro.trace.layout import decode_memo
+
+        decodes_before = decode_memo(trace).decodes
+        res = simulate_treadmarks(trace, CLUSTER_16)
+        assert res.messages == serial.messages
+        assert res.data_bytes == serial.data_bytes
+        assert res.time == serial.time
+        # The protocol model reused the installed summaries: no fresh
+        # interval decode happened on this trace.
+        assert decode_memo(trace).decodes == decodes_before
