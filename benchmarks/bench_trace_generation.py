@@ -1,4 +1,23 @@
-"""Acceptance benchmark for ragged (CSR) trace generation.
+"""Acceptance benchmarks for trace generation: emit staging and numerics.
+
+Two tests, two halves of the generate stage:
+
+* ``test_trace_generation_speedup`` — emission.  Times the
+  application-side staging of read/write bursts into the builder under
+  the two emit modes (below).
+* ``test_generate_engine_speedup`` — physics.  Times the *end-to-end*
+  generate stage (``run()``: numerics + staging + seal) under the two
+  numerics engines: ``loop`` (the per-object / per-cell reference
+  formulations) versus ``batch`` (the vectorized kernels in
+  :mod:`repro.apps.numerics`), on Barnes-Hut and FMM at n=8192, P=16.
+  The engines must produce byte-identical ``.npt`` bundles — asserted
+  unconditionally — and the batch engine must clear a >= 3x end-to-end
+  floor on both apps.  Each app runs at its cost-optimal tree depth for
+  the batch engine (Barnes-Hut ``leaf_capacity=2``, FMM ``levels=7``:
+  measured fastest absolute batch configs at this n, because a deeper
+  tree trades leaf-pair flops for cell work the batch engine does well);
+  the per-stage ``physics_stages`` breakdown and the physics-vs-emit
+  split are recorded in the JSON payload.
 
 ``test_trace_generation_speedup`` times trace *generation* — the
 application-side staging of read/write bursts into the builder — on
@@ -38,7 +57,7 @@ import time
 
 import pytest
 
-from repro.apps import AppConfig, BarnesHut, Moldyn
+from repro.apps import AppConfig, BarnesHut, FMM, Moldyn
 from repro.trace import builder as builder_mod
 from repro.trace.io import save_trace
 
@@ -54,6 +73,26 @@ APPS = (
     ("barnes_hut", BarnesHut, dict(n=8192, iterations=2)),
     ("moldyn", Moldyn, dict(n=8192, iterations=3)),
 )
+
+# Engine comparison: end-to-end generate, loop numerics + loop emit versus
+# batch numerics + ragged emit.  Tree-depth knobs pin each app to the
+# fastest measured batch configuration at this scale (see module
+# docstring); the loop engine runs the identical configuration.
+ENGINE_FLOOR = 3.0
+ENGINE_ROUNDS = 2
+ENGINE_APPS = (
+    ("barnes_hut", BarnesHut, dict(n=8192, iterations=2), {"leaf_capacity": 2}),
+    ("fmm", FMM, dict(n=8192, iterations=2), {"levels": 7}),
+)
+
+
+def _update_json(name: str, key: str, payload: dict) -> None:
+    """Merge one test's payload into a shared results JSON under ``key``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    doc = json.loads(path.read_text()) if path.exists() else {}
+    doc[key] = payload
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def _measure(app_cls, cfg_kw, mode):
@@ -148,7 +187,6 @@ def test_trace_generation_speedup(emit):
     emit("bench_trace_generation", "\n".join(lines))
 
     payload = {
-        "bench": "trace_generation",
         "nprocs": NPROCS,
         "seed": SEED,
         "rounds": ROUNDS,
@@ -157,13 +195,137 @@ def test_trace_generation_speedup(emit):
         "metric": "staging seconds (emit_seconds - seal_seconds), min of rounds",
         "apps": payload_apps,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_trace_gen.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    _update_json("BENCH_trace_gen.json", "emit_modes", payload)
 
     assert bh_speedup >= FLOOR, (
         f"ragged staging only {bh_speedup:.2f}x faster than the per-object "
         f"loop on Barnes-Hut ({bh['loop']['staging']:.3f}s -> "
         f"{bh['ragged']['staging']:.3f}s); floor is {FLOOR:.0f}x"
     )
+
+
+def _measure_generate(app_cls, cfg_kw, extra, engine, emit_mode):
+    """Min-of-ENGINE_ROUNDS end-to-end generate wall, with the stage split.
+
+    A fresh app per round (``run`` mutates physics state); the bundle from
+    the first round backs the byte-identity assertion.
+    """
+    best = None
+    bundle = None
+    for _ in range(ENGINE_ROUNDS):
+        app = app_cls(
+            AppConfig(
+                nprocs=NPROCS,
+                seed=SEED,
+                extra={"engine": engine, "emit": emit_mode, **extra},
+                **cfg_kw,
+            )
+        )
+        t0 = time.perf_counter()
+        trace = app.run()
+        wall = time.perf_counter() - t0
+        if bundle is None:
+            buf = io.BytesIO()
+            save_trace(trace, buf)
+            bundle = buf.getvalue()
+        if best is None or wall < best["wall"]:
+            best = {
+                "wall": wall,
+                "physics": app.physics_seconds,
+                "emit": app.emit_seconds,
+                "seal": app.seal_seconds,
+                "stages": {k: round(v, 5) for k, v in app.physics_stages.items()},
+                "accesses": trace.total_accesses,
+            }
+    return best, bundle
+
+
+@pytest.mark.slow
+def test_generate_engine_speedup(emit):
+    """Acceptance: batch numerics >= 3x faster end-to-end on BH and FMM."""
+    prev = builder_mod.set_packed_default(True)
+    try:
+        results = {}
+        for name, app_cls, cfg_kw, extra in ENGINE_APPS:
+            loop, loop_bytes = _measure_generate(app_cls, cfg_kw, extra, "loop", "loop")
+            batch, batch_bytes = _measure_generate(
+                app_cls, cfg_kw, extra, "batch", "ragged"
+            )
+            assert loop_bytes == batch_bytes, (
+                f"{name}: batch-engine .npt bundle differs from the loop engine's"
+            )
+            results[name] = {
+                "loop": loop,
+                "batch": batch,
+                "cfg": {**cfg_kw, **extra},
+            }
+    finally:
+        builder_mod.set_packed_default(prev)
+
+    rows = [
+        f"{'app':<12} {'engine':<7} {'wall s':>8} {'physics':>8} {'emit':>6} "
+        f"{'seal':>6} {'speedup':>8}"
+    ]
+    payload_apps = {}
+    speedups = {}
+    for name, r in results.items():
+        speedup = r["loop"]["wall"] / r["batch"]["wall"]
+        speedups[name] = speedup
+        for engine in ("loop", "batch"):
+            t = r[engine]
+            sp = f"{speedup:>7.1f}x" if engine == "batch" else f"{'':>8}"
+            rows.append(
+                f"{name:<12} {engine:<7} {t['wall']:>8.2f} {t['physics']:>8.2f} "
+                f"{t['emit']:>6.2f} {t['seal']:>6.2f} {sp}"
+            )
+        payload_apps[name] = {
+            **r["cfg"],
+            "accesses": r["loop"]["accesses"],
+            "loop": {
+                k: (round(v, 5) if isinstance(v, float) else v)
+                for k, v in r["loop"].items()
+            },
+            "batch": {
+                k: (round(v, 5) if isinstance(v, float) else v)
+                for k, v in r["batch"].items()
+            },
+            "generate_speedup": round(speedup, 2),
+            "bundle_identical": True,
+        }
+
+    lines = [
+        f"Generate stage — loop vs batch numerics engine, P={NPROCS}, "
+        f"seed {SEED}, min of {ENGINE_ROUNDS} rounds",
+        "wall = full run() (physics + emit staging + seal); loop engine uses "
+        "loop emit,",
+        "batch engine uses ragged emit — each side's native formulation, "
+        "byte-identical bundles",
+        "",
+        *rows,
+        "",
+        *(
+            f"{name} end-to-end generate speedup: {sp:.1f}x "
+            f"(acceptance floor {ENGINE_FLOOR:.0f}x)"
+            for name, sp in speedups.items()
+        ),
+        "loop and batch engines produced byte-identical .npt bundles",
+    ]
+    emit("bench_generate_engines", "\n".join(lines))
+
+    payload = {
+        "nprocs": NPROCS,
+        "seed": SEED,
+        "rounds": ENGINE_ROUNDS,
+        "floor": ENGINE_FLOOR,
+        "metric": "end-to-end run() wall seconds, min of rounds",
+        "apps": payload_apps,
+    }
+    _update_json("BENCH_trace_gen.json", "engines", payload)
+
+    for name, sp in speedups.items():
+        assert sp >= ENGINE_FLOOR, (
+            f"batch engine only {sp:.2f}x faster end-to-end on {name} "
+            f"({results[name]['loop']['wall']:.2f}s -> "
+            f"{results[name]['batch']['wall']:.2f}s); floor is "
+            f"{ENGINE_FLOOR:.0f}x"
+        )

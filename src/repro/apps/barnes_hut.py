@@ -32,6 +32,7 @@ from ..trace.builder import TraceBuilder
 from ..trace.events import Trace
 from .base import AppConfig, Application
 from .distributions import two_plummer
+from .numerics import bh_forces_batch, bh_walk_forces_loop, subtree_spans
 from .octree import build_octree, walk
 
 __all__ = ["BarnesHut"]
@@ -81,23 +82,6 @@ class BarnesHut(Application):
 
     # -- physics ---------------------------------------------------------
 
-    def _forces(self, tree, wr) -> np.ndarray:
-        """Accelerations from the walk's interaction lists (G = 1)."""
-        n = self.n
-        acc = np.zeros((n, 3))
-        eps2 = self.eps * self.eps
-        if wr.cell_body.shape[0]:
-            delta = tree.com[wr.cell_id] - self.pos[wr.cell_body]
-            d2 = (delta * delta).sum(axis=1) + eps2
-            f = (tree.mass[wr.cell_id] * d2 ** -1.5)[:, None] * delta
-            np.add.at(acc, wr.cell_body, f)
-        if wr.direct_body.shape[0]:
-            delta = self.pos[wr.direct_other] - self.pos[wr.direct_body]
-            d2 = (delta * delta).sum(axis=1) + eps2
-            f = (self.mass[wr.direct_other] * d2 ** -1.5)[:, None] * delta
-            np.add.at(acc, wr.direct_body, f)
-        return acc
-
     def _partition(self, tree, cost: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
         """Cost-weighted contiguous split of the in-order body sequence.
 
@@ -122,19 +106,22 @@ class BarnesHut(Application):
         # the subtree's body range.  Body ranges per cell follow from DFS
         # creation order: a leaf's range is its slice of leaf_bodies; an
         # internal node spans its children.
-        lo = np.full(tree.ncells, np.iinfo(np.int64).max, dtype=np.int64)
-        hi = np.zeros(tree.ncells, dtype=np.int64)
-        for c in range(tree.ncells - 1, -1, -1):
-            if tree.is_leaf[c]:
-                lo[c] = tree.leaf_start[c]
-                hi[c] = tree.leaf_start[c] + tree.leaf_count[c]
-            else:
-                kids = tree.children[c][tree.children[c] >= 0]
-                if kids.size:
-                    lo[c] = lo[kids].min()
-                    hi[c] = hi[kids].max()
-                else:  # pragma: no cover - empty internal nodes don't occur
-                    lo[c] = hi[c] = 0
+        if self.engine == "batch":
+            lo, hi = subtree_spans(tree)
+        else:
+            lo = np.full(tree.ncells, np.iinfo(np.int64).max, dtype=np.int64)
+            hi = np.zeros(tree.ncells, dtype=np.int64)
+            for c in range(tree.ncells - 1, -1, -1):
+                if tree.is_leaf[c]:
+                    lo[c] = tree.leaf_start[c]
+                    hi[c] = tree.leaf_start[c] + tree.leaf_count[c]
+                else:
+                    kids = tree.children[c][tree.children[c] >= 0]
+                    if kids.size:
+                        lo[c] = lo[kids].min()
+                        hi[c] = hi[kids].max()
+                    else:  # pragma: no cover - empty internal nodes don't occur
+                        lo[c] = hi[c] = 0
         inner_bounds = bounds[1:-1]
         visited = []
         stack = [0]
@@ -210,10 +197,16 @@ class BarnesHut(Application):
         )
         emit = self.emit_mode != "none"
         self.emit_seconds = 0.0
+        self.physics_seconds = 0.0
+        self.physics_stages = {}
         for _ in range(cfg.iterations):
-            tree = build_octree(
-                self.pos, self.mass, leaf_capacity=self.leaf_capacity
-            )
+            with self._phys("tree_build"):
+                tree = build_octree(
+                    self.pos,
+                    self.mass,
+                    leaf_capacity=self.leaf_capacity,
+                    engine=self.engine,
+                )
             nc = min(tree.ncells, max_cells)
             # 1. Sequential tree build: proc 0 reads every particle in
             # array order and writes the cell array in creation order.
@@ -227,7 +220,8 @@ class BarnesHut(Application):
 
             # 2. In-order traversal partition; every processor walks the
             # boundary cells of the costzone split (read-only).
-            parts, visited = self._partition(tree, cost)
+            with self._phys("partition"):
+                parts, visited = self._partition(tree, cost)
             if emit:
                 t0 = perf_counter()
                 visited = np.minimum(visited, max_cells - 1)
@@ -239,12 +233,26 @@ class BarnesHut(Application):
 
             # 3. Force evaluation.  The per-body CSR interaction streams
             # are the access pattern itself — every emit mode computes
-            # them; the modes differ only in how they are staged.
-            wr = walk(tree, self.pos, self.theta)
-            acc = self._forces(tree, wr)
-            cost = wr.interactions_per_body(n).astype(np.float64)
+            # them; the modes differ only in how they are staged.  The
+            # loop engine is the paper's formulation — one recursive walk
+            # and force fold per particle; the batch engine runs the
+            # vectorized frontier walk and column-wise bincount forces.
+            # Both produce bitwise-identical accelerations, costs, and
+            # interaction streams (tests/apps/test_numerics.py).
             order = np.concatenate(parts) if P > 1 else parts[0]
-            csr = wr.per_body_csr(n, order=order)
+            if self.engine == "batch":
+                with self._phys("walk"):
+                    wr = walk(tree, self.pos, self.theta)
+                with self._phys("forces"):
+                    acc = bh_forces_batch(tree, self.pos, self.mass, wr, self.eps)
+                    cost = wr.interactions_per_body(n).astype(np.float64)
+                    csr = wr.per_body_csr(n, order=order)
+            else:
+                with self._phys("walk_forces"):
+                    acc, icount, csr = bh_walk_forces_loop(
+                        tree, self.pos, self.mass, self.theta, self.eps, order
+                    )
+                    cost = icount.astype(np.float64)
             if emit:
                 t0 = perf_counter()
                 self._emit_forces(tb, csr, parts, cost, bodies, cells, max_cells)
@@ -252,9 +260,10 @@ class BarnesHut(Application):
                 self.emit_seconds += perf_counter() - t0
 
             # 4. Leapfrog update of owned particles, in partition order.
-            self.acc = acc
-            self.vel += self.dt * acc
-            self.pos += self.dt * self.vel
+            with self._phys("integrate"):
+                self.acc = acc
+                self.vel += self.dt * acc
+                self.pos += self.dt * self.vel
             if emit:
                 t0 = perf_counter()
                 for p in range(P):

@@ -18,7 +18,9 @@ records which, as the paper's guidance on choosing an ordering depends on it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 import numpy as np
 
@@ -30,6 +32,7 @@ __all__ = [
     "AppConfig",
     "Application",
     "EMIT_MODES",
+    "ENGINES",
     "HALF_STENCIL",
     "block_partition",
     "counts_to_offsets",
@@ -38,6 +41,8 @@ __all__ = [
     "ragged_take",
     "reorder_cycles",
     "reorder_work_units",
+    "resolve_engine",
+    "scatter_add",
 ]
 
 #: Trace emission modes an application accepts via ``config.extra["emit"]``:
@@ -47,6 +52,56 @@ __all__ = [
 #: skips trace emission entirely — physics only, which is how the
 #: generation benchmark isolates emission cost.
 EMIT_MODES = ("ragged", "loop", "none")
+
+#: Physics-engine selectors an application accepts via
+#: ``config.extra["engine"]``, mirroring ``repro.machines.kernels``:
+#: ``"loop"`` runs the per-object / per-cell reference formulations (the
+#: property-tested oracle), ``"batch"`` the vectorized compute engine in
+#: :mod:`repro.apps.numerics`, and ``"auto"`` (default) picks ``"batch"``.
+#: Both engines produce byte-identical trace bundles — the invariant the
+#: ``tests/apps/test_numerics.py`` suite asserts for all five apps.
+ENGINES = ("loop", "batch", "auto")
+
+
+def resolve_engine(value: str) -> str:
+    """Validate an engine selector and resolve ``"auto"`` to ``"batch"``."""
+    if value not in ENGINES:
+        raise ValueError(f"unknown engine {value!r}; expected one of {ENGINES}")
+    return "batch" if value == "auto" else value
+
+
+def scatter_add(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    """``out[idx] += vals`` with duplicate indices, via ``np.bincount``.
+
+    Bitwise-identical to ``np.add.at`` on a freshly-zeroed accumulator —
+    both fold each bin's contributions sequentially in stream order
+    (verified by ``tests/apps/test_numerics.py``; onto a *nonzero*
+    accumulator the two interleave differently and agree only to
+    rounding) — but several times faster on multi-million-element
+    streams, because ``np.add.at`` dispatches one indexed inner loop per
+    element while ``bincount`` is a single pass.  Bins that receive no
+    contribution are left untouched (``add.at`` semantics: a ``-0.0``
+    there must not flip to ``+0.0``).  Columns of 2-D ``vals`` are
+    reduced independently; complex values are reduced as separate
+    real/imaginary parts (exact — complex addition is componentwise).
+    """
+    if idx.shape[0] == 0:
+        return
+    minlength = out.shape[0]
+    hit = np.bincount(idx, minlength=minlength) > 0
+    if np.iscomplexobj(vals):
+        agg = np.empty(minlength, dtype=np.complex128)
+        agg.real = np.bincount(idx, weights=vals.real, minlength=minlength)
+        agg.imag = np.bincount(idx, weights=vals.imag, minlength=minlength)
+        np.add(out, agg, out=out, where=hit)
+        return
+    if vals.ndim == 1:
+        np.add(out, np.bincount(idx, weights=vals, minlength=minlength),
+               out=out, where=hit)
+        return
+    for k in range(vals.shape[1]):
+        np.add(out[:, k], np.bincount(idx, weights=vals[:, k], minlength=minlength),
+               out=out[:, k], where=hit)
 
 #: The 13 "positive" half-stencil cell offsets shared by the Moldyn
 #: interaction-list build and Water-Spatial's neighbour sweep, in the
@@ -229,6 +284,11 @@ class Application(ABC):
             raise ValueError(
                 f"unknown emit mode {self.emit_mode!r}; expected one of {EMIT_MODES}"
             )
+        #: Physics engine ("loop" or "batch", resolved from
+        #: ``extra["engine"]``; default "auto" = "batch").  Orthogonal to
+        #: ``emit_mode``: the engine decides how the physics is computed,
+        #: the emit mode how the resulting access streams are staged.
+        self.engine = resolve_engine(str(config.extra.get("engine", "auto")))
         #: Seconds the last :meth:`run` spent staging and sealing trace
         #: events (builder calls + barriers), excluding the physics.  Apps
         #: accumulate it around their emission blocks; the generation
@@ -238,6 +298,25 @@ class Application(ABC):
         #: cost of the emit path.
         self.emit_seconds = 0.0
         self.seal_seconds = 0.0
+        #: Seconds the last :meth:`run` spent computing physics (structure
+        #: discovery + force math), accumulated by the apps around their
+        #: compute blocks via :meth:`_phys`; ``physics_stages`` breaks it
+        #: down by stage label.  Together with ``emit_seconds`` this lets
+        #: the generation benchmark attribute generate-stage time.
+        self.physics_seconds = 0.0
+        self.physics_stages: dict[str, float] = {}
+
+    @contextmanager
+    def _phys(self, stage: str):
+        """Time a physics block, accumulating into ``physics_seconds`` and
+        the per-stage ``physics_stages`` breakdown."""
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            dt = perf_counter() - t0
+            self.physics_seconds += dt
+            self.physics_stages[stage] = self.physics_stages.get(stage, 0.0) + dt
 
     # ---- spatial data ------------------------------------------------
     @abstractmethod

@@ -44,6 +44,14 @@ from ..trace.events import Trace
 from .base import AppConfig, Application, counts_to_offsets, ragged_take
 from .distributions import two_plummer
 from . import fmm_math as fm
+from .numerics import (
+    complex_segsum,
+    eval_local_deriv_batch,
+    l2l_stack,
+    m2l_stack,
+    m2m_stack,
+    p2m_batch,
+)
 
 __all__ = ["FMM"]
 
@@ -195,7 +203,10 @@ class FMM(Application):
         binom = self._binom
         emit = self.emit_mode != "none"
         ragged = self.emit_mode == "ragged"
+        batch = self.engine == "batch"
         self.emit_seconds = 0.0
+        self.physics_seconds = 0.0
+        self.physics_stages = {}
 
         for _ in range(cfg.iterations):
             lo, w = self._bbox()
@@ -207,14 +218,15 @@ class FMM(Application):
             # of its spatial region ("cells ... created independently by
             # the processors"), reading those particles wherever they sit
             # in the shared array and writing its own cells.
-            cx = np.clip(((self.pos[:, 0] - lo[0]) / step).astype(np.int64), 0, side - 1)
-            cy = np.clip(((self.pos[:, 1] - lo[1]) / step).astype(np.int64), 0, side - 1)
-            leaf_rm = cy * side + cx  # row-major finest cell of each particle
-            counts = np.bincount(leaf_rm, minlength=side * side)
-            sort_order = np.argsort(self._morton_rank[L][leaf_rm], kind="stable")
-            starts_m = np.searchsorted(
-                self._morton_rank[L][leaf_rm][sort_order], np.arange(side * side + 1)
-            )
+            with self._phys("binning"):
+                cx = np.clip(((self.pos[:, 0] - lo[0]) / step).astype(np.int64), 0, side - 1)
+                cy = np.clip(((self.pos[:, 1] - lo[1]) / step).astype(np.int64), 0, side - 1)
+                leaf_rm = cy * side + cx  # row-major finest cell of each particle
+                counts = np.bincount(leaf_rm, minlength=side * side)
+                sort_order = np.argsort(self._morton_rank[L][leaf_rm], kind="stable")
+                starts_m = np.searchsorted(
+                    self._morton_rank[L][leaf_rm][sort_order], np.arange(side * side + 1)
+                )
             rank_L = self._morton_rank[L]
             members = lambda rm: sort_order[  # noqa: E731
                 starts_m[rank_L[rm]] : starts_m[rank_L[rm] + 1]
@@ -229,7 +241,20 @@ class FMM(Application):
                     )
                 return ragged_take(sort_order, starts_m[rank_L[rms]], counts[rms])
 
-            owner_rm, parts = self._partition(counts)
+            with self._phys("partition"):
+                owner_rm, parts = self._partition(counts)
+            if batch:
+                # Occupied finest cells in Morton order; their particles are
+                # exactly `sort_order`, segmented by `occm_cnt`.  Every batch
+                # stage below indexes this layout.
+                morton_rm = np.argsort(rank_L, kind="stable")
+                occm = morton_rm[counts[morton_rm] > 0]
+                occm_cnt = counts[occm]
+                occm_cids = self._cell_id(L, occm % side, occm // side)
+                z0occ = np.empty(occm.shape[0], dtype=np.complex128)
+                z0occ.real = lo[0] + (occm % side + 0.5) * step
+                z0occ.imag = lo[1] + (occm // side + 0.5) * step
+                d_sorted = zpos[sort_order] - np.repeat(z0occ, occm_cnt)
             if emit:
                 t0 = perf_counter()
                 for pidx in range(P):
@@ -262,18 +287,30 @@ class FMM(Application):
             mult = np.zeros((self.ncells, p + 1), dtype=np.complex128)
             local = np.zeros((self.ncells, p + 1), dtype=np.complex128)
 
-            # P2M at owned leaves (reads particles).
-            for pidx in range(P):
-                for rm in parts[pidx].tolist():
-                    mem = members(rm)
-                    if mem.shape[0] == 0:
-                        continue
-                    cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
-                    z0 = complex(
-                        lo[0] + (rm % side + 0.5) * step,
-                        lo[1] + (rm // side + 0.5) * step,
+            # P2M at owned leaves (reads particles).  The batch engine
+            # builds every occupied leaf's expansion in one call: the
+            # power recurrence is elementwise per particle and the
+            # coefficient segment sums accumulate each cell's particles in
+            # the same (Morton member) order as the per-cell fold.
+            with self._phys("p2m"):
+                if batch:
+                    mult[occm_cids] = p2m_batch(
+                        d_sorted, self.charge[sort_order],
+                        np.repeat(np.arange(occm.shape[0], dtype=np.int64), occm_cnt),
+                        occm.shape[0], p,
                     )
-                    mult[cid] = fm.p2m(zpos[mem], self.charge[mem], z0, p)
+                else:
+                    for pidx in range(P):
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] == 0:
+                                continue
+                            cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
+                            z0 = complex(
+                                lo[0] + (rm % side + 0.5) * step,
+                                lo[1] + (rm // side + 0.5) * step,
+                            )
+                            mult[cid] = fm.p2m(zpos[mem], self.charge[mem], z0, p)
             if emit:
                 t0 = perf_counter()
                 for pidx in range(P):
@@ -311,14 +348,16 @@ class FMM(Application):
                 # Owner of a parent = owner of its first child.
                 child_owner = owner_lvl[l + 1]
                 owner_lvl[l] = child_owner[(iy * 2) * sidec + ix * 2]
-                for qx in (0, 1):
-                    for qy in (0, 1):
+                quads = [(qx, qy) for qx in (0, 1) for qy in (0, 1)]
+                shifts = [
+                    complex((qx - 0.5) * stepl / 2.0, (qy - 0.5) * stepl / 2.0)
+                    for qx, qy in quads
+                ]
+                with self._phys("m2m"):
+                    tmats = m2m_stack(np.array(shifts, dtype=np.complex128), p, binom)
+                    for (qx, qy), t in zip(quads, tmats):
                         cxs, cys = ix * 2 + qx, iy * 2 + qy
                         child_ids = self._cell_id(l + 1, cxs, cys)
-                        shift = complex(
-                            (qx - 0.5) * stepl / 2.0, (qy - 0.5) * stepl / 2.0
-                        )
-                        t = fm.m2m_matrix(shift, p, binom)
                         mult[parent_ids] += mult[child_ids] @ t.T
                 # Trace: each parent's owner reads children, writes parent.
                 if emit:
@@ -347,25 +386,35 @@ class FMM(Application):
                 iy, ix = np.divmod(np.arange(sidel * sidel, dtype=np.int64), sidel)
                 tgt_ids_all = self._cell_id(l, ix, iy)
                 vcount = np.zeros(sidel * sidel, dtype=np.int64)
+                # Enumerate the (parity, offset) interaction groups once
+                # and build all of the level's translation matrices in a
+                # single stacked call.  Matrix construction, like the
+                # matmul/accumulation schedule, is shared between engines
+                # (numpy's vectorized complex multiply uses FMA, so a
+                # per-matrix scalar recurrence would differ by 1 ulp);
+                # `local` and `vcount` are therefore engine-independent.
+                vgroups = []
+                zs = []
                 for px in (0, 1):
                     for py in (0, 1):
                         sel = (ix % 2 == px) & (iy % 2 == py)
                         tix, tiy = ix[sel], iy[sel]
                         tids = tgt_ids_all[sel]
                         for dx, dy in self._v_offsets(px, py):
-                            sx, sy = tix + dx, tiy + dy
-                            ok = (sx >= 0) & (sx < sidel) & (sy >= 0) & (sy < sidel)
-                            if not ok.any():
-                                continue
-                            sids = self._cell_id(l, sx[ok], sy[ok])
-                            z = complex(dx * stepl, dy * stepl)  # src - tgt
-                            t = fm.m2l_matrix(z, p, binom)
-                            local[tids[ok]] += mult[sids] @ t.T
-                            vcount[(tiy[ok] * sidel + tix[ok])] += 1
-                            # Trace: owner of each target reads the source.
-                        # Trace at burst granularity: per owner, read the
-                        # union of V-list sources of its cells (emitted
-                        # below, per cell, to keep traversal order).
+                            vgroups.append((tix, tiy, tids, dx, dy))
+                            zs.append(complex(dx * stepl, dy * stepl))  # src - tgt
+                with self._phys("m2l"):
+                    tmats = m2l_stack(np.array(zs, dtype=np.complex128), p, binom)
+                    for (tix, tiy, tids, dx, dy), t in zip(vgroups, tmats):
+                        sx, sy = tix + dx, tiy + dy
+                        ok = (sx >= 0) & (sx < sidel) & (sy >= 0) & (sy < sidel)
+                        if not ok.any():
+                            continue
+                        sids = self._cell_id(l, sx[ok], sy[ok])
+                        local[tids[ok]] += mult[sids] @ t.T
+                        vcount[(tiy[ok] * sidel + tix[ok])] += 1
+                        # Trace: owner of each target reads the source —
+                        # emitted below, per cell, to keep traversal order.
                 # Emit per-cell V-list reads in Morton order per owner.
                 if not emit:
                     continue
@@ -418,13 +467,15 @@ class FMM(Application):
                 stepl = w / sidel
                 iy, ix = np.divmod(np.arange(sidel * sidel, dtype=np.int64), sidel)
                 parent_ids = self._cell_id(l, ix, iy)
-                for qx in (0, 1):
-                    for qy in (0, 1):
+                quads = [(qx, qy) for qx in (0, 1) for qy in (0, 1)]
+                shifts = [
+                    complex((qx - 0.5) * stepl / 2.0, (qy - 0.5) * stepl / 2.0)
+                    for qx, qy in quads
+                ]
+                with self._phys("l2l"):
+                    tmats = l2l_stack(np.array(shifts, dtype=np.complex128), p, binom)
+                    for (qx, qy), t in zip(quads, tmats):
                         child_ids = self._cell_id(l + 1, ix * 2 + qx, iy * 2 + qy)
-                        shift = complex(
-                            (qx - 0.5) * stepl / 2.0, (qy - 0.5) * stepl / 2.0
-                        )
-                        t = fm.l2l_matrix(shift, p, binom)
                         local[child_ids] += local[parent_ids] @ t.T
                 if not emit:
                     continue
@@ -443,20 +494,30 @@ class FMM(Application):
                 self.emit_seconds += perf_counter() - t0
 
             # L2P: evaluate local expansions at owned particles.
-            self.field[:] = 0.0
-            for pidx in range(P):
-                for rm in parts[pidx].tolist():
-                    mem = members(rm)
-                    if mem.shape[0] == 0:
-                        continue
-                    cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
-                    z0 = complex(
-                        lo[0] + (rm % side + 0.5) * step,
-                        lo[1] + (rm // side + 0.5) * step,
+            with self._phys("l2p"):
+                self.field[:] = 0.0
+                if batch:
+                    # One Horner sweep over all particles: row = the
+                    # particle's cell's local expansion, same multiply-add
+                    # sequence as the per-cell evaluation.
+                    out = eval_local_deriv_batch(
+                        local[np.repeat(occm_cids, occm_cnt)], d_sorted
                     )
-                    self.field[mem] += np.conj(
-                        fm.eval_local_deriv(local[cid], zpos[mem], z0)
-                    )
+                    self.field[sort_order] += np.conj(out)
+                else:
+                    for pidx in range(P):
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] == 0:
+                                continue
+                            cid = int(self._cell_id(L, np.array([rm % side]), np.array([rm // side]))[0])
+                            z0 = complex(
+                                lo[0] + (rm % side + 0.5) * step,
+                                lo[1] + (rm // side + 0.5) * step,
+                            )
+                            self.field[mem] += np.conj(
+                                fm.eval_local_deriv(local[cid], zpos[mem], z0)
+                            )
             if emit:
                 t0 = perf_counter()
                 for pidx in range(P):
@@ -488,26 +549,65 @@ class FMM(Application):
                 self.emit_seconds += perf_counter() - t0
 
             # ---- inter_particle: P2P with the 8 neighbouring leaves.
-            for pidx in range(P):
-                for rm in parts[pidx].tolist():
-                    mem = members(rm)
-                    if mem.shape[0] == 0:
-                        continue
-                    tix, tiy = rm % side, rm // side
-                    nb_chunks = []
-                    for dx, dy in _P2P_STENCIL.tolist():
-                        sx, sy = tix + dx, tiy + dy
-                        if 0 <= sx < side and 0 <= sy < side:
-                            nb = members(sy * side + sx)
-                            if nb.shape[0]:
-                                nb_chunks.append(nb)
-                    if not nb_chunks:
-                        continue
-                    nbs = np.concatenate(nb_chunks)
-                    d = zpos[mem][:, None] - zpos[nbs][None, :]
-                    self.field[mem] += np.conj(
-                        (self.charge[nbs][None, :] / d).sum(axis=1)
+            # Per-target term order is the stencil-order concatenation of
+            # neighbour members in both engines; the loop engine folds each
+            # row sequentially (cumsum) and the batch engine enumerates all
+            # pairs at once and folds each target's bin with bincount —
+            # the same additions in the same order.
+            with self._phys("p2p_inter"):
+                if batch:
+                    tixo, tiyo = occm % side, occm // side
+                    sxo = tixo[:, None] + _P2P_STENCIL[None, :, 0]
+                    syo = tiyo[:, None] + _P2P_STENCIL[None, :, 1]
+                    okn = (sxo >= 0) & (sxo < side) & (syo >= 0) & (syo < side)
+                    nbrm = (syo * side + sxo)[okn]
+                    nbrm_cnt = counts[nbrm]
+                    grpm = np.repeat(
+                        np.arange(occm.shape[0], dtype=np.int64), okn.sum(axis=1)
                     )
+                    sc = np.bincount(
+                        grpm, weights=nbrm_cnt, minlength=occm.shape[0]
+                    ).astype(np.int64)
+                    src = ragged_take(sort_order, starts_m[rank_L[nbrm]], nbrm_cnt)
+                    s_offs = counts_to_offsets(sc)
+                    # Enumerate the pair stream left-major (per target, its
+                    # cell's neighbour concatenation) without any integer
+                    # division: repeat the targets by their source counts
+                    # and gather the pre-gathered source values through one
+                    # shared ragged index.
+                    scp = np.repeat(sc, occm_cnt)  # sources per target
+                    tpart = np.repeat(sort_order, scp)
+                    starts_t = np.repeat(s_offs[:-1], occm_cnt)
+                    offs_p = counts_to_offsets(scp)
+                    gidx = np.repeat(starts_t - offs_p[:-1], scp)
+                    gidx += np.arange(gidx.shape[0], dtype=np.int64)
+                    zt = np.repeat(zpos[sort_order], scp)
+                    terms = self.charge[src][gidx] / (zt - zpos[src][gidx])
+                    sums = complex_segsum(tpart, terms, n)
+                    tt = sort_order[scp > 0]
+                    self.field[tt] += np.conj(sums[tt])
+                else:
+                    for pidx in range(P):
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] == 0:
+                                continue
+                            tix, tiy = rm % side, rm // side
+                            nb_chunks = []
+                            for dx, dy in _P2P_STENCIL.tolist():
+                                sx, sy = tix + dx, tiy + dy
+                                if 0 <= sx < side and 0 <= sy < side:
+                                    nb = members(sy * side + sx)
+                                    if nb.shape[0]:
+                                        nb_chunks.append(nb)
+                            if not nb_chunks:
+                                continue
+                            nbs = np.concatenate(nb_chunks)
+                            d = zpos[mem][:, None] - zpos[nbs][None, :]
+                            terms = self.charge[nbs][None, :] / d
+                            self.field[mem] += np.conj(
+                                np.cumsum(terms, axis=1)[:, -1]
+                            )
             if emit:
                 t0 = perf_counter()
                 if ragged:
@@ -587,17 +687,47 @@ class FMM(Application):
                 tb.barrier("intra_particle")
                 self.emit_seconds += perf_counter() - t0
 
-            # ---- intra_particle: P2P within each owned leaf.
-            for pidx in range(P):
-                for rm in parts[pidx].tolist():
-                    mem = members(rm)
-                    if mem.shape[0] < 2:
-                        continue
-                    d = zpos[mem][:, None] - zpos[mem][None, :]
-                    np.fill_diagonal(d, np.inf)
-                    self.field[mem] += np.conj(
-                        (self.charge[mem][None, :] / d).sum(axis=1)
+            # ---- intra_particle: P2P within each owned leaf.  Self pairs
+            # stay in the term stream as charge/inf = 0 (complex division
+            # by inf is exact), so both engines fold identical sequences.
+            with self._phys("p2p_intra"):
+                if batch:
+                    sel2 = occm_cnt >= 2
+                    occ2 = occm[sel2]
+                    c2 = occm_cnt[sel2]
+                    base2 = starts_m[rank_L[occ2]]
+                    touched = ragged_take(sort_order, base2, c2)
+                    # Same divmod-free pair enumeration as inter_particle:
+                    # each member of a cell interacts with the cell's own
+                    # member list, so the source block per target is its
+                    # group's slice of ``touched``.
+                    scp2 = np.repeat(c2, c2)
+                    tpart = np.repeat(touched, scp2)
+                    g_offs = counts_to_offsets(c2)
+                    offs_p2 = counts_to_offsets(scp2)
+                    gidx = np.repeat(np.repeat(g_offs[:-1], c2) - offs_p2[:-1], scp2)
+                    gidx += np.arange(gidx.shape[0], dtype=np.int64)
+                    zm = zpos[touched]
+                    d = np.repeat(zm, scp2) - zm[gidx]
+                    tpos = np.repeat(
+                        np.arange(touched.shape[0], dtype=np.int64), scp2
                     )
+                    d[gidx == tpos] = np.inf
+                    terms = self.charge[touched][gidx] / d
+                    sums = complex_segsum(tpart, terms, n)
+                    self.field[touched] += np.conj(sums[touched])
+                else:
+                    for pidx in range(P):
+                        for rm in parts[pidx].tolist():
+                            mem = members(rm)
+                            if mem.shape[0] < 2:
+                                continue
+                            d = zpos[mem][:, None] - zpos[mem][None, :]
+                            np.fill_diagonal(d, np.inf)
+                            terms = self.charge[mem][None, :] / d
+                            self.field[mem] += np.conj(
+                                np.cumsum(terms, axis=1)[:, -1]
+                            )
             if emit:
                 t0 = perf_counter()
                 for pidx in range(P):
@@ -628,9 +758,10 @@ class FMM(Application):
                 self.emit_seconds += perf_counter() - t0
 
             # ---- other: integrate owned particles.
-            accel = np.stack([self.field.real, self.field.imag], axis=1)
-            self.vel += self.dt * accel
-            self.pos += self.dt * self.vel
+            with self._phys("integrate"):
+                accel = np.stack([self.field.real, self.field.imag], axis=1)
+                self.vel += self.dt * accel
+                self.pos += self.dt * self.vel
             if emit:
                 t0 = perf_counter()
                 for pidx in range(P):

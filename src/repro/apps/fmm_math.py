@@ -51,14 +51,19 @@ def p2m(z: np.ndarray, q: np.ndarray, z0: complex, p: int) -> np.ndarray:
     """Multipole expansion of charges ``q`` at ``z`` about ``z0``.
 
     ``a_0 = sum q_i``; ``a_k = -sum q_i (z_i - z0)^k / k``.
+
+    Sums are sequential (``cumsum`` folds) rather than numpy's pairwise
+    reduction so the per-cell result is bitwise-identical to the batched
+    segment sums of :func:`repro.apps.numerics.p2m_batch`, which
+    accumulate each cell's particles in the same stream order.
     """
     a = np.zeros(p + 1, dtype=np.complex128)
     d = z - z0
-    a[0] = q.sum()
+    a[0] = np.cumsum(q)[-1]
     pw = np.ones_like(d)
     for k in range(1, p + 1):
         pw = pw * d
-        a[k] = -(q * pw).sum() / k
+        a[k] = -np.cumsum(q * pw)[-1] / k
     return a
 
 

@@ -42,8 +42,10 @@ from .base import (
     block_partition,
     half_stencil_neighbors,
     ragged_cross,
+    scatter_add,
 )
 from .distributions import lattice_jittered
+from .numerics import interaction_list_loop
 
 __all__ = ["Moldyn", "build_interaction_list"]
 
@@ -147,7 +149,7 @@ class Moldyn(Application):
         self.pos = lattice_jittered(config.n, config.seed, box=self.box)
         self.vel = np.zeros_like(self.pos)
         self.force = np.zeros_like(self.pos)
-        self.pairs = build_interaction_list(self.pos, self.cutoff, self.box)
+        self.pairs = self._build_pairs()
         self._steps_since_rebuild = 0
         self.parts = block_partition(config.n, config.nprocs)
 
@@ -169,6 +171,19 @@ class Moldyn(Application):
 
     # -- physics ---------------------------------------------------------
 
+    def _build_pairs(self) -> np.ndarray:
+        """Interaction list via the engine-selected builder.
+
+        The batch builder is the vectorized cell-sort + half-stencil
+        enumeration; the loop oracle scans each occupied cell with Python
+        loops (the Chaos benchmark's formulation).  Both feed the same
+        distance filter and (i, j) lexsort, so the output array is
+        identical element-for-element.
+        """
+        if self.engine == "batch":
+            return build_interaction_list(self.pos, self.cutoff, self.box)
+        return interaction_list_loop(self.pos, self.cutoff, self.box)
+
     def _lj_forces(self) -> None:
         """Lennard-Jones forces over the interaction list (both partners)."""
         self.force[:] = 0.0
@@ -185,8 +200,8 @@ class Moldyn(Application):
         s6 = s2 * s2 * s2
         mag = 24.0 * (2.0 * s6 * s6 - s6) / r2
         f = mag[:, None] * d
-        np.add.at(self.force, pi, f)
-        np.add.at(self.force, pj, -f)
+        scatter_add(self.force, pi, f)
+        scatter_add(self.force, pj, -f)
 
     def _integrate(self) -> None:
         self.vel += self.dt * self.force
@@ -207,7 +222,8 @@ class Moldyn(Application):
 
     def _emit_build_list(self, tb: TraceBuilder, mol: int) -> None:
         """Rebuild the interaction list and trace the per-block scan."""
-        self.pairs = build_interaction_list(self.pos, self.cutoff, self.box)
+        with self._phys("build_list"):
+            self.pairs = self._build_pairs()
         self._steps_since_rebuild = 0
         if self.emit_mode == "none":
             return
@@ -233,7 +249,8 @@ class Moldyn(Application):
         ``j`` column and the per-molecule offsets come straight from
         ``bounds``; molecules without partners are dropped, exactly like
         the loop's ``hi == lo`` skip."""
-        self._lj_forces()
+        with self._phys("forces"):
+            self._lj_forces()
         if self.emit_mode == "none":
             return
         t0 = perf_counter()
@@ -276,7 +293,8 @@ class Moldyn(Application):
 
     def _emit_update(self, tb: TraceBuilder, mol: int) -> None:
         """Leapfrog integration of the owned block."""
-        self._integrate()
+        with self._phys("integrate"):
+            self._integrate()
         if self.emit_mode == "none":
             return
         t0 = perf_counter()
@@ -309,6 +327,8 @@ class Moldyn(Application):
         first = True
         emit = self.emit_mode != "none"
         self._emit_acc = 0.0
+        self.physics_seconds = 0.0
+        self.physics_stages = {}
         for _ in range(cfg.iterations):
             rereorder = (
                 self.rereorder_every

@@ -41,6 +41,7 @@ class Octree:
     leaf_count: np.ndarray  # (nc,)
     leaf_bodies: np.ndarray  # body indices, grouped by leaf
     body_leaf: np.ndarray  # (n,) leaf id of each body
+    node_level: np.ndarray  # (nc,) depth of each node (root = 0)
     depth: int
 
     @property
@@ -163,6 +164,7 @@ class _Builder:
         self.leaf_start: list[int] = []
         self.leaf_count: list[int] = []
         self.leaf_bodies: list[np.ndarray] = []
+        self.level: list[int] = []
         self.cursor = 0
         self.depth = 0
 
@@ -170,12 +172,11 @@ class _Builder:
         me = len(self.center)
         self.center.append(center)
         self.half.append(half)
-        self.mass.append(0.0)  # filled below
-        self.com.append(np.zeros(self.ndim))
         self.children.append(np.full(self.nchild, -1, dtype=np.int64))
         self.is_leaf.append(False)
         self.leaf_start.append(-1)
         self.leaf_count.append(0)
+        self.level.append(depth)
         self.depth = max(self.depth, depth)
 
         pos = self.pos
@@ -185,9 +186,6 @@ class _Builder:
             self.leaf_count[me] = int(idx.shape[0])
             self.leaf_bodies.append(idx)
             self.cursor += int(idx.shape[0])
-            m = float(idx.shape[0])  # unit masses; caller rescales
-            self.mass[me] = m
-            self.com[me] = pos[idx].mean(axis=0) if idx.shape[0] else center
             return me
 
         # Octant of each body: bit d set if coordinate d above center.
@@ -200,8 +198,6 @@ class _Builder:
         sorted_oct = octant[order]
         bounds = np.searchsorted(sorted_oct, np.arange(self.nchild + 1))
         qh = half / 2.0
-        total_m = 0.0
-        weighted = np.zeros(self.ndim)
         for q in range(self.nchild):
             lo, hi = int(bounds[q]), int(bounds[q + 1])
             if lo == hi:
@@ -211,13 +207,9 @@ class _Builder:
             )
             child = self.build(sorted_idx[lo:hi], center + offs, qh, depth + 1)
             self.children[me][q] = child
-            total_m += self.mass[child]
-            weighted += self.mass[child] * self.com[child]
-        self.mass[me] = total_m
-        self.com[me] = weighted / total_m if total_m > 0 else center
         return me
 
-    def finish(self, masses: np.ndarray | None) -> Octree:
+    def finish(self) -> Octree:
         n = self.pos.shape[0]
         leaf_bodies = (
             np.concatenate(self.leaf_bodies)
@@ -227,64 +219,66 @@ class _Builder:
         is_leaf = np.array(self.is_leaf, dtype=bool)
         leaf_start = np.array(self.leaf_start, dtype=np.int64)
         leaf_count = np.array(self.leaf_count, dtype=np.int64)
+        # leaf_bodies segments appear in leaf creation order, which is also
+        # ascending leaf id and ascending leaf_start — one repeat scatter
+        # labels every body at once.
+        leaf_ids = np.nonzero(is_leaf)[0]
         body_leaf = np.full(n, -1, dtype=np.int64)
-        for c in np.nonzero(is_leaf)[0]:
-            s = leaf_start[c]
-            body_leaf[leaf_bodies[s : s + leaf_count[c]]] = c
-        tree = Octree(
+        body_leaf[leaf_bodies] = np.repeat(leaf_ids, leaf_count[leaf_ids])
+        ncells = len(self.center)
+        return Octree(
             ndim=self.ndim,
             leaf_capacity=self.cap,
             center=np.array(self.center),
             half=np.array(self.half, dtype=np.float64),
-            mass=np.array(self.mass, dtype=np.float64),
-            com=np.array(self.com),
+            mass=np.zeros(ncells),
+            com=np.zeros((ncells, self.ndim)),
             children=np.array(self.children, dtype=np.int64),
             is_leaf=is_leaf,
             leaf_start=leaf_start,
             leaf_count=leaf_count,
             leaf_bodies=leaf_bodies,
             body_leaf=body_leaf,
+            node_level=np.array(self.level, dtype=np.int64),
             depth=self.depth,
         )
-        if masses is not None:
-            _fixup_masses(tree, self.pos, masses)
-        return tree
 
 
 def _fixup_masses(tree: Octree, pos: np.ndarray, masses: np.ndarray) -> None:
-    """Replace unit-mass aggregates with true masses, bottom-up."""
-    # Process nodes in reverse creation order: children are always created
-    # after their parent, so reverse order is NOT bottom-up; instead iterate
-    # until fixed point via explicit post-order.
-    order = _postorder(tree)
-    for c in order:
-        if tree.is_leaf[c]:
-            members = tree.leaf_members(c)
-            m = float(masses[members].sum())
-            tree.mass[c] = m
-            if m > 0:
-                tree.com[c] = (masses[members][:, None] * pos[members]).sum(axis=0) / m
-        else:
-            kids = tree.children[c][tree.children[c] >= 0]
-            m = float(tree.mass[kids].sum())
-            tree.mass[c] = m
-            if m > 0:
-                tree.com[c] = (tree.mass[kids][:, None] * tree.com[kids]).sum(axis=0) / m
+    """Fill mass/COM aggregates bottom-up, one level at a time.
 
-
-def _postorder(tree: Octree) -> list[int]:
-    out: list[int] = []
-    stack: list[tuple[int, bool]] = [(0, False)]
-    while stack:
-        node, expanded = stack.pop()
-        if expanded or tree.is_leaf[node]:
-            out.append(node)
+    Shared by both build engines (the structural build leaves mass/com
+    zeroed), so the tree's float fields are identical by construction
+    regardless of engine.  Level-grouped array ops replace the old
+    per-node post-order walk — no recursion, no Python-per-cell cost, and
+    tree depth can't hit any recursion limit.
+    """
+    leaf_ids = np.nonzero(tree.is_leaf)[0]
+    counts = tree.leaf_count[leaf_ids]
+    nleaf = leaf_ids.shape[0]
+    g = np.repeat(np.arange(nleaf, dtype=np.int64), counts)
+    mem = tree.leaf_bodies
+    w = masses[mem]
+    m_leaf = np.bincount(g, weights=w, minlength=nleaf)
+    tree.mass[leaf_ids] = m_leaf
+    ok = m_leaf > 0
+    for d in range(tree.ndim):
+        wx = np.bincount(g, weights=w * pos[mem, d], minlength=nleaf)
+        tree.com[leaf_ids, d] = np.where(ok, wx / np.where(ok, m_leaf, 1.0), tree.center[leaf_ids, d])
+    for l in range(int(tree.node_level.max()) - 1, -1, -1):
+        sel = (tree.node_level == l) & ~tree.is_leaf
+        if not sel.any():
             continue
-        stack.append((node, True))
-        for k in tree.children[node]:
-            if k >= 0:
-                stack.append((int(k), False))
-    return out
+        kids = tree.children[sel]
+        valid = kids >= 0
+        safe = np.where(valid, kids, 0)
+        km = np.where(valid, tree.mass[safe], 0.0)
+        m = km.sum(axis=1)
+        tree.mass[sel] = m
+        ok = m > 0
+        for d in range(tree.ndim):
+            wx = (km * np.where(valid, tree.com[safe, d], 0.0)).sum(axis=1)
+            tree.com[sel, d] = np.where(ok, wx / np.where(ok, m, 1.0), tree.center[sel, d])
 
 
 def build_octree(
@@ -293,12 +287,18 @@ def build_octree(
     *,
     leaf_capacity: int = 8,
     max_depth: int = 24,
+    engine: str = "loop",
 ) -> Octree:
     """Build the tree over the current particle positions.
 
     The recursion splits the bounding cube by octants; a node with at most
     ``leaf_capacity`` bodies becomes a leaf.  Creation order is DFS, i.e.
     the order a sequential builder fills the shared cell array.
+
+    ``engine="batch"`` uses the level-synchronous vectorized builder
+    (:func:`repro.apps.numerics.build_octree_batch`), which produces an
+    identical tree — every array equal, floats bitwise — without the
+    per-cell recursion.  Mass/COM aggregation is shared between engines.
     """
     pos = np.asarray(pos, dtype=np.float64)
     if pos.ndim != 2 or pos.shape[0] == 0:
@@ -308,9 +308,17 @@ def build_octree(
     half = float((hi - lo).max()) / 2.0
     half = half if half > 0 else 0.5
     half *= 1.0 + 1e-9  # keep boundary points strictly inside
-    b = _Builder(pos, leaf_capacity, max_depth)
-    b.build(np.arange(pos.shape[0], dtype=np.int64), center, half, 0)
-    return b.finish(masses)
+    if engine == "batch":
+        from .numerics import build_octree_batch
+
+        tree = build_octree_batch(pos, center, half, leaf_capacity, max_depth)
+    else:
+        b = _Builder(pos, leaf_capacity, max_depth)
+        b.build(np.arange(pos.shape[0], dtype=np.int64), center, half, 0)
+        tree = b.finish()
+    unit = masses if masses is not None else np.ones(pos.shape[0])
+    _fixup_masses(tree, pos, unit)
+    return tree
 
 
 def walk(

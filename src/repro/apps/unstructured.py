@@ -32,7 +32,7 @@ import numpy as np
 from ..core.reorder import Reordering
 from ..trace.builder import TraceBuilder
 from ..trace.events import Trace
-from .base import AppConfig, Application, block_partition
+from .base import AppConfig, Application, block_partition, scatter_add
 from .distributions import clustered, shuffle
 from .mesh import Mesh, make_mesh
 
@@ -88,10 +88,22 @@ class Unstructured(Application):
     # -- physics ---------------------------------------------------------
 
     def _edge_relax(self) -> None:
+        # The accumulation is engine-dispatched like the other apps' force
+        # loops: ``np.add.at`` is the element-at-a-time formulation, the
+        # bincount-based :func:`scatter_add` the batched one.  Both fold a
+        # node's contributions in edge-stream order, but ``scatter_add``
+        # sums them before touching the running value while ``add.at``
+        # interleaves, so relaxed values may differ in the last ulp.  The
+        # trace is engine-independent regardless: the mesh is static, and
+        # no address ever depends on the node values.
         e = self.mesh.edges
         flux = self.relax * (self.value[e[:, 1]] - self.value[e[:, 0]])
-        np.add.at(self.value, e[:, 0], flux)
-        np.add.at(self.value, e[:, 1], -flux)
+        if self.engine == "batch":
+            scatter_add(self.value, e[:, 0], flux)
+            scatter_add(self.value, e[:, 1], -flux)
+        else:
+            np.add.at(self.value, e[:, 0], flux)
+            np.add.at(self.value, e[:, 1], -flux)
 
     def _face_relax(self) -> None:
         f = self.mesh.faces
@@ -99,9 +111,11 @@ class Unstructured(Application):
             return
         mean = self.value[f].mean(axis=1)
         for k in range(3):
-            np.add.at(
-                self.value, f[:, k], self.relax * 0.5 * (mean - self.value[f[:, k]])
-            )
+            upd = self.relax * 0.5 * (mean - self.value[f[:, k]])
+            if self.engine == "batch":
+                scatter_add(self.value, f[:, k], upd)
+            else:
+                np.add.at(self.value, f[:, k], upd)
 
     # -- execution ---------------------------------------------------------
 
@@ -143,9 +157,12 @@ class Unstructured(Application):
         nodes = tb.add_region("nodes", n, self.object_size)
         emit = self.emit_mode != "none"
         self.emit_seconds = 0.0
+        self.physics_seconds = 0.0
+        self.physics_stages = {}
         for _ in range(cfg.iterations):
             # Node loop: local relaxation of the owned block.
-            self.value *= 1.0 - 1e-3
+            with self._phys("node_loop"):
+                self.value *= 1.0 - 1e-3
             if emit:
                 t0 = perf_counter()
                 for p in range(P):
@@ -157,7 +174,8 @@ class Unstructured(Application):
                 self.emit_seconds += perf_counter() - t0
 
             # Edge loop.
-            self._edge_relax()
+            with self._phys("edge_loop"):
+                self._edge_relax()
             if emit:
                 t0 = perf_counter()
                 self._conn_phase(tb, nodes, self.mesh.edges, "face_loop" if self.use_faces else "node_loop")
@@ -165,7 +183,8 @@ class Unstructured(Application):
 
             # Face loop.
             if self.use_faces:
-                self._face_relax()
+                with self._phys("face_loop"):
+                    self._face_relax()
                 if emit:
                     t0 = perf_counter()
                     self._conn_phase(tb, nodes, self.mesh.faces, "node_loop")

@@ -42,8 +42,10 @@ from .base import (
     counts_to_offsets,
     half_stencil_neighbors,
     ragged_take,
+    scatter_add,
 )
 from .moldyn import build_interaction_list
+from .numerics import interaction_list_loop
 
 __all__ = ["WaterSpatial"]
 
@@ -132,19 +134,32 @@ class WaterSpatial(Application):
         self.vel = np.zeros_like(self.pos)
         self.force = np.zeros_like(self.pos)
         self.cell_owner = _grid_blocks(self.side, config.nprocs)
+        self._pairs_cache: np.ndarray | None = None
 
     def positions(self) -> np.ndarray:
         return self.pos
 
     def interaction_pairs(self) -> np.ndarray:
-        # Rebuilt on demand: the cutoff pair list is exactly the molecule
-        # interaction graph the cell sweep walks each step.
-        return build_interaction_list(self.pos, self.cutoff, self.box)
+        # The cutoff pair list is exactly the molecule interaction graph
+        # the cell sweep walks each step.  Cached per step: the positions
+        # only change in ``_integrate`` (and on reordering), which both
+        # invalidate the cache, so the force evaluation and any
+        # same-step consumer (trace emission, reorder diagnostics) share
+        # one build instead of recomputing it.
+        if self._pairs_cache is None:
+            builder = (
+                build_interaction_list
+                if self.engine == "batch"
+                else interaction_list_loop
+            )
+            self._pairs_cache = builder(self.pos, self.cutoff, self.box)
+        return self._pairs_cache
 
     def _apply_reordering(self, r: Reordering) -> None:
         self.pos = r.apply(self.pos)
         self.vel = r.apply(self.vel)
         self.force = r.apply(self.force)
+        self._pairs_cache = None
 
     # -- grid bookkeeping --------------------------------------------------
 
@@ -174,7 +189,7 @@ class WaterSpatial(Application):
 
     def _lj_forces(self) -> None:
         self.force[:] = 0.0
-        pairs = build_interaction_list(self.pos, self.cutoff, self.box)
+        pairs = self.interaction_pairs()
         if pairs.shape[0] == 0:
             return
         pi, pj = pairs[:, 0], pairs[:, 1]
@@ -187,12 +202,13 @@ class WaterSpatial(Application):
         s6 = s2 * s2 * s2
         mag = 24.0 * (2.0 * s6 * s6 - s6) / r2
         f = mag[:, None] * d
-        np.add.at(self.force, pi, f)
-        np.add.at(self.force, pj, -f)
+        scatter_add(self.force, pi, f)
+        scatter_add(self.force, pj, -f)
 
     def _integrate(self) -> None:
         self.vel += self.dt * self.force
         self.pos += self.dt * self.vel
+        self._pairs_cache = None
         low = self.pos < 0.0
         high = self.pos > self.box
         self.pos[low] = -self.pos[low]
@@ -305,12 +321,18 @@ class WaterSpatial(Application):
         cells = tb.add_region("cells", ncells, CELL_ENTRY_BYTES)
         emit = self.emit_mode != "none"
         self.emit_seconds = 0.0
+        self.physics_seconds = 0.0
+        self.physics_stages = {}
         own_list = [np.nonzero(self.cell_owner == p)[0] for p in range(P)]
         for _ in range(cfg.iterations):
-            order, starts = self._bin()
+            with self._phys("binning"):
+                order, starts = self._bin()
 
             # Forces: each processor sweeps its cells in grid order.
-            self._lj_forces()
+            with self._phys("build_list"):
+                self.interaction_pairs()
+            with self._phys("forces"):
+                self._lj_forces()
             if emit:
                 t0 = perf_counter()
                 self._emit_forces(tb, order, starts, own_list, mol, cells)
@@ -318,7 +340,8 @@ class WaterSpatial(Application):
                 self.emit_seconds += perf_counter() - t0
 
             # Update: integrate owned molecules, in cell-sweep order.
-            self._integrate()
+            with self._phys("integrate"):
+                self._integrate()
             if emit:
                 t0 = perf_counter()
                 for p in range(P):
@@ -331,7 +354,8 @@ class WaterSpatial(Application):
 
             # Move: re-bin into cells; crossing into a remote cell takes
             # that cell's lock and writes its list head.
-            new_cell = self._cell_of(self.pos)
+            with self._phys("move"):
+                new_cell = self._cell_of(self.pos)
             if emit:
                 t0 = perf_counter()
                 for p in range(P):

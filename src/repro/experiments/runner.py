@@ -23,7 +23,7 @@ import logging
 import time
 from dataclasses import dataclass, field
 
-from ..apps import APP_REGISTRY, AppConfig, reorder_cycles
+from ..apps import APP_REGISTRY, AppConfig, reorder_cycles, resolve_engine
 from ..errors import ConfigError, MetricError, UnknownAppError, UnknownPlatformError
 from ..machines.dsm import simulate_hlrc, simulate_treadmarks
 from ..machines.hardware import simulate_hardware
@@ -100,6 +100,9 @@ class Scale:
     nprocs: int = 16
     seed: int = 42
     hw_scale: float = 16.0
+    #: Extra knobs forwarded verbatim to every app's ``AppConfig.extra``
+    #: (e.g. ``{"engine": "loop"}`` to force the per-object numerics).
+    extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = (set(self.n) | set(self.iterations)) - set(APP_REGISTRY)
@@ -122,6 +125,11 @@ class Scale:
             raise ConfigError(
                 f"Scale.hw_scale must be positive, got {self.hw_scale}"
             )
+        if "engine" in self.extra:
+            try:
+                resolve_engine(str(self.extra["engine"]))
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
 
     @classmethod
     def paper(cls) -> "Scale":
@@ -159,6 +167,7 @@ class Scale:
             nprocs=self.nprocs if nprocs is None else nprocs,
             iterations=self.iterations[app],
             seed=self.seed,
+            extra=dict(self.extra),
         )
 
     def hardware(self, nprocs: int | None = None) -> HardwareParams:

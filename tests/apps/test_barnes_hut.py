@@ -5,6 +5,7 @@ import pytest
 
 from repro.apps.barnes_hut import BarnesHut
 from repro.apps.base import AppConfig
+from repro.apps.numerics import bh_forces_batch
 from repro.apps.octree import build_octree, walk
 
 
@@ -17,7 +18,7 @@ class TestPhysics:
         app = small(n=128, theta=0.3)
         tree = build_octree(app.pos, app.mass)
         wr = walk(tree, app.pos, app.theta)
-        acc = app._forces(tree, wr)
+        acc = bh_forces_batch(tree, app.pos, app.mass, wr, app.eps)
         delta = app.pos[None, :, :] - app.pos[:, None, :]
         d2 = (delta**2).sum(-1) + app.eps**2
         f = app.mass[None, :, None] * delta / d2[:, :, None] ** 1.5
