@@ -68,6 +68,7 @@ class BarnesHut(Application):
         self.acc = np.zeros_like(self.pos)
         self.mass = np.full(config.n, 1.0 / config.n)
         self._prev_cost: np.ndarray | None = None
+        self._steps_total = 0
 
     def positions(self) -> np.ndarray:
         return self.pos
@@ -199,7 +200,7 @@ class BarnesHut(Application):
         self.emit_seconds = 0.0
         self.physics_seconds = 0.0
         self.physics_stages = {}
-        for _ in range(cfg.iterations):
+        for it in range(cfg.iterations):
             with self._phys("tree_build"):
                 tree = build_octree(
                     self.pos,
@@ -270,6 +271,23 @@ class BarnesHut(Application):
                     tb.read(p, bodies, parts[p])
                     tb.write(p, bodies, parts[p])
                     tb.work(p, parts[p].shape[0])
+                self.emit_seconds += perf_counter() - t0
+
+            # Policy check at the iteration boundary.  The costzone weights
+            # ride along with the bodies: _apply_reordering permutes
+            # _prev_cost, so park the running cost there first and read it
+            # back (possibly permuted) after.
+            self._prev_cost = cost
+            self._steps_total += 1
+            info = None
+            if it + 1 < cfg.iterations:
+                info = self._policy_rereorder(self._steps_total)
+            cost = self._prev_cost
+            if emit:
+                t0 = perf_counter()
+                if info is not None:
+                    tb.barrier("reorder")
+                    self._emit_reorder_epoch(tb, bodies, info)
                 tb.barrier("build_tree")
                 self.emit_seconds += perf_counter() - t0
         self._prev_cost = cost

@@ -24,11 +24,17 @@ from time import perf_counter
 
 import numpy as np
 
+from ..core.adaptive import AdaptiveReorderer, DriftStats
 from ..core.graph import GRAPH_ORDERINGS
+from ..core.keys import KEY_FROM_AXES, ORDERINGS
+from ..core.quantize import BoundingBox
 from ..core.reorder import Reordering, reorder as compute_reordering
+from ..errors import ConfigError
 from ..trace.events import Trace
 
 __all__ = [
+    "ADAPT_POLICIES",
+    "AdaptivePolicy",
     "AppConfig",
     "Application",
     "EMIT_MODES",
@@ -194,6 +200,111 @@ def ragged_cross(
     return group, ai, bi
 
 
+#: Re-reordering policies an application accepts via
+#: ``config.extra["adapt_policy"]``: ``"never"`` (the paper's one-shot
+#: reordering), ``"every"`` (full re-sort every ``adapt_every`` iterations
+#: — the generalization of Moldyn's legacy ``rereorder_every`` knob), and
+#: ``"adaptive"`` (the incremental engine of :mod:`repro.core.adaptive`:
+#: fire only when the boundary-crosser fraction reaches
+#: ``adapt_threshold``, and then migrate only the crossers).
+ADAPT_POLICIES = ("never", "every", "adaptive")
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """When and how an application re-reorders its drifting objects.
+
+    Attributes
+    ----------
+    policy:
+        One of :data:`ADAPT_POLICIES`.
+    every:
+        Period of the ``"every"`` policy, in iterations.
+    threshold:
+        Boundary-crosser fraction at which ``"adaptive"`` fires.
+    method:
+        Ordering override.  Defaults to the ordering the app was
+        initially reordered with (``"every"`` then does nothing on an
+        unordered app, like the legacy knob); the adaptive engine needs
+        a binary-lattice ordering and falls back to ``"hilbert"`` when
+        the initial one cannot be maintained incrementally.
+    bits:
+        Detection-lattice resolution for the adaptive engine.  ``None``
+        (default) picks a density-based resolution of roughly 64 lattice
+        cells per object — coarse enough that only *meaningful* motion
+        crosses a cell boundary.  At full key resolution (16 bits/axis a
+        cell is ~1e-5 of the box) every object crosses every iteration
+        and the crosser fraction saturates at 1.
+    """
+
+    policy: str = "never"
+    every: int = 0
+    threshold: float = 0.10
+    method: str | None = None
+    bits: int | None = None
+
+    @classmethod
+    def from_extra(cls, extra: dict) -> "AdaptivePolicy":
+        """Parse the policy from ``AppConfig.extra``.
+
+        Understands both spellings — the legacy Moldyn-only
+        ``rereorder_every: k`` (mapped onto ``policy="every"``) and the
+        shared ``adapt_policy`` / ``adapt_every`` / ``adapt_threshold`` /
+        ``adapt_method`` knobs.  Mixing the two is a configuration error.
+        """
+        legacy = int(extra.get("rereorder_every", 0) or 0)
+        spelled = extra.get("adapt_policy")
+        if legacy and spelled is not None:
+            raise ConfigError(
+                "rereorder_every and adapt_policy are mutually exclusive; "
+                "use adapt_policy='every' with adapt_every=k"
+            )
+        if legacy < 0:
+            raise ConfigError("rereorder_every must be >= 0")
+        if legacy:
+            return cls(policy="every", every=legacy)
+        if spelled is None:
+            return cls()
+        policy = str(spelled)
+        if policy not in ADAPT_POLICIES:
+            raise ConfigError(
+                f"unknown adapt_policy {policy!r}; expected one of {ADAPT_POLICIES}"
+            )
+        every = int(extra.get("adapt_every", 1))
+        threshold = float(extra.get("adapt_threshold", 0.10))
+        method = extra.get("adapt_method")
+        bits = extra.get("adapt_bits")
+        if bits is not None:
+            bits = int(bits)
+            if not 1 <= bits <= 62:
+                raise ConfigError("adapt_bits must be in [1, 62]")
+        if policy == "every" and every < 1:
+            raise ConfigError("adapt_every must be >= 1 for adapt_policy='every'")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigError("adapt_threshold must be in [0, 1]")
+        if method is not None:
+            method = str(method)
+            if policy == "adaptive":
+                if method not in KEY_FROM_AXES:
+                    raise ConfigError(
+                        f"adapt_method {method!r} cannot be maintained "
+                        f"incrementally; expected one of {sorted(KEY_FROM_AXES)}"
+                    )
+            elif method not in ORDERINGS:
+                raise ConfigError(
+                    f"unknown adapt_method {method!r}; expected one of "
+                    f"{sorted(ORDERINGS)}"
+                )
+        return cls(
+            policy=policy, every=every, threshold=threshold, method=method,
+            bits=bits,
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.policy != "never"
+
+
 @dataclass(frozen=True)
 class AppConfig:
     """Run configuration shared by all applications."""
@@ -305,6 +416,17 @@ class Application(ABC):
         #: the generation benchmark attribute generate-stage time.
         self.physics_seconds = 0.0
         self.physics_stages: dict[str, float] = {}
+        #: Re-reordering policy for drifting objects (shared by the three
+        #: dynamic apps), parsed from ``extra`` — see :class:`AdaptivePolicy`.
+        self.adapt = AdaptivePolicy.from_extra(config.extra)
+        #: The incremental engine backing ``adapt_policy="adaptive"``;
+        #: primed by :meth:`reorder` (or lazily at the first policy check).
+        self.adaptive_engine: AdaptiveReorderer | None = None
+        #: Mid-run re-reorderings fired so far, and objects they migrated.
+        self.reorder_events = 0
+        self.reorder_moved = 0
+        #: Drift statistics from the most recent adaptive policy check.
+        self.last_drift: DriftStats | None = None
 
     @contextmanager
     def _phys(self, stage: str):
@@ -359,11 +481,123 @@ class Application(ABC):
         r = compute_reordering(method, coords=self.positions(), pairs=pairs)
         self._apply_reordering(r)
         self.reordered_by = method
+        if self.adapt.policy == "adaptive":
+            self._prime_adaptive()
         return r
 
     @abstractmethod
     def _apply_reordering(self, r: Reordering) -> None:
         """Permute object arrays and remap index structures."""
+
+    # ---- mid-run re-reordering (the adaptive policy) -------------------
+    def _adaptive_method(self) -> str:
+        """Ordering the incremental engine maintains for this app."""
+        if self.adapt.method:
+            return self.adapt.method
+        if self.reordered_by in KEY_FROM_AXES:
+            return self.reordered_by
+        return "hilbert"
+
+    def _adaptive_bits(self, ndim: int) -> int:
+        """Detection-lattice resolution: ~64 cells per object by default.
+
+        Coarse on purpose — beyond the density where each object gets its
+        own cell, finer lattice bits only encode sub-spacing jitter, so
+        every iteration's thermal motion would read as a boundary
+        crossing.  The prefix property of the binary-lattice curves means
+        a fine-sorted layout stays sorted under the coarse keys, with
+        stable ties preserving the fine order between crossings.
+        """
+        if self.adapt.bits is not None:
+            return self.adapt.bits
+        target = int(np.ceil(np.log2(max(64 * self.n, 2)) / ndim))
+        return max(2, min(target, 16, 64 // ndim))
+
+    def _prime_adaptive(self) -> None:
+        """(Re)prime the incremental engine on the current layout.
+
+        The bounding box is pinned here: drift detection compares lattice
+        cells, so the lattice must not move between epochs.
+        """
+        pos = self.positions()
+        engine = AdaptiveReorderer(
+            self._adaptive_method(),
+            BoundingBox.of(pos),
+            bits=self._adaptive_bits(pos.shape[1]),
+        )
+        engine.prime(pos)
+        self.adaptive_engine = engine
+
+    def _policy_rereorder(self, steps_done: int) -> dict | None:
+        """Consult the policy at an iteration boundary; re-reorder if due.
+
+        Applies the permutation to the app state immediately.  Returns
+        ``None`` when nothing fired, else the trace-emission recipe for
+        the ``reorder`` epoch (processor 0 does the migration, as in the
+        paper's sequential reordering routine): ``read`` — the source
+        slots gathered, ``write`` — the slots rewritten, ``work`` — work
+        units charged, plus ``moved`` / ``full`` for reporting.
+
+        The ``"every"`` policy is the legacy Moldyn path verbatim: a full
+        re-sort with the initial ordering (computed from coordinates
+        alone), a no-op if the app was never reordered.  The
+        ``"adaptive"`` policy asks the incremental engine for cheap drift
+        stats and fires only at ``threshold``; the migration then touches
+        only the boundary crossers — reads their old slots, writes the
+        slots whose content changes, and charges one vectorized scan
+        (``n/16``) for detection instead of a full key build.
+        """
+        pol = self.adapt
+        if not pol.active or steps_done <= 0:
+            return None
+        n = self.n
+        if pol.policy == "every":
+            if steps_done % pol.every != 0:
+                return None
+            method = pol.method or self.reordered_by
+            if method is None:
+                return None
+            r = compute_reordering(method, coords=self.positions())
+            self._apply_reordering(r)
+            self.reorder_events += 1
+            self.reorder_moved += n
+            idx = np.arange(n)
+            return {"read": idx, "write": idx, "work": float(n), "moved": n,
+                    "full": True}
+        if self.adaptive_engine is None:
+            self._prime_adaptive()
+            return None
+        pos = self.positions()
+        stats = self.adaptive_engine.stats(pos)
+        self.last_drift = stats
+        if stats.moved == 0 or stats.moved_frac < pol.threshold:
+            return None
+        upd = self.adaptive_engine.update(pos)
+        if upd.changed_slots.shape[0] == 0:
+            return None
+        self._apply_reordering(upd.reordering)
+        self.reorder_events += 1
+        self.reorder_moved += upd.moved
+        if upd.full:
+            idx = np.arange(n)
+            return {"read": idx, "write": idx, "work": float(n),
+                    "moved": upd.moved, "full": True}
+        return {
+            "read": upd.reordering.perm[upd.changed_slots],
+            "write": upd.changed_slots,
+            "work": float(upd.moved) + n / 16.0,
+            "moved": upd.moved,
+            "full": False,
+        }
+
+    def _emit_reorder_epoch(self, tb, region: int, info: dict) -> None:
+        """Trace the ``reorder`` epoch produced by :meth:`_policy_rereorder`."""
+        if self.emit_mode == "none":
+            return
+        tb.read(0, region, info["read"])
+        if info["write"].shape[0]:
+            tb.write(0, region, info["write"])
+        tb.work(0, info["work"])
 
     def reorder_work(self, method: str = "hilbert") -> float:
         """Cycles for the reorder routine's cost (see :func:`reorder_cycles`)."""

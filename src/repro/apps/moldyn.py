@@ -119,12 +119,15 @@ class Moldyn(Application):
 
     ``config.extra`` knobs: ``cutoff_neighbors`` (target average partner
     count, default 35 — sets the cutoff radius from the density), ``dt``,
-    ``rebuild_every`` (default 5), ``box`` (default 1.0), and
-    ``rereorder_every`` (default 0 = off) — re-apply the initial ordering
-    every k iterations as the molecules drift, an extension of the paper's
-    one-shot reordering ("can be called by a single processor as often as
-    necessary", section 3.5).  Re-reordering work is charged to processor 0
-    in a dedicated ``reorder`` epoch.
+    ``rebuild_every`` (default 5), ``box`` (default 1.0), plus the shared
+    re-reordering policy knobs of :class:`repro.apps.base.AdaptivePolicy`
+    (``adapt_policy`` / ``adapt_every`` / ``adapt_threshold`` /
+    ``adapt_method``, and the legacy spelling ``rereorder_every`` = k for
+    ``adapt_policy="every"``) — re-reorder as the molecules drift, an
+    extension of the paper's one-shot reordering ("can be called by a
+    single processor as often as necessary", section 3.5).  Re-reordering
+    work is charged to processor 0 in a dedicated ``reorder`` epoch,
+    followed by an interaction-list rebuild.
     """
 
     name = "Moldyn"
@@ -144,7 +147,6 @@ class Moldyn(Application):
         )
         self.dt = float(x.get("dt", 1e-4))
         self.rebuild_every = int(x.get("rebuild_every", 5))
-        self.rereorder_every = int(x.get("rereorder_every", 0))
         self._steps_total = 0
         self.pos = lattice_jittered(config.n, config.seed, box=self.box)
         self.vel = np.zeros_like(self.pos)
@@ -304,22 +306,6 @@ class Moldyn(Application):
             tb.work(p, self.parts[p].shape[0])
         self._emit_acc += perf_counter() - t0
 
-    def _emit_rereorder(self, tb: TraceBuilder, mol: int) -> None:
-        """Sequential re-reordering of the drifted molecules (extension of
-        the paper's one-shot reordering): processor 0 re-runs the library
-        routine, every index structure is rebuilt afterwards."""
-        from ..core.reorder import reorder as _reorder
-
-        r = _reorder(self.reordered_by, coords=self.pos)
-        self._apply_reordering(r)
-        if self.emit_mode == "none":
-            return
-        t0 = perf_counter()
-        tb.read(0, mol, np.arange(self.n))
-        tb.write(0, mol, np.arange(self.n))
-        tb.work(0, float(self.n))
-        self._emit_acc += perf_counter() - t0
-
     def run(self) -> Trace:
         cfg = self.config
         tb = TraceBuilder(self.nprocs, label="build_list")
@@ -330,16 +316,18 @@ class Moldyn(Application):
         self.physics_seconds = 0.0
         self.physics_stages = {}
         for _ in range(cfg.iterations):
-            rereorder = (
-                self.rereorder_every
-                and self.reordered_by is not None
-                and self._steps_total > 0
-                and self._steps_total % self.rereorder_every == 0
-            )
-            if rereorder:
+            # Policy check at the top of the iteration: the re-reordering
+            # (legacy full re-sort or incremental migration) is applied
+            # here, traced in a dedicated "reorder" epoch, and followed by
+            # an interaction-list rebuild.
+            info = self._policy_rereorder(self._steps_total)
+            if info is not None:
                 if not first and emit:
                     tb.barrier("reorder")
-                self._emit_rereorder(tb, mol)
+                if emit:
+                    t0 = perf_counter()
+                    self._emit_reorder_epoch(tb, mol, info)
+                    self._emit_acc += perf_counter() - t0
                 if emit:
                     tb.barrier("build_list")
                 self._emit_build_list(tb, mol)

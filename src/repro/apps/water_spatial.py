@@ -135,6 +135,7 @@ class WaterSpatial(Application):
         self.force = np.zeros_like(self.pos)
         self.cell_owner = _grid_blocks(self.side, config.nprocs)
         self._pairs_cache: np.ndarray | None = None
+        self._steps_total = 0
 
     def positions(self) -> np.ndarray:
         return self.pos
@@ -324,7 +325,7 @@ class WaterSpatial(Application):
         self.physics_seconds = 0.0
         self.physics_stages = {}
         own_list = [np.nonzero(self.cell_owner == p)[0] for p in range(P)]
-        for _ in range(cfg.iterations):
+        for it in range(cfg.iterations):
             with self._phys("binning"):
                 order, starts = self._bin()
 
@@ -368,6 +369,21 @@ class WaterSpatial(Application):
                         if crossed.shape[0]:
                             tb.lock(p, int(crossed.shape[0]))
                     tb.work(p, mine.shape[0])
+                self.emit_seconds += perf_counter() - t0
+
+            # Policy check at the iteration boundary: molecules just moved,
+            # so re-layout (full or incremental) before the next force
+            # sweep.  Skipped after the final iteration — there is no next
+            # sweep to speed up.
+            self._steps_total += 1
+            info = None
+            if it + 1 < cfg.iterations:
+                info = self._policy_rereorder(self._steps_total)
+            if emit:
+                t0 = perf_counter()
+                if info is not None:
+                    tb.barrier("reorder")
+                    self._emit_reorder_epoch(tb, mol, info)
                 tb.barrier("forces")
                 self.emit_seconds += perf_counter() - t0
         trace = tb.finish()

@@ -561,6 +561,43 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_adaptive(args) -> int:
+    from .experiments.adaptive import (
+        ADAPTIVE_POLICIES,
+        DYNAMIC_APPS,
+        AdaptiveSpec,
+        adaptive_breakeven,
+        breakeven_report,
+    )
+
+    if args.smoke:
+        n, iterations, nprocs = 256, 4, min(args.nprocs, 8)
+    else:
+        n, iterations, nprocs = args.n or 2048, 12, args.nprocs
+    apps = args.app or ["moldyn", "water-spatial"]
+    for name in apps:
+        if name not in DYNAMIC_APPS:
+            print(f"{name!r} is not a dynamic application; choose from"
+                  f" {' '.join(DYNAMIC_APPS)}", file=sys.stderr)
+            return 2
+    policies = tuple(args.adapt_policies or ADAPTIVE_POLICIES)
+    specs = [
+        AdaptiveSpec(
+            app=name,
+            n=n,
+            nprocs=nprocs,
+            iterations=iterations,
+            every=args.adapt_every,
+            threshold=args.adapt_threshold,
+            hw_scale=max(65536 / n, 1.0),
+        )
+        for name in apps
+    ]
+    cells = adaptive_breakeven(specs, policies=policies)
+    print(breakeven_report(cells))
+    return 0
+
+
 def _cmd_diagnose(args) -> int:
     from .experiments.analysis import diagnose
     from .experiments.runner import make_app
@@ -698,6 +735,29 @@ def main(argv: list[str] | None = None) -> int:
                           " check, not a meaningful recommendation")
     _add_common(tun)
 
+    adp = sub.add_parser(
+        "adaptive",
+        help="re-reordering breakeven: drifting workloads under the"
+             " never/every-k/adaptive policies on all three protocols",
+    )
+    adp.add_argument("app", nargs="*",
+                     help="dynamic application(s) (default: moldyn"
+                          " water-spatial)")
+    adp.add_argument("--adapt-policy", action="append",
+                     dest="adapt_policies",
+                     choices=["never", "every", "adaptive"],
+                     help="policy column; repeatable (default: all three)")
+    adp.add_argument("--adapt-every", type=int, default=3, metavar="K",
+                     help="period of the 'every' policy (default 3)")
+    adp.add_argument("--adapt-threshold", type=float, default=0.10,
+                     metavar="FRAC",
+                     help="cell-crosser fraction that triggers the"
+                          " 'adaptive' policy (default 0.10)")
+    adp.add_argument("--smoke", action="store_true",
+                     help="tiny problem (n=256, 4 iterations) — CI wiring"
+                          " check, not a meaningful breakeven")
+    _add_common(adp)
+
     diag = sub.add_parser(
         "diagnose", help="full layout diagnosis of one app run"
     )
@@ -716,6 +776,7 @@ def main(argv: list[str] | None = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "tune": _cmd_tune,
+        "adaptive": _cmd_adaptive,
         "diagnose": _cmd_diagnose,
     }
     previous = None

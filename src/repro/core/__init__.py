@@ -16,6 +16,14 @@ Public surface:
 * byte-level C-interface veneer — :mod:`repro.core.library`.
 """
 
+from .adaptive import (
+    ADAPTIVE_METHODS,
+    AdaptiveReorderer,
+    AdaptiveUpdate,
+    DriftStats,
+    count_inversions,
+    displacement_histogram,
+)
 from .graph import (
     GRAPH_ORDERINGS,
     adjacency_from_pairs,
@@ -26,7 +34,14 @@ from .graph import (
     rcm_keys,
     rcm_order,
 )
-from .keys import ORDERINGS, column_keys, key_generator, row_keys
+from .keys import (
+    KEY_FROM_AXES,
+    ORDERINGS,
+    column_keys,
+    key_from_axes,
+    key_generator,
+    row_keys,
+)
 from .metrics import (
     OrderingQuality,
     adjacent_distance,
@@ -85,8 +100,16 @@ __all__ = [
     "column_keys",
     "row_keys",
     "ORDERINGS",
+    "KEY_FROM_AXES",
     "GRAPH_ORDERINGS",
     "key_generator",
+    "key_from_axes",
+    "ADAPTIVE_METHODS",
+    "AdaptiveReorderer",
+    "AdaptiveUpdate",
+    "DriftStats",
+    "count_inversions",
+    "displacement_histogram",
     "adjacency_from_pairs",
     "bfs_order",
     "rcm_order",

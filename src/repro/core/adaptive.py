@@ -1,0 +1,507 @@
+"""Incremental adaptive re-reordering for drifting workloads.
+
+The paper computes each ordering once, but its dynamic applications
+(Moldyn, Water-Spatial, Barnes-Hut) move their objects every iteration:
+locality decays until a full re-sort is paid.  This module maintains a
+space-filling-curve ordering *incrementally*:
+
+* **Drift detection** is cheap: on a pinned bounding box the sorting key
+  is a pure function of the quantized lattice cell, so an object's key
+  changed iff it crossed a cell boundary.  :meth:`AdaptiveReorderer.stats`
+  quantizes the current positions and compares cells against the stored
+  snapshot — one vectorized compare, no key generation, no sort.
+
+* **Migration** touches only the boundary crossers.  Keys are recomputed
+  for the moved subset (m objects), the stationary majority is already
+  sorted, and the small sorted run of movers is binary-merged into the
+  large stationary run with ``np.searchsorted`` — O(m log n) instead of a
+  full O(n log n) re-sort.  The result is a delta :class:`Reordering`
+  over the *current* array order, bit-identical to what a full stable
+  re-sort of all n keys would produce (ties included), so a full-resort
+  oracle can verify any incremental update.
+
+The engine accumulates deltas through :meth:`Reordering.compose`, so
+``cumulative`` always maps the original (priming-time) order to the
+current one.
+
+Everything here assumes the bounding box pinned at :meth:`prime` time.
+That is load-bearing: recomputing the box per epoch would move every
+lattice cell and invalidate the changed-cell test.  Points that drift
+outside the pinned box are clipped onto its boundary cells by
+:func:`repro.core.quantize.quantize`, exactly as the one-shot key
+generators do with an explicit ``bbox``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ..errors import ConfigError
+from .keys import KEY_FROM_AXES, key_from_axes
+from .quantize import BoundingBox, quantize
+from .reorder import Reordering
+
+__all__ = [
+    "ADAPTIVE_METHODS",
+    "DriftStats",
+    "AdaptiveUpdate",
+    "AdaptiveReorderer",
+    "count_inversions",
+    "displacement_histogram",
+]
+
+#: Orderings the incremental engine can maintain (binary-lattice,
+#: per-cell key maps).  See :data:`repro.core.keys.KEY_FROM_AXES`.
+ADAPTIVE_METHODS: tuple[str, ...] = tuple(sorted(KEY_FROM_AXES))
+
+
+def count_inversions(keys: np.ndarray) -> int:
+    """Exact number of inverted pairs ``i < j`` with ``keys[i] > keys[j]``.
+
+    Zero for a sorted array, ``n*(n-1)/2`` for a strictly descending one;
+    a normalized inversion count is the classic rank-correlation measure
+    of how far an ordering has drifted from sorted.
+
+    Implemented as a bottom-up merge sort with vectorized counting: the
+    array is padded to a power of two with sentinels (``+inf`` / integer
+    max, placed at the end so they create no inversions), reshaped so
+    every merge level is one stable ``argsort`` over axis 1, and the
+    surviving-left-element count per right element is read off a cumulative
+    sum.  O(n log^2 n) work, no Python-level loop over elements.
+    """
+    a = np.asarray(keys)
+    if a.ndim != 1:
+        raise ValueError("keys must be 1-D")
+    n = a.shape[0]
+    if n < 2:
+        return 0
+    if np.issubdtype(a.dtype, np.integer):
+        sentinel = np.iinfo(a.dtype).max
+    elif np.issubdtype(a.dtype, np.floating):
+        sentinel = np.inf
+    else:
+        raise TypeError("keys must be an integer or float array")
+    size = 1 << (n - 1).bit_length()
+    if size != n:
+        a = np.concatenate([a, np.full(size - n, sentinel, dtype=a.dtype)])
+    arr = a.reshape(-1, 1)
+    total = 0
+    while arr.shape[0] > 1:
+        w = arr.shape[1]
+        merged = np.concatenate([arr[0::2], arr[1::2]], axis=1)
+        order = np.argsort(merged, axis=1, kind="stable")
+        # Stability puts equal left-half elements (columns < w) before
+        # equal right-half ones, so for a right element landing at merged
+        # position p, the left elements still ahead of it — w minus the
+        # inclusive count of left elements at or before p — are exactly
+        # its inversions.
+        is_left = order < w
+        left_cum = np.cumsum(is_left, axis=1)
+        total += int((w - left_cum[~is_left]).sum())
+        arr = np.take_along_axis(merged, order, axis=1)
+    return total
+
+
+def displacement_histogram(
+    displacement: np.ndarray, slots: int = 24
+) -> np.ndarray:
+    """Bucketize slot displacements into log2 buckets.
+
+    Bucket 0 counts zero displacements; bucket ``b >= 1`` counts
+    displacements in ``[2**(b-1), 2**b)``.  The tail bucket absorbs
+    anything past ``2**(slots-2)``.
+    """
+    d = np.asarray(displacement, dtype=np.int64)
+    if d.ndim != 1:
+        raise ValueError("displacement must be 1-D")
+    d = np.abs(d)
+    bucket = np.zeros(d.shape[0], dtype=np.int64)
+    nz = d > 0
+    bucket[nz] = 1 + np.floor(np.log2(d[nz])).astype(np.int64)
+    np.clip(bucket, 0, slots - 1, out=bucket)
+    return np.bincount(bucket, minlength=slots)
+
+
+@dataclass(frozen=True)
+class DriftStats:
+    """Per-epoch drift statistics relative to the engine snapshot.
+
+    ``moved`` / ``moved_frac`` count *boundary crossers*: objects whose
+    quantized lattice cell (hence sorting key) changed since the snapshot.
+    The expensive fields (``inversions``, ``displacement_hist``) are only
+    populated by ``stats(..., detail=True)``.
+    """
+
+    n: int
+    moved: int
+    moved_frac: float
+    inversions: int | None = None
+    inversion_frac: float | None = None
+    displacement_hist: np.ndarray | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        out = f"drift: {self.moved}/{self.n} crossers ({self.moved_frac:.1%})"
+        if self.inversions is not None:
+            out += f", {self.inversions} inversions"
+        return out
+
+
+@dataclass(frozen=True)
+class AdaptiveUpdate:
+    """Result of one engine update.
+
+    Attributes
+    ----------
+    reordering:
+        Delta permutation over the *current* array order (identity when
+        nothing moved).  Apply it to every object array, then carry on.
+    stats:
+        The :class:`DriftStats` that triggered (or described) the update.
+    moved:
+        Number of boundary crossers migrated.
+    changed_slots:
+        Slots whose content changed under the delta (``perm[j] != j``),
+        ascending.  This is what an incremental migration writes.
+    full:
+        True when the engine fell back to a full re-sort instead of the
+        O(m log n) merge (first update after priming-from-unsorted, or an
+        explicit :meth:`AdaptiveReorderer.full_resort`).
+    seconds:
+        Wall-clock time spent computing the update.
+    """
+
+    reordering: Reordering
+    stats: DriftStats
+    moved: int
+    changed_slots: np.ndarray
+    full: bool
+    seconds: float
+
+
+@dataclass
+class _MergePlan:
+    """Internal: everything the merge needs, shared by stats and update."""
+
+    axes: np.ndarray  # quantized current positions, current array order
+    mover_idx: np.ndarray  # current indices of boundary crossers, ascending
+    mover_keys: np.ndarray  # new keys of the movers, in mover_idx order
+    perm: np.ndarray | None = None  # delta gather order (lazily built)
+    displacement: np.ndarray | None = None
+    keys_sorted: np.ndarray | None = None  # key array after applying perm
+
+
+class AdaptiveReorderer:
+    """Maintain a space-filling-curve ordering under drift.
+
+    Parameters
+    ----------
+    method:
+        One of :data:`ADAPTIVE_METHODS` (``"hilbert"``, ``"morton"``,
+        ``"gray"``, ``"column"``, ``"row"``).  Other zoo orderings raise
+        :class:`~repro.errors.ConfigError`: Peano keys live on a base-3
+        lattice and the graph orderings have no per-object key map.
+    bbox:
+        The pinned bounding box.  Every quantization the engine ever does
+        uses this box; pass the simulation domain (or the box of the
+        priming positions).
+    bits:
+        Per-axis lattice resolution; defaults like :func:`repro.core.reorder`
+        to ``min(16, 64 // ndim)``.
+
+    Usage::
+
+        eng = AdaptiveReorderer("hilbert", BoundingBox.of(pos))
+        eng.prime(pos)                  # snapshot the sorted baseline
+        ...
+        st = eng.stats(pos)             # cheap: one quantize + compare
+        if st.moved_frac >= threshold:
+            upd = eng.update(pos)       # O(m log n) merge
+            pos = upd.reordering.apply(pos)
+    """
+
+    def __init__(
+        self,
+        method: str,
+        bbox: BoundingBox,
+        bits: int | None = None,
+    ) -> None:
+        if method not in KEY_FROM_AXES:
+            raise ConfigError(
+                f"adaptive re-reordering supports {sorted(KEY_FROM_AXES)}; "
+                f"got {method!r} (peano is base-3, graph orderings have no "
+                f"per-object key map)"
+            )
+        if not isinstance(bbox, BoundingBox):
+            raise ConfigError("bbox must be a BoundingBox")
+        if bits is None:
+            bits = min(16, 64 // bbox.ndim)
+        if not 1 <= bits <= 62 or bbox.ndim * bits > 64:
+            raise ConfigError(
+                f"invalid bits={bits} for ndim={bbox.ndim} (need ndim*bits <= 64)"
+            )
+        self.method = method
+        self.bbox = bbox
+        self.bits = int(bits)
+        self._from_axes = key_from_axes(method)
+        self._axes: np.ndarray | None = None  # (n, ndim) uint64, array order
+        self._keys: np.ndarray | None = None  # (n,) uint64, array order
+        self._sorted = False
+        self.cumulative: Reordering | None = None
+        # Counters for reports/benchmarks.
+        self.updates = 0
+        self.incremental_updates = 0
+        self.full_resorts = 0
+        self.keys_computed = 0
+        self.seconds_incremental = 0.0
+        self.seconds_full = 0.0
+
+    # ------------------------------------------------------------------
+    # state
+
+    @property
+    def primed(self) -> bool:
+        return self._axes is not None
+
+    @property
+    def n(self) -> int:
+        if self._axes is None:
+            raise RuntimeError("engine not primed")
+        return int(self._axes.shape[0])
+
+    def _quantize(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != self.bbox.ndim:
+            raise ValueError(
+                f"coords must have shape (n, {self.bbox.ndim})"
+            )
+        return quantize(coords, self.bits, self.bbox)
+
+    def prime(self, coords: np.ndarray) -> None:
+        """Snapshot the current positions as the drift baseline.
+
+        Call immediately after (re)ordering the arrays: the snapshot is
+        taken in *current array order*, and ``_sorted`` records whether
+        that order already sorts the keys.  If it does not (the app was
+        never reordered, or by an ordering the engine cannot maintain),
+        the first :meth:`update` falls back to a full re-sort and
+        subsequent ones go incremental.
+        """
+        axes = self._quantize(coords)
+        keys = self._from_axes(axes, self.bits)
+        self._axes = axes
+        self._keys = keys
+        self._sorted = bool(np.all(keys[:-1] <= keys[1:])) if keys.size else True
+        self.keys_computed += int(keys.shape[0])
+        if self.cumulative is None:
+            self.cumulative = Reordering.identity(keys.shape[0])
+
+    # ------------------------------------------------------------------
+    # drift detection
+
+    def _movers(self, axes_now: np.ndarray) -> np.ndarray:
+        assert self._axes is not None
+        if axes_now.shape != self._axes.shape:
+            raise ValueError(
+                f"coords cover {axes_now.shape[0]} objects, engine tracks "
+                f"{self._axes.shape[0]}"
+            )
+        return np.flatnonzero(np.any(axes_now != self._axes, axis=1))
+
+    def stats(self, coords: np.ndarray, detail: bool = False) -> DriftStats:
+        """Drift statistics of ``coords`` against the snapshot.
+
+        The cheap path (``detail=False``) is one quantize plus one
+        vectorized compare — no key generation, no sorting.  With
+        ``detail=True`` the moved subset's keys are recomputed to count
+        exact key-rank inversions and bucketize slot displacements
+        (where each crosser *would* land under an update).
+        """
+        if not self.primed:
+            raise RuntimeError("engine not primed; call prime() first")
+        axes_now = self._quantize(coords)
+        mover_idx = self._movers(axes_now)
+        n = self.n
+        moved = int(mover_idx.shape[0])
+        frac = moved / n if n else 0.0
+        if not detail:
+            return DriftStats(n=n, moved=moved, moved_frac=frac)
+        assert self._keys is not None
+        mover_keys = self._from_axes(axes_now[mover_idx], self.bits)
+        patched = self._keys.copy()
+        patched[mover_idx] = mover_keys
+        inv = count_inversions(patched)
+        pairs = n * (n - 1) // 2
+        plan = _MergePlan(axes=axes_now, mover_idx=mover_idx, mover_keys=mover_keys)
+        if self._sorted and moved:
+            self._plan_merge(plan)
+            disp = plan.displacement
+        else:
+            perm = np.argsort(patched, kind="stable")
+            disp = np.abs(np.argsort(perm, kind="stable") - np.arange(n))
+        return DriftStats(
+            n=n,
+            moved=moved,
+            moved_frac=frac,
+            inversions=inv,
+            inversion_frac=inv / pairs if pairs else 0.0,
+            displacement_hist=displacement_histogram(disp),
+        )
+
+    # ------------------------------------------------------------------
+    # the O(m log n) merge
+
+    def _plan_merge(self, plan: _MergePlan) -> None:
+        """Fill in the delta permutation for a sorted snapshot.
+
+        The stationary objects form a sorted subsequence of the current
+        order (removing elements preserves sortedness); the movers are
+        stable-sorted by their new keys and binary-merged in.  Ties are
+        resolved exactly as ``np.argsort(kind="stable")`` over the full
+        patched key array would: by current index, movers and stationaries
+        interleaved.
+        """
+        assert self._keys is not None
+        n = self._keys.shape[0]
+        mover_idx = plan.mover_idx
+        m = mover_idx.shape[0]
+        stationary = np.ones(n, dtype=bool)
+        stationary[mover_idx] = False
+        stat_idx = np.flatnonzero(stationary)  # ascending current indices
+        stat_keys = self._keys[stat_idx]  # sorted (subsequence of sorted)
+        # Stable sort of the movers by new key; mover_idx is ascending, so
+        # equal-key movers stay in current-index order.
+        morder = np.argsort(plan.mover_keys, kind="stable")
+        mi = mover_idx[morder]  # current indices, key-sorted
+        mk = plan.mover_keys[morder]
+        # Insertion points among the stationaries.  Between lo (first
+        # stationary with key >= mk) and hi (first with key > mk) sit the
+        # equal-key stationaries; the mover goes after those with a
+        # smaller current index.
+        lo = np.searchsorted(stat_keys, mk, side="left")
+        hi = np.searchsorted(stat_keys, mk, side="right")
+        ins = lo.astype(np.int64)
+        ties = np.flatnonzero(hi > lo)
+        if ties.shape[0]:
+            runs = (hi[ties] - lo[ties]).astype(np.int64)
+            offsets = np.concatenate(([0], np.cumsum(runs)))
+            grp = np.repeat(np.arange(runs.shape[0]), runs)
+            flat = stat_idx[lo[ties][grp] + (np.arange(offsets[-1]) - offsets[:-1][grp])]
+            less = flat < mi[ties][grp]
+            ins[ties] += np.bincount(grp, weights=less, minlength=runs.shape[0]).astype(
+                np.int64
+            )
+        # ins is non-decreasing (movers are key- then index-sorted), so the
+        # merged slots follow by counting: mover j lands after ins[j]
+        # stationaries and j earlier movers; stationary s is pushed right by
+        # the movers inserted at or before it.
+        ns = stat_idx.shape[0]
+        mover_slots = ins + np.arange(m, dtype=np.int64)
+        stat_slots = np.arange(ns, dtype=np.int64) + np.searchsorted(
+            ins, np.arange(ns, dtype=np.int64), side="right"
+        )
+        perm = np.empty(n, dtype=np.int64)
+        perm[mover_slots] = mi
+        perm[stat_slots] = stat_idx
+        plan.perm = perm
+        plan.displacement = np.abs(mover_slots - mi)
+        keys_sorted = np.empty(n, dtype=self._keys.dtype)
+        keys_sorted[mover_slots] = mk
+        keys_sorted[stat_slots] = stat_keys
+        plan.keys_sorted = keys_sorted
+
+    # ------------------------------------------------------------------
+    # updates
+
+    def _finish(
+        self,
+        plan: _MergePlan,
+        perm: np.ndarray,
+        keys_sorted: np.ndarray,
+        stats: DriftStats,
+        full: bool,
+        t0: float,
+    ) -> AdaptiveUpdate:
+        n = perm.shape[0]
+        delta = Reordering.from_perm(perm, method=f"{self.method}-delta")
+        changed = np.flatnonzero(perm != np.arange(n, dtype=np.int64))
+        self._axes = plan.axes[perm]
+        self._keys = keys_sorted
+        self._sorted = True
+        assert self.cumulative is not None
+        self.cumulative = self.cumulative.compose(delta)
+        self.updates += 1
+        seconds = perf_counter() - t0
+        if full:
+            self.full_resorts += 1
+            self.seconds_full += seconds
+        else:
+            self.incremental_updates += 1
+            self.seconds_incremental += seconds
+        return AdaptiveUpdate(
+            reordering=delta,
+            stats=stats,
+            moved=stats.moved,
+            changed_slots=changed,
+            full=full,
+            seconds=seconds,
+        )
+
+    def update(self, coords: np.ndarray) -> AdaptiveUpdate:
+        """Migrate the boundary crossers; return the delta reordering.
+
+        Incremental O(m log n) whenever the snapshot order is sorted;
+        falls back to a full stable re-sort otherwise (and from then on
+        the order *is* sorted, so later updates go incremental).  The
+        delta is bit-identical to a full stable re-sort of the patched
+        key array either way — :meth:`full_resort` is the oracle.
+        """
+        if not self.primed:
+            raise RuntimeError("engine not primed; call prime() first")
+        assert self._keys is not None
+        t0 = perf_counter()
+        axes_now = self._quantize(coords)
+        mover_idx = self._movers(axes_now)
+        n = self.n
+        moved = int(mover_idx.shape[0])
+        stats = DriftStats(n=n, moved=moved, moved_frac=moved / n if n else 0.0)
+        mover_keys = self._from_axes(axes_now[mover_idx], self.bits)
+        self.keys_computed += moved
+        plan = _MergePlan(axes=axes_now, mover_idx=mover_idx, mover_keys=mover_keys)
+        if not self._sorted:
+            patched = self._keys.copy()
+            patched[mover_idx] = mover_keys
+            perm = np.argsort(patched, kind="stable")
+            self.keys_computed += n - moved  # a real resort regenerates all keys
+            return self._finish(plan, perm, patched[perm], stats, True, t0)
+        if moved == 0:
+            return self._finish(
+                plan, np.arange(n, dtype=np.int64), self._keys, stats, False, t0
+            )
+        self._plan_merge(plan)
+        assert plan.perm is not None and plan.keys_sorted is not None
+        return self._finish(plan, plan.perm, plan.keys_sorted, stats, False, t0)
+
+    def full_resort(self, coords: np.ndarray) -> AdaptiveUpdate:
+        """The oracle: recompute every key and stable re-sort.
+
+        Produces the same delta :class:`Reordering` as :meth:`update`
+        whenever the keys agree (always, on the pinned box), at full
+        O(n log n) cost.  Used by the equivalence tests and the
+        incremental-vs-full benchmark.
+        """
+        if not self.primed:
+            raise RuntimeError("engine not primed; call prime() first")
+        t0 = perf_counter()
+        axes_now = self._quantize(coords)
+        mover_idx = self._movers(axes_now)
+        n = self.n
+        moved = int(mover_idx.shape[0])
+        stats = DriftStats(n=n, moved=moved, moved_frac=moved / n if n else 0.0)
+        keys = self._from_axes(axes_now, self.bits)
+        self.keys_computed += n
+        perm = np.argsort(keys, kind="stable")
+        plan = _MergePlan(axes=axes_now, mover_idx=mover_idx, mover_keys=keys[mover_idx])
+        return self._finish(plan, perm, keys[perm], stats, True, t0)

@@ -1,5 +1,14 @@
 """Experiment harness: regenerate every table and figure of the paper."""
 
+from .adaptive import (
+    ADAPTIVE_POLICIES,
+    DYNAMIC_APPS,
+    AdaptiveCell,
+    AdaptiveSpec,
+    adaptive_breakeven,
+    breakeven_report,
+    run_policy,
+)
 from .ablations import (
     curve_quality,
     object_size_sweep,
@@ -74,4 +83,11 @@ __all__ = [
     "RecommendationLibrary",
     "tune",
     "default_candidates",
+    "ADAPTIVE_POLICIES",
+    "DYNAMIC_APPS",
+    "AdaptiveSpec",
+    "AdaptiveCell",
+    "run_policy",
+    "adaptive_breakeven",
+    "breakeven_report",
 ]

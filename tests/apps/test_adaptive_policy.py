@@ -1,0 +1,215 @@
+"""The shared re-reordering policy knob (AdaptivePolicy).
+
+Moldyn's legacy ``rereorder_every`` extra generalizes into a policy shared
+by all three dynamic apps; the legacy spelling must stay byte-identical,
+and the ``adaptive`` policy must fire the incremental engine mid-run.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.apps import AppConfig, BarnesHut, Moldyn, WaterSpatial
+from repro.apps.base import ADAPT_POLICIES, AdaptivePolicy
+from repro.errors import ConfigError
+from repro.trace.io import save_trace
+
+
+def trace_bytes(trace):
+    buf = io.BytesIO()
+    save_trace(trace, buf)
+    return buf.getvalue()
+
+
+def moldyn(**extra):
+    knobs = {"n": 512, "nprocs": 8, "iterations": 8, "seed": 3}
+    knobs["n"] = extra.pop("n", knobs["n"])
+    knobs["iterations"] = extra.pop("iterations", knobs["iterations"])
+    return Moldyn(AppConfig(**knobs, extra={"dt": 3e-3, **extra}))
+
+
+def water(**extra):
+    return WaterSpatial(
+        AppConfig(n=512, nprocs=8, iterations=6, seed=3, extra={"dt": 3e-3, **extra})
+    )
+
+
+def barnes(**extra):
+    return BarnesHut(
+        AppConfig(n=256, nprocs=4, iterations=5, seed=3, extra={"dt": 0.05, **extra})
+    )
+
+
+class TestFromExtra:
+    def test_default_is_never(self):
+        pol = AdaptivePolicy.from_extra({})
+        assert pol.policy == "never" and not pol.active
+
+    def test_legacy_spelling_maps_to_every(self):
+        pol = AdaptivePolicy.from_extra({"rereorder_every": 3})
+        assert pol.policy == "every" and pol.every == 3
+
+    def test_legacy_zero_is_never(self):
+        assert not AdaptivePolicy.from_extra({"rereorder_every": 0}).active
+
+    def test_spellings_are_exclusive(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra(
+                {"rereorder_every": 2, "adapt_policy": "adaptive"}
+            )
+
+    def test_negative_legacy_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra({"rereorder_every": -1})
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra({"adapt_policy": "sometimes"})
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra(
+                {"adapt_policy": "adaptive", "adapt_threshold": 1.5}
+            )
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra({"adapt_policy": "every", "adapt_every": 0})
+
+    def test_adaptive_method_must_be_maintainable(self):
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra(
+                {"adapt_policy": "adaptive", "adapt_method": "rcm"}
+            )
+        pol = AdaptivePolicy.from_extra(
+            {"adapt_policy": "adaptive", "adapt_method": "morton"}
+        )
+        assert pol.method == "morton"
+
+    def test_every_method_any_ordering(self):
+        pol = AdaptivePolicy.from_extra(
+            {"adapt_policy": "every", "adapt_method": "rcm"}
+        )
+        assert pol.method == "rcm"
+        with pytest.raises(ConfigError):
+            AdaptivePolicy.from_extra(
+                {"adapt_policy": "every", "adapt_method": "zigzag"}
+            )
+
+    def test_policy_names_stable(self):
+        assert ADAPT_POLICIES == ("never", "every", "adaptive")
+
+
+class TestLegacyEquivalence:
+    def test_legacy_spelling_byte_identical_to_every(self):
+        """extra={'rereorder_every': k} and the shared spelling emit the
+        same bytes, event for event."""
+        a = moldyn(rereorder_every=3)
+        b = moldyn(adapt_policy="every", adapt_every=3)
+        a.reorder("column")
+        b.reorder("column")
+        assert trace_bytes(a.run()) == trace_bytes(b.run())
+
+    def test_never_matches_no_knob(self):
+        a = moldyn()
+        b = moldyn(adapt_policy="never")
+        a.reorder("column")
+        b.reorder("column")
+        assert trace_bytes(a.run()) == trace_bytes(b.run())
+
+
+class TestWaterSpatialPolicy:
+    def test_every_emits_reorder_epochs(self):
+        app = water(adapt_policy="every", adapt_every=2)
+        app.reorder("hilbert")
+        trace = app.run()
+        assert "reorder" in {e.label for e in trace.epochs}
+        assert app.reorder_events > 0
+
+    def test_never_without_initial_reordering_is_noop(self):
+        app = water(adapt_policy="every", adapt_every=2)
+        trace = app.run()  # never reordered: nothing to refresh
+        assert "reorder" not in {e.label for e in trace.epochs}
+
+    def test_default_trace_unchanged(self):
+        """Adding the policy machinery must not perturb the default path."""
+        assert trace_bytes(water().run()) == trace_bytes(
+            water(adapt_policy="never").run()
+        )
+
+    def test_physics_continuous_across_rereorder(self):
+        def run(extra):
+            app = water(**extra)
+            app.reorder("hilbert")
+            app.run()
+            order = np.lexsort((app.pos[:, 2], app.pos[:, 1], app.pos[:, 0]))
+            return app.pos[order]
+
+        base = run({})
+        rere = run({"adapt_policy": "every", "adapt_every": 2})
+        assert np.allclose(base, rere, atol=1e-9)
+
+    def test_adaptive_fires_and_migrates_subset(self):
+        app = water(adapt_policy="adaptive", adapt_threshold=0.01)
+        app.reorder("hilbert")
+        assert app.adaptive_engine is not None  # primed by reorder()
+        trace = app.run()
+        assert app.reorder_events > 0
+        # Incremental migrations touch fewer objects than a full re-sort.
+        assert app.reorder_moved < app.reorder_events * app.n
+        assert "reorder" in {e.label for e in trace.epochs}
+
+
+class TestBarnesHutPolicy:
+    def test_every_emits_reorder_epochs(self):
+        app = barnes(adapt_policy="every", adapt_every=2)
+        app.reorder("hilbert")
+        trace = app.run()
+        assert "reorder" in {e.label for e in trace.epochs}
+
+    def test_physics_continuous_with_cost_remap(self):
+        """The costzone weights must ride along with the bodies."""
+
+        def run(extra):
+            app = barnes(**extra)
+            app.reorder("hilbert")
+            app.run()
+            order = np.lexsort((app.pos[:, 2], app.pos[:, 1], app.pos[:, 0]))
+            return app.pos[order]
+
+        base = run({})
+        rere = run({"adapt_policy": "every", "adapt_every": 2})
+        assert np.allclose(base, rere, atol=1e-9)
+
+    def test_adaptive_runs(self):
+        app = barnes(adapt_policy="adaptive", adapt_threshold=0.01)
+        app.reorder("hilbert")
+        trace = app.run()
+        assert app.reorder_events > 0
+        assert "reorder" in {e.label for e in trace.epochs}
+
+
+class TestMoldynAdaptive:
+    def test_adaptive_incremental_epochs(self):
+        app = moldyn(adapt_policy="adaptive", adapt_threshold=0.02)
+        app.reorder("hilbert")
+        app.run()
+        assert app.reorder_events > 0
+        assert app.last_drift is not None
+        eng = app.adaptive_engine
+        assert eng is not None and eng.incremental_updates > 0
+
+    def test_adaptive_without_initial_reorder_primes_lazily(self):
+        app = moldyn(adapt_policy="adaptive", adapt_threshold=0.02)
+        app.run()
+        assert app.adaptive_engine is not None
+
+    def test_no_drift_never_fires(self):
+        """With a timestep too small to cross any coarse lattice cell the
+        adaptive policy must stay quiet."""
+        app = moldyn(adapt_policy="adaptive", adapt_threshold=0.05, dt=1e-9)
+        app.reorder("hilbert")
+        trace = app.run()
+        assert app.reorder_events == 0
+        assert "reorder" not in {e.label for e in trace.epochs}

@@ -1,0 +1,257 @@
+"""The incremental adaptive re-reordering engine.
+
+The central contract: every incremental update's delta permutation is
+*bit-identical* to what a full stable re-sort of the recomputed keys would
+produce — on randomized drift streams, with tie-heavy low-resolution
+lattices, across every supported ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ADAPTIVE_METHODS,
+    AdaptiveReorderer,
+    BoundingBox,
+    count_inversions,
+    displacement_histogram,
+    key_from_axes,
+    quantize,
+)
+from repro.errors import ConfigError
+
+
+def drift_cloud(rng, n=512, ndim=3):
+    return rng.random((n, ndim))
+
+
+def drift_step(rng, pos, frac=0.1, scale=0.08):
+    """Displace a random subset of points; return the new positions."""
+    n = pos.shape[0]
+    m = max(1, int(n * frac))
+    idx = rng.choice(n, size=m, replace=False)
+    out = pos.copy()
+    out[idx] += rng.normal(scale=scale, size=(m, pos.shape[1]))
+    return out
+
+
+def primed_engine(method, pos, bits=None):
+    eng = AdaptiveReorderer(method, BoundingBox.of(pos), bits=bits)
+    # Prime on the *sorted* layout, as an app would after reorder().
+    keys = key_from_axes(method)(quantize(pos, eng.bits, eng.bbox), eng.bits)
+    order = np.argsort(keys, kind="stable")
+    pos = pos[order]
+    eng.prime(pos)
+    return eng, pos
+
+
+class TestCountInversions:
+    def test_sorted_is_zero(self):
+        assert count_inversions(np.arange(100)) == 0
+
+    def test_reversed_is_all_pairs(self):
+        n = 77
+        assert count_inversions(np.arange(n)[::-1]) == n * (n - 1) // 2
+
+    def test_ties_are_not_inversions(self):
+        assert count_inversions(np.array([3, 3, 3, 3])) == 0
+
+    def test_matches_quadratic_oracle(self, rng):
+        for n in (1, 2, 3, 17, 64, 100, 257):
+            keys = rng.integers(0, 12, size=n)  # heavy ties
+            i, j = np.triu_indices(n, k=1)
+            brute = int(np.sum(keys[i] > keys[j]))
+            assert count_inversions(keys) == brute
+
+    def test_float_keys(self, rng):
+        keys = rng.random(129)
+        i, j = np.triu_indices(129, k=1)
+        assert count_inversions(keys) == int(np.sum(keys[i] > keys[j]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            count_inversions(np.zeros((3, 3)))
+
+
+class TestDisplacementHistogram:
+    def test_buckets(self):
+        hist = displacement_histogram(np.array([0, 0, 1, 2, 3, 4, 1024]))
+        assert hist[0] == 2  # zeros
+        assert hist[1] == 1  # [1, 2)
+        assert hist[2] == 2  # [2, 4)
+        assert hist[3] == 1  # [4, 8)
+        assert hist[11] == 1  # [1024, 2048)
+        assert hist.sum() == 7
+
+    def test_tail_clamped(self):
+        hist = displacement_histogram(np.array([2**40]), slots=8)
+        assert hist[7] == 1
+
+
+class TestConstruction:
+    def test_rejects_non_lattice_methods(self, rng):
+        box = BoundingBox.of(drift_cloud(rng))
+        for method in ("peano", "bfs", "rcm", "nope"):
+            with pytest.raises(ConfigError):
+                AdaptiveReorderer(method, box)
+
+    def test_rejects_bad_bits(self, rng):
+        box = BoundingBox.of(drift_cloud(rng))
+        with pytest.raises(ConfigError):
+            AdaptiveReorderer("hilbert", box, bits=30)  # 3*30 > 64
+
+    def test_requires_prime(self, rng):
+        eng = AdaptiveReorderer("hilbert", BoundingBox.of(drift_cloud(rng)))
+        with pytest.raises(RuntimeError):
+            eng.stats(drift_cloud(rng))
+        with pytest.raises(RuntimeError):
+            eng.update(drift_cloud(rng))
+
+
+class TestDriftStats:
+    def test_no_drift(self, rng):
+        pos = drift_cloud(rng)
+        eng, pos = primed_engine("hilbert", pos)
+        st = eng.stats(pos)
+        assert st.moved == 0 and st.moved_frac == 0.0
+
+    def test_crosser_detection_matches_keys(self, rng):
+        """moved counts exactly the objects whose key changed."""
+        pos = drift_cloud(rng)
+        eng, pos = primed_engine("morton", pos, bits=6)
+        pos2 = drift_step(rng, pos, frac=0.2, scale=0.1)
+        fn = key_from_axes("morton")
+        k0 = fn(quantize(pos, 6, eng.bbox), 6)
+        k1 = fn(quantize(pos2, 6, eng.bbox), 6)
+        st = eng.stats(pos2)
+        assert st.moved == int(np.sum(k0 != k1))
+
+    def test_detail_inversions_match_oracle(self, rng):
+        pos = drift_cloud(rng, n=128)
+        eng, pos = primed_engine("hilbert", pos, bits=4)
+        pos2 = drift_step(rng, pos, frac=0.3, scale=0.2)
+        st = eng.stats(pos2, detail=True)
+        fn = key_from_axes("hilbert")
+        keys = fn(quantize(pos2, 4, eng.bbox), 4)
+        i, j = np.triu_indices(keys.shape[0], k=1)
+        assert st.inversions == int(np.sum(keys[i] > keys[j]))
+        assert st.displacement_hist is not None
+        assert st.displacement_hist.sum() >= 0
+
+
+class TestIncrementalOracleIdentity:
+    """The tentpole invariant, across methods / resolutions / drift rates."""
+
+    @pytest.mark.parametrize("method", ADAPTIVE_METHODS)
+    def test_multi_epoch_stream(self, rng, method):
+        pos = drift_cloud(rng, n=400)
+        eng, pos = primed_engine(method, pos)
+        oracle, _ = primed_engine(method, pos.copy())
+        for _ in range(6):
+            pos = drift_step(rng, pos, frac=0.08, scale=0.05)
+            upd = eng.update(pos)
+            ref = oracle.full_resort(pos)
+            np.testing.assert_array_equal(upd.reordering.perm, ref.reordering.perm)
+            np.testing.assert_array_equal(upd.reordering.rank, ref.reordering.rank)
+            assert not upd.full
+            pos = upd.reordering.apply(pos)
+
+    def test_tie_heavy_low_bits(self, rng):
+        """2-bit lattice: nearly everything shares a key; stable-tie order
+        (by current index, movers and stationaries interleaved) must match
+        argsort exactly."""
+        pos = drift_cloud(rng, n=300)
+        eng, pos = primed_engine("column", pos, bits=2)
+        oracle, _ = primed_engine("column", pos.copy(), bits=2)
+        for _ in range(5):
+            pos = drift_step(rng, pos, frac=0.25, scale=0.3)
+            upd = eng.update(pos)
+            ref = oracle.full_resort(pos)
+            np.testing.assert_array_equal(upd.reordering.perm, ref.reordering.perm)
+            pos = upd.reordering.apply(pos)
+
+    def test_heavy_drift(self, rng):
+        """Even when most objects cross, the merge stays correct."""
+        pos = drift_cloud(rng, n=256)
+        eng, pos = primed_engine("hilbert", pos, bits=5)
+        pos2 = rng.random(pos.shape)  # total scramble
+        oracle, _ = primed_engine("hilbert", pos.copy(), bits=5)
+        upd = eng.update(pos2)
+        ref = oracle.full_resort(pos2)
+        np.testing.assert_array_equal(upd.reordering.perm, ref.reordering.perm)
+
+    def test_out_of_box_drift_clips(self, rng):
+        """Points leaving the pinned box clip to boundary cells, engine
+        and oracle alike."""
+        pos = drift_cloud(rng, n=200)
+        eng, pos = primed_engine("gray", pos)
+        oracle, _ = primed_engine("gray", pos.copy())
+        pos2 = pos.copy()
+        pos2[:40] += 3.0  # way outside the pinned bbox
+        upd = eng.update(pos2)
+        ref = oracle.full_resort(pos2)
+        np.testing.assert_array_equal(upd.reordering.perm, ref.reordering.perm)
+
+
+class TestEngineState:
+    def test_no_drift_update_is_identity(self, rng):
+        pos = drift_cloud(rng)
+        eng, pos = primed_engine("hilbert", pos)
+        upd = eng.update(pos)
+        np.testing.assert_array_equal(upd.reordering.perm, np.arange(pos.shape[0]))
+        assert upd.moved == 0 and upd.changed_slots.shape[0] == 0
+
+    def test_unsorted_prime_falls_back_then_goes_incremental(self, rng):
+        pos = drift_cloud(rng)
+        eng = AdaptiveReorderer("hilbert", BoundingBox.of(pos))
+        eng.prime(pos)  # array order, not key order
+        pos2 = drift_step(rng, pos)
+        upd = eng.update(pos2)
+        assert upd.full  # fallback re-sort
+        pos2 = upd.reordering.apply(pos2)
+        pos3 = drift_step(rng, pos2)
+        upd2 = eng.update(pos3)
+        assert not upd2.full  # now sorted, incremental from here on
+        assert eng.full_resorts == 1 and eng.incremental_updates >= 1
+
+    def test_cumulative_composes_deltas(self, rng):
+        """cumulative maps the priming order to the current order."""
+        pos0 = drift_cloud(rng, n=256)
+        eng, pos0 = primed_engine("morton", pos0)
+        tag = np.arange(pos0.shape[0])  # rides along with the objects
+        pos, tags = pos0, tag
+        for _ in range(4):
+            pos = drift_step(rng, pos, frac=0.15, scale=0.1)
+            upd = eng.update(pos)
+            pos = upd.reordering.apply(pos)
+            tags = upd.reordering.apply(tags)
+        np.testing.assert_array_equal(eng.cumulative.apply(tag), tags)
+
+    def test_changed_slots_cover_delta(self, rng):
+        pos = drift_cloud(rng, n=256)
+        eng, pos = primed_engine("hilbert", pos)
+        pos2 = drift_step(rng, pos, frac=0.1, scale=0.2)
+        upd = eng.update(pos2)
+        perm = upd.reordering.perm
+        np.testing.assert_array_equal(
+            upd.changed_slots, np.flatnonzero(perm != np.arange(perm.shape[0]))
+        )
+
+    def test_shape_mismatch_rejected(self, rng):
+        pos = drift_cloud(rng)
+        eng, pos = primed_engine("hilbert", pos)
+        with pytest.raises(ValueError):
+            eng.update(pos[:-1])
+
+    def test_idempotent_after_update(self, rng):
+        """Applying the delta then updating again is a no-op."""
+        pos = drift_cloud(rng)
+        eng, pos = primed_engine("hilbert", pos)
+        pos = drift_step(rng, pos)
+        upd = eng.update(pos)
+        pos = upd.reordering.apply(pos)
+        upd2 = eng.update(pos)
+        assert upd2.moved == 0
+        np.testing.assert_array_equal(
+            upd2.reordering.perm, np.arange(pos.shape[0])
+        )

@@ -131,3 +131,85 @@ def test_identity_reordering_fixed_point(n):
     r = Reordering.identity(n)
     assert np.array_equal(r.compose(r).perm, r.perm)
     assert np.array_equal(r.inverse().perm, r.perm)
+
+
+@st.composite
+def random_reorderings(draw, n=None):
+    if n is None:
+        n = draw(st.integers(min_value=1, max_value=200))
+    pyrandom = draw(st.randoms(use_true_random=False))
+    perm = np.array(pyrandom.sample(range(n), n), dtype=np.int64)
+    return Reordering.from_perm(perm)
+
+
+@st.composite
+def reordering_pairs(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    return draw(random_reorderings(n)), draw(random_reorderings(n))
+
+
+@st.composite
+def reordering_triples(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    return tuple(draw(random_reorderings(n)) for _ in range(3))
+
+
+@given(random_reorderings())
+@settings(max_examples=100, deadline=None)
+def test_compose_inverse_is_identity(r):
+    """r then r^-1 (and r^-1 then r) is the no-op reordering."""
+    ident = np.arange(r.n)
+    assert np.array_equal(r.compose(r.inverse()).perm, ident)
+    assert np.array_equal(r.inverse().compose(r).perm, ident)
+
+
+@given(random_reorderings())
+@settings(max_examples=50, deadline=None)
+def test_inverse_is_involution(r):
+    back = r.inverse().inverse()
+    assert np.array_equal(back.perm, r.perm)
+    assert np.array_equal(back.rank, r.rank)
+
+
+@given(reordering_pairs())
+@settings(max_examples=100, deadline=None)
+def test_compose_matches_sequential_apply(pair):
+    """compose(a, b) applied once == apply a then apply b — the delta
+    semantics the adaptive engine accumulates through."""
+    a, b = pair
+    rng = np.random.default_rng(0)
+    objects = rng.random(a.n)
+    seq = b.apply(a.apply(objects))
+    assert np.array_equal(a.compose(b).apply(objects), seq)
+
+
+@given(reordering_triples())
+@settings(max_examples=100, deadline=None)
+def test_compose_is_associative(triple):
+    """(a∘b)∘c == a∘(b∘c): delta composition order of evaluation is free."""
+    a, b, c = triple
+    left = a.compose(b).compose(c)
+    right = a.compose(b.compose(c))
+    assert np.array_equal(left.perm, right.perm)
+    assert np.array_equal(left.rank, right.rank)
+
+
+@given(reordering_pairs())
+@settings(max_examples=50, deadline=None)
+def test_compose_inverse_antihomomorphism(pair):
+    """(a∘b)^-1 == b^-1 ∘ a^-1."""
+    a, b = pair
+    lhs = a.compose(b).inverse()
+    rhs = b.inverse().compose(a.inverse())
+    assert np.array_equal(lhs.perm, rhs.perm)
+
+
+@given(reordering_pairs())
+@settings(max_examples=50, deadline=None)
+def test_compose_remap_indices_chains(pair):
+    """Remapping through a composition == remapping through each delta."""
+    a, b = pair
+    rng = np.random.default_rng(1)
+    idx = rng.integers(-1, a.n, size=64)
+    chained = b.remap_indices(a.remap_indices(idx))
+    assert np.array_equal(a.compose(b).remap_indices(idx), chained)

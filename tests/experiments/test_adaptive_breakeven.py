@@ -1,0 +1,140 @@
+"""The adaptive breakeven benchmark mode (repro.experiments.adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.adaptive import (
+    ADAPTIVE_POLICIES,
+    DYNAMIC_APPS,
+    AdaptiveCell,
+    AdaptiveSpec,
+    adaptive_breakeven,
+    breakeven_report,
+    run_policy,
+)
+from repro.experiments.runner import PLATFORMS
+
+SMALL = AdaptiveSpec(app="moldyn", n=256, nprocs=8, iterations=6, seed=3)
+
+
+class TestSpec:
+    def test_rejects_static_apps(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSpec(app="unstructured")
+
+    def test_rejects_single_iteration(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSpec(app="moldyn", iterations=1)
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSpec(app="moldyn", every=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            SMALL.policy_extra("sometimes")
+
+    def test_policy_extras_select_policies(self):
+        assert "adapt_policy" not in SMALL.policy_extra("never")
+        assert SMALL.policy_extra("every")["adapt_policy"] == "every"
+        assert SMALL.policy_extra("every")["adapt_every"] == SMALL.every
+        extra = SMALL.policy_extra("adaptive")
+        assert extra["adapt_policy"] == "adaptive"
+        assert extra["adapt_threshold"] == SMALL.threshold
+
+    def test_dynamic_apps_are_registered(self):
+        from repro.apps import APP_REGISTRY
+
+        assert set(DYNAMIC_APPS) <= set(APP_REGISTRY)
+
+
+class TestRunPolicy:
+    def test_policies_change_the_trace(self):
+        _, never = run_policy(SMALL, "never")
+        app, every = run_policy(SMALL, "every")
+        assert "reorder" not in {e.label for e in never.epochs}
+        assert "reorder" in {e.label for e in every.epochs}
+        assert app.reorder_events > 0
+
+    def test_initial_version_applied(self):
+        app, _ = run_policy(SMALL, "never")
+        assert app.reordered_by == SMALL.initial_version
+
+
+class TestBreakeven:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return adaptive_breakeven([SMALL])
+
+    def test_full_grid(self, cells):
+        combos = {(c.policy, c.platform) for c in cells}
+        assert combos == {
+            (pol, plat) for pol in ADAPTIVE_POLICIES for plat in PLATFORMS
+        }
+
+    def test_never_rows_are_the_baseline(self, cells):
+        for c in cells:
+            if c.policy == "never":
+                assert c.reorder_cost == 0.0
+                assert c.benefit == 0.0 and c.net == 0.0
+                assert not np.isfinite(c.breakeven_iterations)
+
+    def test_reorder_cost_decomposition(self, cells):
+        for c in cells:
+            assert c.compute_time == pytest.approx(c.time - c.reorder_cost)
+            if c.policy != "never":
+                assert c.reorder_cost > 0.0
+                assert c.reorder_events > 0
+
+    def test_net_is_benefit_minus_cost(self, cells):
+        for c in cells:
+            assert c.net == pytest.approx(c.benefit - c.reorder_cost, abs=1e-12)
+
+    def test_breakeven_consistent_with_benefit(self, cells):
+        for c in cells:
+            if c.policy == "never":
+                continue
+            if c.benefit > 0:
+                per_iter = c.benefit / SMALL.iterations
+                assert c.breakeven_iterations == pytest.approx(
+                    c.reorder_cost / per_iter
+                )
+            else:
+                assert not np.isfinite(c.breakeven_iterations)
+
+    def test_policies_subset_still_uses_never_baseline(self):
+        cells = adaptive_breakeven(
+            [SMALL], platforms=("treadmarks",), policies=("every",)
+        )
+        assert [c.policy for c in cells] == ["every"]
+        assert cells[0].benefit != 0.0 or cells[0].net != 0.0
+
+    def test_as_dict_round_trips(self, cells):
+        d = cells[0].as_dict()
+        assert d["app"] == "moldyn"
+        assert set(d) >= {"time", "reorder_cost", "benefit", "net",
+                          "breakeven_iterations", "reorder_events"}
+
+    def test_report_renders_every_cell(self, cells):
+        text = breakeven_report(cells)
+        assert "== moldyn ==" in text
+        for pol in ADAPTIVE_POLICIES:
+            assert pol in text
+        for plat in PLATFORMS:
+            assert plat in text
+
+
+class TestAdaptiveMigratesLess:
+    def test_adaptive_moves_fewer_objects_than_every_1(self):
+        """The headline mechanism: the adaptive policy's incremental
+        migrations touch far fewer objects than re-sorting every
+        iteration."""
+        spec = AdaptiveSpec(
+            app="water-spatial", n=512, nprocs=8, iterations=6, seed=3,
+            every=1, threshold=0.05,
+        )
+        every_app, _ = run_policy(spec, "every")
+        adapt_app, _ = run_policy(spec, "adaptive")
+        assert every_app.reorder_moved == every_app.reorder_events * spec.n
+        assert adapt_app.reorder_moved < every_app.reorder_moved

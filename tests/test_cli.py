@@ -289,6 +289,32 @@ class TestServiceCommands:
         assert not thread.is_alive()
 
 
+class TestAdaptive:
+    def test_smoke_renders_breakeven_table(self, capsys):
+        code, out, _ = run_cli(capsys, "adaptive", "--smoke")
+        assert code == 0
+        assert "== moldyn ==" in out and "== water-spatial ==" in out
+        for word in ("never", "every", "adaptive", "breakeven",
+                     "treadmarks", "hlrc"):
+            assert word in out
+
+    def test_policy_subset_and_knobs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "adaptive", "moldyn", "--smoke",
+            "--adapt-policy", "every", "--adapt-every", "2",
+            "--adapt-threshold", "0.2",
+        )
+        assert code == 0
+        assert "every" in out
+        assert "adaptive " not in out  # only the requested policy column
+        assert "water-spatial" not in out
+
+    def test_rejects_static_app(self, capsys):
+        code, _, err = run_cli(capsys, "adaptive", "unstructured", "--smoke")
+        assert code == 2
+        assert "dynamic" in err
+
+
 def test_all_artifact_names_have_handlers():
     for name in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                  "fig8", "fig9", "table1", "table2", "table3", "table4",
